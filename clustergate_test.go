@@ -1,0 +1,66 @@
+package clustergate
+
+import "testing"
+
+// TestFacadeEndToEnd exercises the public API exactly as the README shows.
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("facade integration skipped in -short mode")
+	}
+	train := BuildHDTR(HDTRConfig{Apps: 48, MeanTracesPerApp: 2, InstrsPerTrace: 250_000, Seed: 1})
+	test := BuildSPEC(SPECConfig{TracesPerWorkload: 1, InstrsPerTrace: 350_000, Seed: 2})
+
+	cfg := DefaultDatasetConfig()
+	trainTel := SimulateCorpus(train, cfg)
+	testTel := SimulateCorpus(test, cfg)
+
+	if r := OracleResidency(testTel, SLA{PSLA: 0.9}); r < 0.2 || r > 0.8 {
+		t.Errorf("oracle residency = %.3f, implausible", r)
+	}
+
+	cs := NewStandardCounterSet()
+	cols, err := ColumnsByName(cs, Table4Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := BuildBestRF(BuildInputs{
+		Tel: trainTel, Counters: cs, Columns: cols,
+		SLA: SLA{PSLA: 0.9}, Interval: cfg.Interval,
+		Spec: DefaultMCUSpec(), Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Validate(DefaultMCUSpec()); err != nil {
+		t.Fatal(err)
+	}
+
+	sum, err := EvaluateOnCorpus(ctl, test, testTel, cfg, DefaultPowerModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Overall.Confusion.Total() == 0 {
+		t.Fatal("no deployment predictions")
+	}
+	if sum.Overall.PPWGain <= 0 {
+		t.Errorf("facade deployment PPW gain = %.3f, want positive", sum.Overall.PPWGain)
+	}
+}
+
+func TestFacadeDefaults(t *testing.T) {
+	if DefaultMCUSpec().MCUMIPS != 500 {
+		t.Error("MCU spec should be the paper's 500 MIPS controller")
+	}
+	if DefaultDatasetConfig().Interval != 10_000 {
+		t.Error("default interval should be the paper's 10k instructions")
+	}
+	if got := DefaultCoreConfig().FetchWidth; got != 8 {
+		t.Errorf("fetch width = %d, want 8", got)
+	}
+	if n := len(Table4Names()); n != 12 {
+		t.Errorf("Table 4 counters = %d, want 12", n)
+	}
+	if ModeHighPerf == ModeLowPower {
+		t.Error("modes must differ")
+	}
+}

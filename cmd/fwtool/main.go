@@ -1,0 +1,126 @@
+// Command fwtool manages firmware images — the artifacts Section 7.3's
+// deployment story pushes to fleet machines.
+//
+// Usage:
+//
+//	fwtool -train best-rf -o fw.img            # train + save an image
+//	fwtool -info fw.img                        # inspect an image
+//	fwtool -eval fw.img                        # deploy on the test suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clustergate/internal/core"
+	"clustergate/internal/dataset"
+	"clustergate/internal/mcu"
+	"clustergate/internal/power"
+	"clustergate/internal/telemetry"
+	"clustergate/internal/trace"
+)
+
+func main() {
+	train := flag.String("train", "", "train a model (best-rf, best-mlp, charstar) and save an image")
+	out := flag.String("o", "firmware.img", "output image path for -train")
+	info := flag.String("info", "", "print an image's metadata")
+	eval := flag.String("eval", "", "deploy an image on the SPEC-like test suite")
+	apps := flag.Int("apps", 120, "training corpus applications for -train")
+	psla := flag.Float64("psla", 0.9, "SLA threshold for -train")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	switch {
+	case *train != "":
+		doTrain(*train, *out, *apps, *psla, *seed)
+	case *info != "":
+		doInfo(*info)
+	case *eval != "":
+		doEval(*eval, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doTrain(model, out string, apps int, psla float64, seed int64) {
+	corpus := trace.BuildHDTR(trace.HDTRConfig{Apps: apps, InstrsPerTrace: 550_000, Seed: seed})
+	cfg := dataset.DefaultConfig()
+	fmt.Fprintf(os.Stderr, "simulating %d traces...\n", len(corpus.Traces))
+	tel := dataset.SimulateCorpus(corpus, cfg)
+
+	cs := telemetry.NewStandardCounterSet()
+	cols, err := core.ColumnsByName(cs, telemetry.Table4Names())
+	fatalIf(err)
+	in := core.BuildInputs{
+		Tel: tel, Counters: cs, Columns: cols,
+		SLA: dataset.SLA{PSLA: psla}, Interval: cfg.Interval,
+		Spec: mcu.DefaultSpec(), Seed: seed,
+	}
+	var g *core.GatingController
+	switch model {
+	case "best-rf":
+		g, err = core.BuildBestRF(in)
+	case "best-mlp":
+		g, err = core.BuildBestMLP(in)
+	case "charstar":
+		g, err = core.BuildCHARSTAR(in)
+	default:
+		fatalIf(fmt.Errorf("unknown model %q", model))
+	}
+	fatalIf(err)
+
+	f, err := os.Create(out)
+	fatalIf(err)
+	fatalIf(core.SaveController(f, g))
+	fatalIf(f.Close())
+	st, _ := os.Stat(out)
+	fmt.Printf("wrote %s: %s, %d bytes, granularity %dk, thresholds %.2f/%.2f\n",
+		out, g.Name, st.Size(), g.Granularity/1000, g.ThresholdHigh, g.ThresholdLow)
+}
+
+func doInfo(path string) {
+	f, err := os.Open(path)
+	fatalIf(err)
+	defer f.Close()
+	g, err := core.LoadController(f)
+	fatalIf(err)
+	fmt.Printf("name:            %s\n", g.Name)
+	fmt.Printf("P_SLA:           %.2f\n", g.SLA.PSLA)
+	fmt.Printf("granularity:     %d instructions\n", g.Granularity)
+	fmt.Printf("ops/prediction:  %d (budget %d)\n",
+		g.OpsPerPrediction, mcu.DefaultSpec().OpsBudget(g.Granularity))
+	fmt.Printf("thresholds:      high %.2f, low %.2f\n", g.ThresholdHigh, g.ThresholdLow)
+	fmt.Printf("counters:        %d columns\n", len(g.Columns))
+	for _, c := range g.Columns {
+		fmt.Printf("  - %s\n", g.Counters.Names[c])
+	}
+	fatalIf(g.Validate(mcu.DefaultSpec()))
+	fmt.Println("budget check:    ok")
+}
+
+func doEval(path string, seed int64) {
+	f, err := os.Open(path)
+	fatalIf(err)
+	g, err := core.LoadController(f)
+	f.Close()
+	fatalIf(err)
+
+	test := trace.BuildSPEC(trace.SPECConfig{TracesPerWorkload: 1, InstrsPerTrace: 650_000, Seed: seed + 1})
+	cfg := dataset.DefaultConfig()
+	fmt.Fprintf(os.Stderr, "simulating %d test traces...\n", len(test.Traces))
+	tel := dataset.SimulateCorpus(test, cfg)
+	sum, err := core.EvaluateOnCorpus(g, test, tel, cfg, power.DefaultModel())
+	fatalIf(err)
+	fmt.Printf("%s: PPW %+.1f%%, RSV %.2f%%, PGOS %.1f%%, residency %.1f%%\n",
+		g.Name, 100*sum.MeanBenchmarkPPWGain(), 100*sum.Overall.RSV,
+		100*sum.Overall.Confusion.PGOS(), 100*sum.Overall.Residency)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fwtool:", err)
+		os.Exit(1)
+	}
+}

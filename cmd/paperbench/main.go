@@ -1,0 +1,313 @@
+// Command paperbench regenerates the paper's tables and figures on the
+// synthetic reproduction stack.
+//
+// Usage:
+//
+//	paperbench [-scale quick|default|full] [-cache DIR] [-seed N] -exp all
+//	paperbench -exp table3,fig7,fig8
+//
+// Experiments: corpus, table3, table4, fig4, fig5, fig6, fig7, fig8, fig9,
+// fig10, table5, table6, granularity, guardrail, uarch, dvfs, ablations,
+// all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"clustergate/internal/experiments"
+	"clustergate/internal/report"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "default", "experiment scale: quick, default, or full")
+	cacheDir := flag.String("cache", ".cache", "telemetry cache directory ('' disables)")
+	seed := flag.Int64("seed", 1, "master seed")
+	expFlag := flag.String("exp", "all", "comma-separated experiment list")
+	svgDir := flag.String("svg", "", "also render figures as SVG into this directory")
+	verbose := flag.Bool("v", true, "print progress lines")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "default":
+		scale = experiments.DefaultScale()
+	case "full":
+		scale = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	start := time.Now()
+	var logw *os.File
+	if *verbose {
+		logw = os.Stderr
+	}
+	env, err := experiments.NewEnvLogged(scale, *cacheDir, *seed, logw)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+
+	if sel("corpus") {
+		experiments.PrintCorpus(w, env)
+		fmt.Fprintln(w)
+	}
+	if sel("table3") {
+		budget := experiments.Table3Budget(env.Spec)
+		models, err := experiments.Table3Models(env)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintTable3(w, budget, models)
+		fmt.Fprintln(w)
+	}
+	if sel("table4") {
+		experiments.PrintTable4(w, env)
+		fmt.Fprintln(w)
+	}
+	if sel("fig4") {
+		pts, err := experiments.Fig4Diversity(env)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintFig4(w, pts)
+		fmt.Fprintln(w)
+	}
+	if sel("fig5") {
+		pts, err := experiments.Fig5Counters(env)
+		if err != nil {
+			fatal(err)
+		}
+		expert, err := experiments.Fig5Expert(env)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintFig5(w, pts, expert)
+		fmt.Fprintln(w)
+	}
+	if sel("fig6") {
+		pts, err := experiments.Fig6Screen(env)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintFig6(w, "Figure 6: MLP hyperparameter screen (* fits 50k budget)", pts)
+		best := experiments.BestByScreen(pts)
+		fmt.Fprintf(w, "  selected topology: %v\n", best.Hidden)
+		rfs, err := experiments.Fig6RFScreen(env)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintFig6(w, "Figure 6 (RF analogue): forest screen (* fits 40k budget)", rfs)
+		fmt.Fprintln(w)
+	}
+	if sel("fig7") {
+		rows, mean := experiments.Fig7Oracle(env)
+		experiments.PrintFig7(w, rows, mean)
+		fmt.Fprintln(w)
+		if *svgDir != "" {
+			if err := writeFig7SVG(*svgDir, rows); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	var fig8Rows []experiments.Fig8Row
+	if sel("fig8") || sel("fig9") || sel("table6") {
+		gs, err := experiments.BuildFig8Controllers(env)
+		if err != nil {
+			fatal(err)
+		}
+		fig8Rows, err = experiments.Fig8Evaluate(env, gs)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if sel("fig8") {
+		experiments.PrintFig8(w, fig8Rows)
+		fmt.Fprintln(w)
+		if *svgDir != "" {
+			if err := writeFig8SVG(*svgDir, fig8Rows); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if sel("fig9") {
+		var charstar, bestRF *experiments.Fig8Row
+		for i := range fig8Rows {
+			switch fig8Rows[i].Model {
+			case "charstar":
+				charstar = &fig8Rows[i]
+			case "best-rf":
+				bestRF = &fig8Rows[i]
+			}
+		}
+		if charstar != nil && bestRF != nil {
+			experiments.PrintFig9(w, experiments.Fig9PerBenchmark(charstar.Summary, bestRF.Summary))
+			fmt.Fprintln(w)
+		}
+	}
+	if sel("fig10") {
+		steps, err := experiments.Fig10Ablation(env)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintFig10(w, steps)
+		fmt.Fprintln(w)
+	}
+	if sel("table5") {
+		rows, err := experiments.Table5SLARetune(env)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintTable5(w, rows)
+		fmt.Fprintln(w)
+	}
+	if sel("table6") {
+		var bestRF *experiments.Fig8Row
+		for i := range fig8Rows {
+			if fig8Rows[i].Model == "best-rf" {
+				bestRF = &fig8Rows[i]
+			}
+		}
+		if bestRF == nil {
+			fatal(fmt.Errorf("table6 requires fig8's best-rf run"))
+		}
+		general, err := experiments.BuildGeneralBestRF(env)
+		if err != nil {
+			fatal(err)
+		}
+		rows, err := experiments.Table6AppSpecific(env, general, bestRF.Summary)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintTable6(w, rows)
+		fmt.Fprintln(w)
+	}
+	if sel("granularity") {
+		pts, err := experiments.GranularitySweep(env)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintGranularity(w, pts)
+		fmt.Fprintln(w)
+	}
+	if sel("guardrail") {
+		g, err := experiments.BuildGeneralBestRF(env)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := experiments.GuardrailStudy(env, g)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintGuardrail(w, r)
+		fmt.Fprintln(w)
+	}
+	if sel("uarch") {
+		rows, err := experiments.UarchAblations(env, 2)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintUarchAblations(w, rows)
+		fmt.Fprintln(w)
+	}
+	if sel("dvfs") {
+		rows, err := experiments.DVFSSweep(5)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintDVFS(w, rows)
+		fmt.Fprintln(w)
+	}
+	if sel("ablations") {
+		rows, err := experiments.Ablations(env)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintAblations(w, rows)
+
+		pred, react, err := experiments.ReactiveAblation(env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "  predict t+2: PGOS %.1f%% RSV %.2f%% | reactive t: PGOS %.1f%% RSV %.2f%%\n",
+			100*pred.PGOS.Mean, 100*pred.RSV.Mean, 100*react.PGOS.Mean, 100*react.RSV.Mean)
+
+		norm, raw, err := experiments.NormalizationAblation(env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "  normalized: PGOS %.1f%% RSV %.2f%% | raw counts: PGOS %.1f%% RSV %.2f%%\n",
+			100*norm.PGOS.Mean, 100*norm.RSV.Mean, 100*raw.PGOS.Mean, 100*raw.RSV.Mean)
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(os.Stderr, "# total %.1fs\n", time.Since(start).Seconds())
+}
+
+// writeFig7SVG renders the residency profile as a bar chart.
+func writeFig7SVG(dir string, rows []experiments.Fig7Row) error {
+	labels := make([]string, len(rows))
+	values := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = r.Benchmark
+		values[i] = r.Residency
+	}
+	c := &report.BarChart{
+		Title:  "Figure 7: ideal low-power residency (P_SLA = 0.90)",
+		Labels: labels, Values: values, Percent: true,
+	}
+	return writeSVG(dir, "fig7-residency.svg", c.WriteSVG)
+}
+
+// writeFig8SVG renders the model comparison as a PPW-vs-RSV scatter.
+func writeFig8SVG(dir string, rows []experiments.Fig8Row) error {
+	c := &report.ScatterChart{
+		Title:  "Figure 8: PPW gain vs SLA violations",
+		XLabel: "RSV (%)", YLabel: "PPW gain (%)",
+	}
+	for _, r := range rows {
+		c.Points = append(c.Points, report.ScatterPoint{
+			Label: r.Model,
+			X:     100 * r.Summary.Overall.RSV,
+			Y:     100 * r.Summary.MeanBenchmarkPPWGain(),
+		})
+	}
+	return writeSVG(dir, "fig8-models.svg", c.WriteSVG)
+}
+
+func writeSVG(dir, name string, render func(io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command simulate runs traces through the cycle-level dual-cluster CPU
+// model and reports per-interval IPC and key telemetry in both cluster
+// configurations.
+//
+// Usage:
+//
+//	simulate -corpus spec -app 654.roms_s -intervals 20
+//	simulate -corpus hdtr -apps 40 -oracle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"clustergate/internal/dataset"
+	"clustergate/internal/trace"
+)
+
+func main() {
+	corpusFlag := flag.String("corpus", "spec", "corpus: hdtr or spec")
+	apps := flag.Int("apps", 60, "HDTR application count")
+	app := flag.String("app", "", "application name prefix to simulate (first match)")
+	intervals := flag.Int("intervals", 15, "intervals to print")
+	oracle := flag.Bool("oracle", false, "print oracle low-power residency per application")
+	psla := flag.Float64("psla", 0.9, "SLA performance threshold")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	var corpus *trace.Corpus
+	if *corpusFlag == "hdtr" {
+		corpus = trace.BuildHDTR(trace.HDTRConfig{Apps: *apps, InstrsPerTrace: 250_000, Seed: *seed})
+	} else {
+		corpus = trace.BuildSPEC(trace.SPECConfig{TracesPerWorkload: 1, Seed: *seed})
+	}
+	cfg := dataset.DefaultConfig()
+	sla := dataset.SLA{PSLA: *psla}
+
+	if *oracle {
+		tel := dataset.SimulateCorpus(corpus, cfg)
+		byApp := map[string][]*dataset.TraceTelemetry{}
+		for _, tt := range tel {
+			key := tt.Benchmark
+			if key == "" {
+				key = tt.App
+			}
+			byApp[key] = append(byApp[key], tt)
+		}
+		for name, group := range byApp {
+			fmt.Printf("%-28s residency %5.1f%%\n", name, 100*dataset.OracleResidency(group, sla))
+		}
+		return
+	}
+
+	if *app == "" {
+		fmt.Fprintln(os.Stderr, "pass -app NAME or -oracle")
+		os.Exit(2)
+	}
+	for _, tr := range corpus.Traces {
+		if !strings.HasPrefix(tr.App.Name, *app) && !strings.HasPrefix(tr.App.Benchmark, *app) {
+			continue
+		}
+		tt := dataset.SimulateTrace(tr, cfg)
+		fmt.Printf("trace %s — %d intervals of %d instructions\n",
+			tt.TraceName, tt.Intervals(), cfg.Interval)
+		fmt.Printf("%-5s %-8s %-8s %-7s %-6s\n", "int", "hi IPC", "lo IPC", "ratio", "gate?")
+		for i := 0; i < tt.Intervals() && i < *intervals; i++ {
+			hi, lo := tt.HighPerf[i].IPC, tt.LowPower[i].IPC
+			fmt.Printf("%-5d %-8.2f %-8.2f %-7.3f %d\n", i, hi, lo, lo/hi, sla.Label(hi, lo))
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "no trace matches %q\n", *app)
+	os.Exit(1)
+}

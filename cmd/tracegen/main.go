@@ -1,0 +1,77 @@
+// Command tracegen generates and inspects synthetic workload corpora.
+//
+// Usage:
+//
+//	tracegen -corpus hdtr -apps 100 -summary
+//	tracegen -corpus spec -dump 620.omnetpp_s/wl00 -n 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"clustergate/internal/trace"
+)
+
+func main() {
+	corpusFlag := flag.String("corpus", "hdtr", "corpus to build: hdtr or spec")
+	apps := flag.Int("apps", 0, "HDTR application count (0 = paper's 593)")
+	instrs := flag.Int("instrs", 0, "instructions per trace (0 = default)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	summary := flag.Bool("summary", true, "print corpus composition")
+	dump := flag.String("dump", "", "dump instructions of the named app's first trace")
+	n := flag.Int("n", 20, "instructions to dump")
+	flag.Parse()
+
+	var corpus *trace.Corpus
+	switch *corpusFlag {
+	case "hdtr":
+		corpus = trace.BuildHDTR(trace.HDTRConfig{Apps: *apps, InstrsPerTrace: *instrs, Seed: *seed})
+	case "spec":
+		corpus = trace.BuildSPEC(trace.SPECConfig{InstrsPerTrace: *instrs, Seed: *seed})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown corpus %q\n", *corpusFlag)
+		os.Exit(2)
+	}
+
+	if *summary {
+		fmt.Printf("corpus %s: %d applications, %d traces\n",
+			corpus.Name, len(corpus.Apps), len(corpus.Traces))
+		for cat, count := range corpus.AppsByCategory() {
+			if *corpusFlag == "hdtr" {
+				fmt.Printf("  %-24s %d apps\n", cat, count)
+			}
+		}
+		if *corpusFlag == "spec" {
+			for _, b := range trace.SPECBenchmarks() {
+				fmt.Printf("  %-20s %d workloads\n", b, trace.SPECWorkloadCounts()[b])
+			}
+		}
+	}
+
+	if *dump != "" {
+		for _, tr := range corpus.Traces {
+			if !strings.HasPrefix(tr.App.Name, *dump) {
+				continue
+			}
+			fmt.Printf("\ntrace %s (%d instructions):\n", tr.Name, tr.NumInstrs)
+			buf := make([]trace.Instruction, *n)
+			trace.NewStream(tr).Read(buf)
+			for i, in := range buf {
+				fmt.Printf("  %3d pc=%#x %-6s dep1=%-3d dep2=%-3d", i, in.PC, in.Op, in.Dep1, in.Dep2)
+				if in.Op == trace.OpLoad || in.Op == trace.OpStore {
+					fmt.Printf(" addr=%#x", in.Addr)
+				}
+				if in.Op == trace.OpBranch {
+					fmt.Printf(" taken=%v", in.Taken)
+				}
+				fmt.Println()
+			}
+			return
+		}
+		fmt.Fprintf(os.Stderr, "no trace found for app prefix %q\n", *dump)
+		os.Exit(1)
+	}
+}

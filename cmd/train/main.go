@@ -1,0 +1,77 @@
+// Command train builds a gating controller from a fresh training corpus
+// and prints its firmware characteristics.
+//
+// Usage:
+//
+//	train -model best-rf -apps 200
+//	train -model charstar
+//	train -model best-mlp -psla 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clustergate/internal/core"
+	"clustergate/internal/dataset"
+	"clustergate/internal/mcu"
+	"clustergate/internal/telemetry"
+	"clustergate/internal/trace"
+)
+
+func main() {
+	model := flag.String("model", "best-rf", "best-rf, best-mlp, charstar, srch-40k, or srch-coarse")
+	apps := flag.Int("apps", 120, "training corpus applications")
+	psla := flag.Float64("psla", 0.9, "SLA performance threshold")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	corpus := trace.BuildHDTR(trace.HDTRConfig{Apps: *apps, InstrsPerTrace: 350_000, Seed: *seed})
+	cfg := dataset.DefaultConfig()
+	fmt.Fprintf(os.Stderr, "simulating %d traces...\n", len(corpus.Traces))
+	tel := dataset.SimulateCorpus(corpus, cfg)
+
+	cs := telemetry.NewStandardCounterSet()
+	cols, err := core.ColumnsByName(cs, telemetry.Table4Names())
+	if err != nil {
+		fatal(err)
+	}
+	in := core.BuildInputs{
+		Tel: tel, Counters: cs, Columns: cols,
+		SLA: dataset.SLA{PSLA: *psla}, Interval: cfg.Interval,
+		Spec: mcu.DefaultSpec(), Seed: *seed,
+	}
+
+	var g *core.GatingController
+	switch *model {
+	case "best-rf":
+		g, err = core.BuildBestRF(in)
+	case "best-mlp":
+		g, err = core.BuildBestMLP(in)
+	case "charstar":
+		g, err = core.BuildCHARSTAR(in)
+	case "srch-40k":
+		g, err = core.BuildSRCH(in, 40_000)
+	case "srch-coarse":
+		g, err = core.BuildSRCH(in, core.SRCHCoarseGranularity)
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("controller:        %s\n", g.Name)
+	fmt.Printf("P_SLA:             %.2f\n", g.SLA.PSLA)
+	fmt.Printf("ops/prediction:    %d\n", g.OpsPerPrediction)
+	fmt.Printf("granularity:       %d instructions\n", g.Granularity)
+	fmt.Printf("budget at gran.:   %d ops\n", in.Spec.OpsBudget(g.Granularity))
+	fmt.Printf("thresholds:        high-perf %.2f, low-power %.2f\n", g.ThresholdHigh, g.ThresholdLow)
+	fmt.Printf("counters:          %d\n", len(g.Columns))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "train:", err)
+	os.Exit(1)
+}

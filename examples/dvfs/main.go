@@ -1,0 +1,91 @@
+// DVFS complementarity: the paper motivates cluster gating as a power
+// lever that keeps working where DVFS stops — below the voltage floor
+// (V_min), frequency scaling no longer buys the quadratic V² saving, but
+// gating still removes a cluster's switched capacitance and leakage.
+//
+// This example sweeps a SkyLake-flavoured DVFS curve over a mix of
+// workload archetypes and prints, per operating point, the energy DVFS
+// saves relative to turbo and the extra PPW gating adds at that point.
+//
+// Run with:
+//
+//	go run ./examples/dvfs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustergate/internal/power"
+	"clustergate/internal/trace"
+	"clustergate/internal/uarch"
+)
+
+func simulate(app *trace.Application, mode uarch.Mode) uarch.Events {
+	core := uarch.NewCoreInMode(uarch.DefaultConfig(), mode)
+	s := trace.NewStream(&trace.Trace{App: app, Seed: 11, NumInstrs: 200_000})
+	buf := make([]trace.Instruction, 8192)
+	for {
+		k := s.Read(buf)
+		if k == 0 {
+			break
+		}
+		core.Execute(buf[:k])
+	}
+	return core.Events()
+}
+
+func main() {
+	// A gateable mix: serial pointer-chasing and memory-bound phases where
+	// the second cluster contributes little performance.
+	apps := []*trace.Application{
+		trace.NewApplication(6, "serial-service", 3),
+		trace.NewApplication(2, "stream-analytics", 5),
+		trace.NewApplication(9, "graph-walk", 7),
+	}
+
+	model := power.DefaultModel()
+	curve := power.DefaultDVFSCurve()
+
+	fmt.Println("== DVFS sweep: what frequency scaling saves ==")
+	fmt.Printf("%-12s %6s %6s   %-22s %s\n",
+		"point", "GHz", "V", "energy/work vs turbo", "gating PPW gain")
+
+	// Aggregate events across the mix, per mode.
+	var hi, lo []uarch.Events
+	for _, app := range apps {
+		hi = append(hi, simulate(app, uarch.ModeHighPerf))
+		lo = append(lo, simulate(app, uarch.ModeLowPower))
+	}
+
+	turboE := 0.0
+	for i, op := range curve {
+		var e, gainSum float64
+		for k := range apps {
+			e += model.EnergyAt(hi[k], uarch.ModeHighPerf, op)
+			g, err := model.GatingGainAt(hi[k], lo[k], op)
+			if err != nil {
+				log.Fatal(err)
+			}
+			gainSum += g
+		}
+		if i == 0 {
+			turboE = e
+		}
+		gain := gainSum / float64(len(apps))
+		marker := ""
+		if op.Name == "vmin" {
+			marker = "  <- voltage floor"
+		}
+		fmt.Printf("%-12s %6.1f %6.2f   %12.1f%%           %+.1f%%%s\n",
+			op.Name, op.FreqGHz, op.Voltage, 100*(e/turboE-1), 100*gain, marker)
+	}
+
+	fmt.Println(`
+Reading the table: each DVFS step down saves energy per unit of work
+until the voltage floor; the final step below V_min costs energy (the
+same V² dynamic energy is spread over more leakage time). The gating
+column barely moves across the whole sweep — removing the second
+cluster keeps paying after frequency scaling has run out, which is the
+paper's case for ML-managed gating as a complementary lever.`)
+}

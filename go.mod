@@ -1,0 +1,3 @@
+module clustergate
+
+go 1.22

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+
+	"clustergate/internal/dataset"
+	"clustergate/internal/mcu"
+	"clustergate/internal/metrics"
+	"clustergate/internal/ml"
+	"clustergate/internal/telemetry"
+	"clustergate/internal/uarch"
+)
+
+// BuildInputs carries everything needed to train and deploy a controller:
+// recorded training telemetry, the counter space and selected columns, the
+// SLA, and the microcontroller budget.
+type BuildInputs struct {
+	Tel      []*dataset.TraceTelemetry
+	Counters *telemetry.CounterSet
+	Columns  []int
+	SLA      dataset.SLA
+	Interval int
+	Spec     mcu.Spec
+	Seed     int64
+
+	// TuneFrac is the application-level tuning fraction; the remainder
+	// calibrates thresholds. Zero selects 0.8.
+	TuneFrac float64
+	// MaxRSV is the calibration target (paper: violations below 1.0% on
+	// the tuning data). Zero selects 0.01.
+	MaxRSV float64
+	// NoCalibration fixes both thresholds at 0.5 (the CHARSTAR baseline's
+	// behaviour and the ablation of Section 6.3's sensitivity tuning).
+	NoCalibration bool
+	// GranularityOverride forces a prediction interval; zero selects the
+	// finest the budget supports for the model's cost.
+	GranularityOverride int
+	// GroupByBenchmark partitions tuning/calibration splits at benchmark
+	// rather than workload level (for suites where one program has many
+	// input workloads).
+	GroupByBenchmark bool
+	// SkipBudgetCheck builds hypothetical controllers whose inference cost
+	// exceeds the microcontroller budget (e.g. granularity sweeps assuming
+	// dedicated inference hardware).
+	SkipBudgetCheck bool
+}
+
+func (in *BuildInputs) defaults() {
+	if in.TuneFrac == 0 {
+		in.TuneFrac = 0.8
+	}
+	if in.MaxRSV == 0 {
+		in.MaxRSV = 0.01
+	}
+	if in.Interval == 0 {
+		in.Interval = 10_000
+	}
+}
+
+// TrainFunc trains one mode's model on a tuning set and returns a scorer.
+type TrainFunc func(tune *ml.Dataset, seed int64) (interface{ Score([]float64) float64 }, error)
+
+// BuildController trains per-mode models with the given trainer, wraps
+// them in metered firmware, calibrates sensitivities on held-out
+// applications, and sizes the prediction granularity to the budget.
+//
+// Training happens at the deployment granularity: a probe model trained on
+// a data subsample establishes the firmware cost, the budget fixes the
+// finest supported granularity, and the real models are then trained on
+// telemetry aggregated to that granularity — the paper's "sum over
+// successive intervals and re-normalize" procedure.
+func BuildController(name string, train TrainFunc, in BuildInputs) (*GatingController, error) {
+	in.defaults()
+	g := &GatingController{
+		Name:     name,
+		Interval: in.Interval,
+		Counters: in.Counters,
+		Columns:  in.Columns,
+		SLA:      in.SLA,
+	}
+
+	// Cost probe: model cost depends on topology, not data, so a small
+	// subsample suffices to size the granularity.
+	if in.GranularityOverride > 0 {
+		g.Granularity = in.GranularityOverride
+	} else {
+		probeData := dataset.Build(probeSubset(in.Tel), in.Counters, dataset.BuildOptions{
+			Mode: uarch.ModeHighPerf, SLA: in.SLA, Columns: in.Columns,
+		})
+		probe, err := train(probeData, in.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: probing %s: %w", name, err)
+		}
+		fw, err := mcu.NewFirmware(name+"-probe", probe, len(probeData.X[0]))
+		if err != nil {
+			return nil, err
+		}
+		g.Granularity = in.Spec.FinestGranularity(fw.Cost.Ops, in.Interval)
+	}
+	k := g.Granularity / in.Interval
+
+	maxOps := 0
+	for _, mode := range []uarch.Mode{uarch.ModeHighPerf, uarch.ModeLowPower} {
+		lts := dataset.BuildLabeled(in.Tel, in.Counters, dataset.BuildOptions{
+			Mode: mode, SLA: in.SLA, Columns: in.Columns, WindowIntervals: k,
+		})
+		if in.GroupByBenchmark {
+			for _, lt := range lts {
+				if lt.Benchmark != "" {
+					lt.App = lt.Benchmark
+				}
+			}
+		}
+		full := dataset.Flatten(lts, false)
+		tune, _ := full.SplitByApp(in.TuneFrac, in.Seed)
+		calTraces := heldOutTraces(lts, tune)
+
+		model, err := train(tune, in.Seed+int64(mode))
+		if err != nil {
+			return nil, fmt.Errorf("core: training %s (%s): %w", name, mode, err)
+		}
+		nInputs := len(tune.X[0])
+		fw, err := mcu.NewFirmware(fmt.Sprintf("%s-%s", name, mode), model, nInputs)
+		if err != nil {
+			return nil, err
+		}
+		if fw.Cost.Ops > maxOps {
+			maxOps = fw.Cost.Ops
+		}
+
+		thr := 0.5
+		if !in.NoCalibration {
+			thr = CalibrateThresholdRSV(fw, calTraces, g.Window(), in.MaxRSV)
+		}
+		if mode == uarch.ModeLowPower {
+			g.LowPower = PointPredictor{M: fw}
+			g.ThresholdLow = thr
+		} else {
+			g.HighPerf = PointPredictor{M: fw}
+			g.ThresholdHigh = thr
+		}
+	}
+
+	g.OpsPerPrediction = maxOps
+	if in.SkipBudgetCheck {
+		return g, nil
+	}
+	return g, g.Validate(in.Spec)
+}
+
+// probeSubset returns a few traces' telemetry, enough to train a cost
+// probe.
+func probeSubset(tel []*dataset.TraceTelemetry) []*dataset.TraceTelemetry {
+	n := 8
+	if len(tel) < n {
+		n = len(tel)
+	}
+	return tel[:n]
+}
+
+// heldOutTraces returns the labelled traces whose applications are absent
+// from the tuning set. The paper calibrates sensitivity on tuning data;
+// its models, trained on hundreds of noisy real applications, do not fit
+// their tuning set closely. Ours can (a bagged forest nearly memorises
+// in-bag data), which would make tuning-set violation rates vacuously zero
+// and the calibration inert — held-out applications restore the signal the
+// paper's procedure actually relies on.
+func heldOutTraces(lts []*dataset.LabeledTrace, tune *ml.Dataset) []*dataset.LabeledTrace {
+	inTune := map[string]bool{}
+	for _, a := range tune.App {
+		inTune[a] = true
+	}
+	var out []*dataset.LabeledTrace
+	for _, lt := range lts {
+		if !inTune[lt.App] {
+			out = append(out, lt)
+		}
+	}
+	return out
+}
+
+// CalibrateThresholdRSV finds the smallest decision threshold whose rate
+// of SLA violations over the calibration traces stays at or below maxRSV —
+// Section 6.3's sensitivity adjustment performed against the actual
+// violation metric. Falls back to the most conservative grid point when no
+// threshold reaches the target.
+func CalibrateThresholdRSV(m interface{ Score([]float64) float64 },
+	lts []*dataset.LabeledTrace, win metrics.SLAWindow, maxRSV float64) float64 {
+	if len(lts) == 0 {
+		return 0.5
+	}
+	// Score every sample once.
+	scores := make([][]float64, len(lts))
+	for i, lt := range lts {
+		scores[i] = make([]float64, len(lt.X))
+		for j, x := range lt.X {
+			scores[i][j] = m.Score(x)
+		}
+	}
+	// The grid starts at 0.5: calibration only ever makes a model more
+	// conservative than its raw decision rule, guarding against an easy
+	// calibration set licensing an aggressive threshold.
+	best := 0.99
+	for thr := 0.5; thr <= 0.991; thr += 0.01 {
+		windows, violations := 0, 0
+		for i, lt := range lts {
+			w := win.W
+			if w < 1 {
+				w = 1
+			}
+			// Partial tail windows are skipped: at these scaled window
+			// sizes a one-prediction fragment is pure noise.
+			for start := 0; start+w <= len(lt.Y); start += w {
+				fp := 0
+				for t := start; t < start+w; t++ {
+					if scores[i][t] >= thr && lt.Y[t] == 0 {
+						fp++
+					}
+				}
+				windows++
+				if float64(fp)/float64(w) > 0.5 {
+					violations++
+				}
+			}
+		}
+		if windows == 0 {
+			return 0.5
+		}
+		if float64(violations)/float64(windows) <= maxRSV {
+			return thr
+		}
+	}
+	return best
+}

@@ -1,0 +1,298 @@
+// Package core implements the paper's contribution: predictive cluster
+// gating driven by machine-learning adaptation models executing in
+// microcontroller firmware (Figure 1). A GatingController pairs one model
+// per cluster configuration with calibrated sensitivity thresholds and a
+// prediction granularity; Deploy runs the controller closed-loop on the
+// cycle-level CPU model, switching modes with the paper's t→t+2 pipeline
+// (telemetry from interval t, computed during t+1, applied at t+2), and
+// reports PPW against an always-high-performance reference plus the
+// PGOS/RSV prediction metrics of Section 4.2.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clustergate/internal/dataset"
+	"clustergate/internal/mcu"
+	"clustergate/internal/metrics"
+	"clustergate/internal/power"
+	"clustergate/internal/telemetry"
+	"clustergate/internal/trace"
+	"clustergate/internal/uarch"
+)
+
+// Predictor is one mode's adaptation model as seen by the controller: it
+// scores a prediction window, receiving both the aggregated counter vector
+// and the per-interval vectors (histogram models use the latter).
+type Predictor interface {
+	ScoreWindow(agg []float64, perInterval [][]float64) float64
+}
+
+// PointPredictor adapts any point model (MLP, RF, LR, SVM, or their
+// firmware wrappers) to the window interface using the aggregate vector.
+type PointPredictor struct {
+	M interface{ Score([]float64) float64 }
+}
+
+// ScoreWindow scores the aggregated counter vector.
+func (p PointPredictor) ScoreWindow(agg []float64, _ [][]float64) float64 {
+	return p.M.Score(agg)
+}
+
+// WindowPredictor adapts a window-consuming model such as SRCH.
+type WindowPredictor struct {
+	M interface{ ScoreWindow([][]float64) float64 }
+}
+
+// ScoreWindow scores the per-interval window.
+func (p WindowPredictor) ScoreWindow(_ []float64, win [][]float64) float64 {
+	return p.M.ScoreWindow(win)
+}
+
+// GatingController is a deployed adaptation configuration: the per-mode
+// model pair (Section 4.1 trains one model on each mode's telemetry), their
+// calibrated thresholds, the counter subset, and the prediction
+// granularity supported by the microcontroller budget.
+type GatingController struct {
+	Name string
+
+	// HighPerf scores telemetry recorded in high-performance mode;
+	// LowPower scores telemetry recorded in low-power mode.
+	HighPerf, LowPower Predictor
+	// ThresholdHigh and ThresholdLow are the per-model sensitivities: a
+	// score at or above the threshold selects low-power mode.
+	ThresholdHigh, ThresholdLow float64
+
+	// Interval is the telemetry snapshot granularity (10k instructions).
+	Interval int
+	// Granularity is the prediction/adaptation interval in instructions;
+	// it must be a multiple of Interval.
+	Granularity int
+
+	// Counters is the full counter space; Columns the selected subset fed
+	// to the models (nil = all).
+	Counters *telemetry.CounterSet
+	Columns  []int
+
+	// SLA defines ground truth for evaluation.
+	SLA dataset.SLA
+
+	// OpsPerPrediction is the firmware inference cost, for budget checks.
+	OpsPerPrediction int
+}
+
+// Validate checks structural consistency and the microcontroller budget.
+func (g *GatingController) Validate(spec mcu.Spec) error {
+	if g.HighPerf == nil || g.LowPower == nil {
+		return fmt.Errorf("core: controller %q missing a per-mode model", g.Name)
+	}
+	if g.Interval <= 0 || g.Granularity <= 0 || g.Granularity%g.Interval != 0 {
+		return fmt.Errorf("core: granularity %d not a positive multiple of interval %d",
+			g.Granularity, g.Interval)
+	}
+	if g.OpsPerPrediction > 0 && g.OpsPerPrediction > spec.OpsBudget(g.Granularity) {
+		return fmt.Errorf("core: %q needs %d ops but the %d-instruction budget is %d",
+			g.Name, g.OpsPerPrediction, g.Granularity, spec.OpsBudget(g.Granularity))
+	}
+	return nil
+}
+
+// windowVectors converts a window of base-signal deltas into the model's
+// input space: the normalised aggregate vector and per-interval vectors,
+// both restricted to the selected columns.
+func (g *GatingController) windowVectors(window [][]float64, rng *rand.Rand) (agg []float64, per [][]float64) {
+	sum := telemetry.Aggregate(window)
+	agg = g.selectCols(g.Counters.Snapshot(sum, true, rng))
+	per = make([][]float64, len(window))
+	for i, b := range window {
+		per[i] = g.selectCols(g.Counters.Snapshot(b, true, rng))
+	}
+	return agg, per
+}
+
+func (g *GatingController) selectCols(full []float64) []float64 {
+	if g.Columns == nil {
+		return full
+	}
+	out := make([]float64, len(g.Columns))
+	for j, c := range g.Columns {
+		out[j] = full[c]
+	}
+	return out
+}
+
+// decide runs the mode-appropriate model on a window and applies its
+// threshold; it returns the predicted configuration (1 = gate).
+func (g *GatingController) decide(mode uarch.Mode, agg []float64, per [][]float64) int {
+	var score, thr float64
+	if mode == uarch.ModeLowPower {
+		score = g.LowPower.ScoreWindow(agg, per)
+		thr = g.ThresholdLow
+	} else {
+		score = g.HighPerf.ScoreWindow(agg, per)
+		thr = g.ThresholdHigh
+	}
+	if score >= thr {
+		return 1
+	}
+	return 0
+}
+
+// DeploymentResult reports one trace's closed-loop run.
+type DeploymentResult struct {
+	// Pred[t] is the configuration the controller chose for prediction
+	// window t; Truth[t] is the SLA-optimal configuration.
+	Pred, Truth []int
+	// Adaptive accumulates the adaptive run; Reference the always-high
+	// fixed-mode run of the same instructions.
+	Adaptive, Reference power.Span
+	// LowResidency is the fraction of recorded intervals spent gated.
+	LowResidency float64
+	// Switches counts mode transitions.
+	Switches int
+}
+
+// PPWGain returns the relative performance-per-watt improvement of the
+// adaptive run over the always-high-performance reference.
+func (r *DeploymentResult) PPWGain() float64 {
+	ref := r.Reference.PPW()
+	if ref == 0 {
+		return 0
+	}
+	return r.Adaptive.PPW()/ref - 1
+}
+
+// RelPerformance returns adaptive IPC relative to the reference (Table 5's
+// "Avg. Performance Relative to High Perf Mode").
+func (r *DeploymentResult) RelPerformance() float64 {
+	ref := r.Reference.IPC()
+	if ref == 0 {
+		return 0
+	}
+	return r.Adaptive.IPC() / ref
+}
+
+// Eval computes the paper's prediction metrics for this run.
+func (r *DeploymentResult) Eval(win metrics.SLAWindow) metrics.Eval {
+	return metrics.Evaluate(r.Pred, r.Truth, win)
+}
+
+// Deploy runs the controller closed-loop over one trace. ref must be the
+// fixed-mode telemetry of the same trace (it provides ground-truth labels
+// and the always-high reference for power accounting).
+func Deploy(g *GatingController, tr *trace.Trace, ref *dataset.TraceTelemetry,
+	cfg dataset.Config, pm *power.Model) (*DeploymentResult, error) {
+	if tr.Name != ref.TraceName {
+		return nil, fmt.Errorf("core: trace %q does not match telemetry %q", tr.Name, ref.TraceName)
+	}
+	k := g.Granularity / g.Interval
+	if k <= 0 {
+		return nil, fmt.Errorf("core: invalid granularity/interval %d/%d", g.Granularity, g.Interval)
+	}
+
+	core := uarch.NewCoreInMode(cfg.Core, uarch.ModeHighPerf)
+	s := trace.NewStream(tr)
+	buf := make([]trace.Instruction, g.Interval)
+
+	// Warmup without recording, as during dataset generation.
+	for done := 0; done < cfg.Warmup; {
+		n := cfg.Warmup - done
+		if n > len(buf) {
+			n = len(buf)
+		}
+		kk := s.Read(buf[:n])
+		if kk == 0 {
+			break
+		}
+		core.Execute(buf[:kk])
+		done += kk
+	}
+
+	res := &DeploymentResult{}
+	rng := newDeployRNG(tr.Seed)
+	nWindows := ref.Intervals() / k
+
+	var window [][]float64
+	prev := core.Events()
+	lowIntervals, totalIntervals := 0, 0
+	// pending[w] is the mode decided for window w (two windows ahead).
+	pending := make(map[int]uarch.Mode)
+
+	for w := 0; w < nWindows; w++ {
+		// Apply the decision made two windows ago (Figure 3 pipeline).
+		if m, ok := pending[w]; ok {
+			if m != core.Mode() {
+				res.Switches++
+			}
+			core.SetMode(m)
+			delete(pending, w)
+		}
+
+		window = window[:0]
+		for i := 0; i < k; i++ {
+			kk := s.Read(buf)
+			if kk == 0 {
+				break
+			}
+			core.Execute(buf[:kk])
+			cur := core.Events()
+			delta := cur.Sub(prev)
+			prev = cur
+			window = append(window, telemetry.ExtractBase(delta))
+			res.Adaptive.Add(pm, telemetry.BaseToEvents(window[len(window)-1]), core.Mode())
+			if core.Mode() == uarch.ModeLowPower {
+				lowIntervals++
+			}
+			totalIntervals++
+		}
+		if len(window) < k {
+			break
+		}
+
+		// Predict for window w+2 from window w's telemetry.
+		if w+2 < nWindows {
+			agg, per := g.windowVectors(window, rng)
+			pred := g.decide(core.Mode(), agg, per)
+			res.Pred = append(res.Pred, pred)
+			res.Truth = append(res.Truth, windowTruth(ref, w+2, k, g.SLA))
+			if pred == 1 {
+				pending[w+2] = uarch.ModeLowPower
+			} else {
+				pending[w+2] = uarch.ModeHighPerf
+			}
+		}
+	}
+
+	// Reference span: the recorded always-high run.
+	for i := 0; i < totalIntervals && i < len(ref.HighPerf); i++ {
+		res.Reference.Add(pm, telemetry.BaseToEvents(ref.HighPerf[i].Base), uarch.ModeHighPerf)
+	}
+	if totalIntervals > 0 {
+		res.LowResidency = float64(lowIntervals) / float64(totalIntervals)
+	}
+	return res, nil
+}
+
+// newDeployRNG seeds the deployment-time telemetry-noise stream.
+func newDeployRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ 0x6465706c)) // "depl"
+}
+
+// windowTruth aggregates the fixed-mode IPCs over prediction window w and
+// applies the SLA label.
+func windowTruth(ref *dataset.TraceTelemetry, w, k int, sla dataset.SLA) int {
+	hi, lo := 0.0, 0.0
+	n := 0
+	for i := w * k; i < (w+1)*k && i < ref.Intervals(); i++ {
+		// Harmonic aggregation: equal instructions per interval, so
+		// aggregate IPC is instructions over summed cycles.
+		hi += 1 / ref.HighPerf[i].IPC
+		lo += 1 / ref.LowPower[i].IPC
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sla.Label(float64(n)/hi, float64(n)/lo)
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"clustergate/internal/dataset"
+	"clustergate/internal/metrics"
+	"clustergate/internal/telemetry"
+	"clustergate/internal/uarch"
+)
+
+// fixedScorer returns a fixed per-sample score keyed by the first feature.
+type fixedScorer struct{ thr float64 }
+
+func (f fixedScorer) Score(x []float64) float64 {
+	if x[0] >= f.thr {
+		return 0.9
+	}
+	return 0.1
+}
+
+func TestCalibrateThresholdRSVConservativeFloor(t *testing.T) {
+	// A model that is aggressively wrong should be pushed to a high
+	// threshold; one that is right keeps the 0.5 floor.
+	mkTrace := func(x0 float64, y int, n int) *dataset.LabeledTrace {
+		lt := &dataset.LabeledTrace{App: "a"}
+		for i := 0; i < n; i++ {
+			lt.X = append(lt.X, []float64{x0})
+			lt.Y = append(lt.Y, y)
+		}
+		return lt
+	}
+	win := metrics.SLAWindow{W: 4}
+
+	// Wrong model: scores 0.9 on truth-0 samples.
+	wrong := []*dataset.LabeledTrace{mkTrace(1.0, 0, 16)}
+	thr := CalibrateThresholdRSV(fixedScorer{thr: 0.5}, wrong, win, 0.01)
+	if thr <= 0.9 {
+		t.Errorf("wrong model calibrated to %v; should exceed its score 0.9", thr)
+	}
+
+	// Right model: scores 0.9 only on truth-1 samples.
+	right := []*dataset.LabeledTrace{mkTrace(1.0, 1, 16), mkTrace(0.0, 0, 16)}
+	thr = CalibrateThresholdRSV(fixedScorer{thr: 0.5}, right, win, 0.01)
+	if thr != 0.5 {
+		t.Errorf("correct model calibrated to %v; want the 0.5 floor", thr)
+	}
+
+	// No traces → neutral threshold.
+	if thr := CalibrateThresholdRSV(fixedScorer{}, nil, win, 0.01); thr != 0.5 {
+		t.Errorf("empty calibration = %v, want 0.5", thr)
+	}
+}
+
+func TestWindowVectorsColumnSelection(t *testing.T) {
+	cs := telemetry.NewStandardCounterSet()
+	g := &GatingController{
+		Counters: cs,
+		Columns:  []int{0, 16}, // uop_cache_misses, instructions
+		Interval: 10_000,
+	}
+	rng := rand.New(rand.NewSource(1))
+	base1 := make([]float64, telemetry.NumBase)
+	base2 := make([]float64, telemetry.NumBase)
+	base1[0], base1[16], base1[telemetry.NumBase-1] = 100, 10_000, 5_000
+	base2[0], base2[16], base2[telemetry.NumBase-1] = 300, 10_000, 5_000
+
+	agg, per := g.windowVectors([][]float64{base1, base2}, rng)
+	if len(agg) != 2 || len(per) != 2 || len(per[0]) != 2 {
+		t.Fatalf("vector shapes: agg=%d per=%dx%d", len(agg), len(per), len(per[0]))
+	}
+	// Aggregate: (100+300)/(5000+5000) = 0.04; per-interval: 0.02 and 0.06.
+	if agg[0] != 0.04 {
+		t.Errorf("aggregate uop misses/cycle = %v, want 0.04", agg[0])
+	}
+	if per[0][0] != 0.02 || per[1][0] != 0.06 {
+		t.Errorf("per-interval values = %v/%v, want 0.02/0.06", per[0][0], per[1][0])
+	}
+	// Aggregate IPC = 20000/10000 = 2.
+	if agg[1] != 2 {
+		t.Errorf("aggregate IPC = %v, want 2", agg[1])
+	}
+}
+
+func TestDecideUsesModeSpecificModelAndThreshold(t *testing.T) {
+	g := &GatingController{
+		HighPerf:      scriptedPredictor(0.7),
+		LowPower:      scriptedPredictor(0.7),
+		ThresholdHigh: 0.6,
+		ThresholdLow:  0.8,
+	}
+	if got := g.decide(uarch.ModeHighPerf, nil, nil); got != 1 {
+		t.Error("high-perf model at threshold 0.6 should gate on score 0.7")
+	}
+	if got := g.decide(uarch.ModeLowPower, nil, nil); got != 0 {
+		t.Error("low-power model at threshold 0.8 should not gate on score 0.7")
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"clustergate/internal/metrics"
+)
+
+func TestBenchResultWindowAccounting(t *testing.T) {
+	win := metrics.SLAWindow{W: 4}
+	var b BenchResult
+
+	// Trace 1: 8 predictions, second window systematically wrong.
+	r1 := &DeploymentResult{
+		Pred:  []int{1, 0, 1, 0, 1, 1, 1, 1},
+		Truth: []int{1, 0, 1, 0, 0, 0, 0, 1},
+	}
+	b.fold(r1, win)
+	if b.windows != 2 || b.violations != 1 {
+		t.Fatalf("windows/violations = %d/%d, want 2/1", b.windows, b.violations)
+	}
+
+	// Trace 2: 6 predictions → one full window plus a discarded partial.
+	r2 := &DeploymentResult{
+		Pred:  []int{0, 0, 0, 0, 1, 1},
+		Truth: []int{0, 0, 0, 0, 0, 0},
+	}
+	b.fold(r2, win)
+	if b.windows != 3 {
+		t.Fatalf("partial tail window counted: windows = %d, want 3", b.windows)
+	}
+
+	// Trace 3: shorter than one window still contributes one window.
+	r3 := &DeploymentResult{Pred: []int{1, 1}, Truth: []int{0, 0}}
+	b.fold(r3, win)
+	if b.windows != 4 || b.violations != 2 {
+		t.Fatalf("short trace accounting: windows/violations = %d/%d, want 4/2", b.windows, b.violations)
+	}
+
+	b.finish()
+	if b.RSV != 0.5 {
+		t.Errorf("RSV = %v, want 0.5", b.RSV)
+	}
+}
+
+func TestBenchResultEnergyWeighting(t *testing.T) {
+	win := metrics.SLAWindow{W: 1}
+	var b BenchResult
+	r := &DeploymentResult{}
+	r.Adaptive.Energy, r.Adaptive.Cycles, r.Adaptive.Instrs = 65, 100, 200
+	r.Reference.Energy, r.Reference.Cycles, r.Reference.Instrs = 100, 100, 200
+	b.fold(r, win)
+	b.finish()
+	// Same IPC, 35% less energy → PPW gain = 1/0.65 - 1 ≈ 53.8%.
+	if b.PPWGain < 0.53 || b.PPWGain > 0.55 {
+		t.Errorf("PPW gain = %v, want ≈0.538", b.PPWGain)
+	}
+	if b.RelPerf != 1 {
+		t.Errorf("relative performance = %v, want 1", b.RelPerf)
+	}
+}
+
+func TestControllerWindowClamped(t *testing.T) {
+	g := &GatingController{Interval: 10_000, Granularity: 320_000}
+	if w := g.Window(); w.W != 1 {
+		t.Errorf("window for coarse granularity = %d, want clamp to 1", w.W)
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"clustergate/internal/dataset"
+	"clustergate/internal/power"
+	"clustergate/internal/telemetry"
+	"clustergate/internal/trace"
+	"clustergate/internal/uarch"
+)
+
+// Guardrail is the fail-safe mechanism Section 3.1 reserves for the final
+// CPU design: a reactive hardware monitor, independent of the ML models,
+// that forces the core back to high-performance mode when gated execution
+// shows signs of degradation, and holds it there for a backoff period.
+//
+// Because the guardrail only observes gated execution, it cannot know true
+// high-performance IPC; it uses the model-side signal the paper hints at —
+// sustained issue-bandwidth saturation while gated (the cluster is issuing
+// at its full width and accumulating ready-µop backlog, so the second
+// cluster would very likely help).
+type Guardrail struct {
+	// SaturationThreshold is the fraction of gated-interval cycles that
+	// were busy above which the interval counts as saturated. Zero selects
+	// 0.95.
+	SaturationThreshold float64
+	// ReadyWaitPerInstr is the ready-µop queueing delay per instruction
+	// above which a saturated interval is treated as degraded. Zero
+	// selects 0.5 cycles/instruction.
+	ReadyWaitPerInstr float64
+	// TripIntervals is how many consecutive degraded intervals trip the
+	// guardrail. Zero selects 2.
+	TripIntervals int
+	// BackoffIntervals is how long gating stays forbidden after a trip.
+	// Zero selects 8.
+	BackoffIntervals int
+}
+
+// DefaultGuardrail returns a permissive configuration, per the paper's
+// goal of setting guardrails "as permissively as possible".
+func DefaultGuardrail() Guardrail {
+	return Guardrail{
+		SaturationThreshold: 0.90,
+		ReadyWaitPerInstr:   0.5,
+		TripIntervals:       2,
+		BackoffIntervals:    8,
+	}
+}
+
+func (gr *Guardrail) defaults() {
+	if gr.SaturationThreshold == 0 {
+		gr.SaturationThreshold = 0.90
+	}
+	if gr.ReadyWaitPerInstr == 0 {
+		gr.ReadyWaitPerInstr = 0.5
+	}
+	if gr.TripIntervals == 0 {
+		gr.TripIntervals = 2
+	}
+	if gr.BackoffIntervals == 0 {
+		gr.BackoffIntervals = 8
+	}
+}
+
+// guardrailState tracks the monitor across intervals.
+type guardrailState struct {
+	cfg      Guardrail
+	degraded int // consecutive degraded gated intervals
+	backoff  int // intervals remaining in forced high-perf
+	trips    int
+}
+
+// observe inspects one gated interval's events and updates the trip state.
+func (s *guardrailState) observe(base []float64) {
+	ev := telemetry.BaseToEvents(base)
+	if ev.Cycles == 0 || ev.Instrs == 0 {
+		return
+	}
+	busyFrac := float64(ev.BusyCycles) / float64(ev.Cycles)
+	readyWait := float64(ev.ReadyWaitCycles) / float64(ev.Instrs)
+	if busyFrac >= s.cfg.SaturationThreshold && readyWait >= s.cfg.ReadyWaitPerInstr {
+		s.degraded++
+		if s.degraded >= s.cfg.TripIntervals {
+			s.backoff = s.cfg.BackoffIntervals
+			s.degraded = 0
+			s.trips++
+		}
+	} else {
+		s.degraded = 0
+	}
+}
+
+// tick consumes one interval of backoff; it reports whether gating is
+// currently forbidden.
+func (s *guardrailState) tick() bool {
+	if s.backoff > 0 {
+		s.backoff--
+		return true
+	}
+	return false
+}
+
+// GuardedDeploymentResult extends a deployment with guardrail accounting.
+type GuardedDeploymentResult struct {
+	DeploymentResult
+	GuardrailTrips int
+}
+
+// DeployGuarded runs the controller closed-loop with the fail-safe
+// guardrail layered over the model's decisions: whenever the guardrail has
+// tripped, low-power decisions are overridden to high-performance until
+// the backoff expires. Predictions are still recorded as the model made
+// them, so PGOS/RSV measure the model while PPW measures the guarded
+// system.
+func DeployGuarded(g *GatingController, gr Guardrail, tr *trace.Trace,
+	ref *dataset.TraceTelemetry, cfg dataset.Config, pm *power.Model) (*GuardedDeploymentResult, error) {
+	gr.defaults()
+	if tr.Name != ref.TraceName {
+		return nil, fmt.Errorf("core: trace %q does not match telemetry %q", tr.Name, ref.TraceName)
+	}
+	k := g.Granularity / g.Interval
+	if k <= 0 {
+		return nil, fmt.Errorf("core: invalid granularity/interval %d/%d", g.Granularity, g.Interval)
+	}
+
+	core := uarch.NewCoreInMode(cfg.Core, uarch.ModeHighPerf)
+	s := trace.NewStream(tr)
+	buf := make([]trace.Instruction, g.Interval)
+	for done := 0; done < cfg.Warmup; {
+		n := cfg.Warmup - done
+		if n > len(buf) {
+			n = len(buf)
+		}
+		kk := s.Read(buf[:n])
+		if kk == 0 {
+			break
+		}
+		core.Execute(buf[:kk])
+		done += kk
+	}
+
+	res := &GuardedDeploymentResult{}
+	rng := newDeployRNG(tr.Seed)
+	nWindows := ref.Intervals() / k
+	state := guardrailState{cfg: gr}
+
+	var window [][]float64
+	prev := core.Events()
+	lowIntervals, totalIntervals := 0, 0
+	pending := make(map[int]uarch.Mode)
+
+	for w := 0; w < nWindows; w++ {
+		if m, ok := pending[w]; ok {
+			if state.backoff > 0 {
+				m = uarch.ModeHighPerf
+			}
+			if m != core.Mode() {
+				res.Switches++
+			}
+			core.SetMode(m)
+			delete(pending, w)
+		}
+
+		window = window[:0]
+		for i := 0; i < k; i++ {
+			kk := s.Read(buf)
+			if kk == 0 {
+				break
+			}
+			core.Execute(buf[:kk])
+			cur := core.Events()
+			delta := cur.Sub(prev)
+			prev = cur
+			base := telemetry.ExtractBase(delta)
+			window = append(window, base)
+			res.Adaptive.Add(pm, telemetry.BaseToEvents(base), core.Mode())
+			if core.Mode() == uarch.ModeLowPower {
+				lowIntervals++
+				state.observe(base)
+			}
+			state.tick()
+			totalIntervals++
+		}
+		if len(window) < k {
+			break
+		}
+
+		if w+2 < nWindows {
+			agg, per := g.windowVectors(window, rng)
+			pred := g.decide(core.Mode(), agg, per)
+			res.Pred = append(res.Pred, pred)
+			res.Truth = append(res.Truth, windowTruth(ref, w+2, k, g.SLA))
+			if pred == 1 {
+				pending[w+2] = uarch.ModeLowPower
+			} else {
+				pending[w+2] = uarch.ModeHighPerf
+			}
+		}
+	}
+
+	for i := 0; i < totalIntervals && i < len(ref.HighPerf); i++ {
+		res.Reference.Add(pm, telemetry.BaseToEvents(ref.HighPerf[i].Base), uarch.ModeHighPerf)
+	}
+	if totalIntervals > 0 {
+		res.LowResidency = float64(lowIntervals) / float64(totalIntervals)
+	}
+	res.GuardrailTrips = state.trips
+	return res, nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"clustergate/internal/telemetry"
+	"clustergate/internal/uarch"
+)
+
+// degradedBase builds a base vector that looks like saturated gated
+// execution: nearly all cycles busy with heavy ready-µop queueing.
+func degradedBase() []float64 {
+	return telemetry.ExtractBase(uarch.Events{
+		Cycles: 3000, BusyCycles: 2950, Instrs: 10_000,
+		ReadyWaitCycles: 15_000,
+	})
+}
+
+// healthyBase looks like comfortable gated execution.
+func healthyBase() []float64 {
+	return telemetry.ExtractBase(uarch.Events{
+		Cycles: 6000, BusyCycles: 4000, Instrs: 10_000,
+		ReadyWaitCycles: 1_000,
+	})
+}
+
+func TestGuardrailTripsOnSustainedSaturation(t *testing.T) {
+	gr := DefaultGuardrail()
+	s := guardrailState{cfg: gr}
+	s.observe(degradedBase())
+	if s.backoff != 0 {
+		t.Fatal("guardrail tripped after a single degraded interval")
+	}
+	s.observe(degradedBase())
+	if s.backoff != gr.BackoffIntervals {
+		t.Fatalf("backoff = %d after %d degraded intervals, want %d",
+			s.backoff, gr.TripIntervals, gr.BackoffIntervals)
+	}
+	if s.trips != 1 {
+		t.Fatalf("trips = %d, want 1", s.trips)
+	}
+	// Backoff drains one interval at a time.
+	for i := 0; i < gr.BackoffIntervals; i++ {
+		if !s.tick() {
+			t.Fatalf("tick %d: gating allowed during backoff", i)
+		}
+	}
+	if s.tick() {
+		t.Fatal("gating still forbidden after backoff expiry")
+	}
+}
+
+func TestGuardrailResetsOnHealthyInterval(t *testing.T) {
+	s := guardrailState{cfg: DefaultGuardrail()}
+	s.observe(degradedBase())
+	s.observe(healthyBase())
+	s.observe(degradedBase())
+	if s.trips != 0 {
+		t.Fatal("non-consecutive degradation tripped the guardrail")
+	}
+}
+
+func TestDeployGuardedNeverWorseOnViolations(t *testing.T) {
+	e := env(t)
+	// An always-gate controller is the worst case the guardrail exists
+	// for: deploy on a high-ILP-heavy benchmark's trace.
+	g := scriptedController(e, 1.0)
+	var idx int = -1
+	for i, tr := range e.spec.Traces {
+		if tr.App.Benchmark == "625.x264_s" {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Skip("no x264 trace in subset")
+	}
+	plain, err := Deploy(g, e.spec.Traces[idx], e.specTel[idx], e.cfg, e.pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, err := DeployGuarded(g, DefaultGuardrail(), e.spec.Traces[idx], e.specTel[idx], e.cfg, e.pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guarded.GuardrailTrips == 0 {
+		t.Error("guardrail never tripped while force-gating a high-ILP benchmark")
+	}
+	if guarded.RelPerformance() < plain.RelPerformance()-1e-9 {
+		t.Errorf("guardrail reduced performance: %.3f vs %.3f",
+			guarded.RelPerformance(), plain.RelPerformance())
+	}
+	if guarded.LowResidency >= plain.LowResidency {
+		t.Errorf("guardrail did not reduce wrongful residency: %.3f vs %.3f",
+			guarded.LowResidency, plain.LowResidency)
+	}
+}
+
+func TestDeployGuardedTransparentWhenSafe(t *testing.T) {
+	e := env(t)
+	// A never-gate controller never triggers the guardrail.
+	g := scriptedController(e, 0.0)
+	r, err := DeployGuarded(g, DefaultGuardrail(), e.spec.Traces[0], e.specTel[0], e.cfg, e.pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GuardrailTrips != 0 {
+		t.Errorf("guardrail tripped %d times without gating", r.GuardrailTrips)
+	}
+	if r.LowResidency != 0 {
+		t.Errorf("residency = %v without gating", r.LowResidency)
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"clustergate/internal/dataset"
+	"clustergate/internal/mcu"
+	"clustergate/internal/ml/forest"
+	"clustergate/internal/ml/linear"
+	"clustergate/internal/ml/mlp"
+	"clustergate/internal/ml/svm"
+	"clustergate/internal/telemetry"
+)
+
+// FirmwareImage is the serialised form of a trained controller — the
+// artifact Section 7.3's deployment story pushes to machines through
+// datacenter infrastructure management software. The image carries the
+// per-mode model parameters, calibrated thresholds, counter columns, and
+// granularity; the counter-set definition itself is the standard on-die
+// one, referenced by tag rather than embedded.
+type FirmwareImage struct {
+	FormatVersion int
+	Name          string
+	SLA           dataset.SLA
+	Interval      int
+	Granularity   int
+	OpsPerPred    int
+	ThresholdHigh float64
+	ThresholdLow  float64
+	CounterSetTag string
+	Columns       []int
+	HighPerf      ModelBlob
+	LowPower      ModelBlob
+}
+
+// ModelBlob is one mode's model: a kind tag plus gob-encoded parameters.
+type ModelBlob struct {
+	Kind string
+	Gob  []byte
+}
+
+// imageFormatVersion guards against decoding incompatible images.
+const imageFormatVersion = 1
+
+// standardCounterSetTag names the only counter space this design ships.
+const standardCounterSetTag = "standard-936"
+
+// SaveController writes a controller as a firmware image.
+func SaveController(w io.Writer, g *GatingController) error {
+	img := FirmwareImage{
+		FormatVersion: imageFormatVersion,
+		Name:          g.Name,
+		SLA:           g.SLA,
+		Interval:      g.Interval,
+		Granularity:   g.Granularity,
+		OpsPerPred:    g.OpsPerPrediction,
+		ThresholdHigh: g.ThresholdHigh,
+		ThresholdLow:  g.ThresholdLow,
+		CounterSetTag: standardCounterSetTag,
+		Columns:       append([]int(nil), g.Columns...),
+	}
+	var err error
+	if img.HighPerf, err = encodeModel(g.HighPerf); err != nil {
+		return fmt.Errorf("core: high-perf model: %w", err)
+	}
+	if img.LowPower, err = encodeModel(g.LowPower); err != nil {
+		return fmt.Errorf("core: low-power model: %w", err)
+	}
+	return gob.NewEncoder(w).Encode(img)
+}
+
+// LoadController reads a firmware image and reconstructs a deployable
+// controller, rewrapping each model in op-metered firmware.
+func LoadController(r io.Reader) (*GatingController, error) {
+	var img FirmwareImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("core: decoding firmware image: %w", err)
+	}
+	if img.FormatVersion != imageFormatVersion {
+		return nil, fmt.Errorf("core: firmware image version %d unsupported", img.FormatVersion)
+	}
+	if img.CounterSetTag != standardCounterSetTag {
+		return nil, fmt.Errorf("core: unknown counter set %q", img.CounterSetTag)
+	}
+	g := &GatingController{
+		Name:             img.Name,
+		SLA:              img.SLA,
+		Interval:         img.Interval,
+		Granularity:      img.Granularity,
+		OpsPerPrediction: img.OpsPerPred,
+		ThresholdHigh:    img.ThresholdHigh,
+		ThresholdLow:     img.ThresholdLow,
+		Counters:         telemetry.NewStandardCounterSet(),
+		Columns:          img.Columns,
+	}
+	var err error
+	if g.HighPerf, err = decodeModel(img.HighPerf, img.Name+"-high", len(img.Columns)); err != nil {
+		return nil, err
+	}
+	if g.LowPower, err = decodeModel(img.LowPower, img.Name+"-low", len(img.Columns)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// encodeModel serialises one mode's predictor. Firmware wrappers are
+// unwrapped; the image stores bare model parameters.
+func encodeModel(p Predictor) (ModelBlob, error) {
+	var m any
+	switch pp := p.(type) {
+	case PointPredictor:
+		m = pp.M
+		if fw, ok := m.(*mcu.Firmware); ok {
+			m = fw.Model
+		}
+	case WindowPredictor:
+		m = pp.M
+	default:
+		return ModelBlob{}, fmt.Errorf("unsupported predictor type %T", p)
+	}
+
+	var kind string
+	switch m.(type) {
+	case *forest.Forest:
+		kind = "random-forest"
+	case *forest.Tree:
+		kind = "decision-tree"
+	case *mlp.MLP:
+		kind = "mlp"
+	case *linear.Logistic:
+		kind = "logistic"
+	case *linear.SRCH:
+		kind = "srch"
+	case *svm.Linear:
+		kind = "svm-linear"
+	case *svm.Ensemble:
+		kind = "svm-ensemble"
+	default:
+		return ModelBlob{}, fmt.Errorf("unsupported model type %T", m)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return ModelBlob{}, err
+	}
+	return ModelBlob{Kind: kind, Gob: buf.Bytes()}, nil
+}
+
+// decodeModel reconstructs a predictor from a blob, re-deriving its
+// firmware cost.
+func decodeModel(b ModelBlob, name string, inputs int) (Predictor, error) {
+	dec := gob.NewDecoder(bytes.NewReader(b.Gob))
+	var model interface{ Score([]float64) float64 }
+	switch b.Kind {
+	case "random-forest":
+		m := &forest.Forest{}
+		if err := dec.Decode(m); err != nil {
+			return nil, err
+		}
+		model = m
+	case "decision-tree":
+		m := &forest.Tree{}
+		if err := dec.Decode(m); err != nil {
+			return nil, err
+		}
+		model = m
+	case "mlp":
+		m := &mlp.MLP{}
+		if err := dec.Decode(m); err != nil {
+			return nil, err
+		}
+		model = m
+	case "logistic":
+		m := &linear.Logistic{}
+		if err := dec.Decode(m); err != nil {
+			return nil, err
+		}
+		model = m
+	case "srch":
+		m := &linear.SRCH{}
+		if err := dec.Decode(m); err != nil {
+			return nil, err
+		}
+		return WindowPredictor{M: m}, nil
+	case "svm-linear":
+		m := &svm.Linear{}
+		if err := dec.Decode(m); err != nil {
+			return nil, err
+		}
+		model = m
+	case "svm-ensemble":
+		m := &svm.Ensemble{}
+		if err := dec.Decode(m); err != nil {
+			return nil, err
+		}
+		model = m
+	default:
+		return nil, fmt.Errorf("core: unknown model kind %q", b.Kind)
+	}
+	fw, err := mcu.NewFirmware(name, model, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return PointPredictor{M: fw}, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"clustergate/internal/dataset"
+	"clustergate/internal/mcu"
+	"clustergate/internal/ml/forest"
+	"clustergate/internal/uarch"
+)
+
+// RetrainSLA produces a controller with identical structure but ground
+// truth relabelled to a new SLA (Table 5's post-silicon retune): the same
+// physical design, a different firmware image.
+func RetrainSLA(in BuildInputs, psla float64) (*GatingController, error) {
+	in.SLA = dataset.SLA{PSLA: psla}
+	g, err := BuildBestRF(in)
+	if err != nil {
+		return nil, err
+	}
+	g.Name = fmt.Sprintf("best-rf-sla%.2f", psla)
+	return g, nil
+}
+
+// BuildAppSpecificRF implements Table 6's application-specific retraining:
+// per mode, a 4-tree depth-8 forest trained on the high-diversity corpus
+// is grafted with a 4-tree depth-8 forest trained on the target
+// application's own telemetry, forming the same 8×8 ensemble as Best RF.
+// The paper found this grafting "reduces SLA violation rates significantly
+// over just application-specific trees".
+func BuildAppSpecificRF(in BuildInputs, appTel []*dataset.TraceTelemetry, appName string) (*GatingController, error) {
+	in.defaults()
+	if len(appTel) == 0 {
+		return nil, fmt.Errorf("core: no application telemetry for %s", appName)
+	}
+	g := &GatingController{
+		Name:     "app-rf-" + appName,
+		Interval: in.Interval,
+		Counters: in.Counters,
+		Columns:  in.Columns,
+		SLA:      in.SLA,
+	}
+	// The grafted ensemble has Best RF's shape, so its granularity is
+	// known up front; train at that granularity.
+	if in.GranularityOverride > 0 {
+		g.Granularity = in.GranularityOverride
+	} else {
+		g.Granularity = in.Spec.FinestGranularity(mcu.ForestCost(8, 8).Ops, in.Interval)
+	}
+	kWin := g.Granularity / in.Interval
+	maxOps := 0
+	for _, mode := range []uarch.Mode{uarch.ModeHighPerf, uarch.ModeLowPower} {
+		opts := dataset.BuildOptions{Mode: mode, SLA: in.SLA, Columns: in.Columns, WindowIntervals: kWin}
+		hdtrLTs := dataset.BuildLabeled(in.Tel, in.Counters, opts)
+		hdtrFull := dataset.Flatten(hdtrLTs, false)
+		tune, _ := hdtrFull.SplitByApp(in.TuneFrac, in.Seed)
+
+		appData := dataset.Build(appTel, in.Counters, opts)
+
+		general, err := forest.Train(forest.Config{NumTrees: 4, MaxDepth: 8, Seed: in.Seed + int64(mode)}, tune)
+		if err != nil {
+			return nil, fmt.Errorf("core: general trees: %w", err)
+		}
+		specific, err := forest.Train(forest.Config{NumTrees: 4, MaxDepth: 8, Seed: in.Seed + 100 + int64(mode)}, appData)
+		if err != nil {
+			return nil, fmt.Errorf("core: app-specific trees: %w", err)
+		}
+		merged := forest.Merge(general, specific)
+
+		fw, err := mcu.NewFirmware(fmt.Sprintf("%s-%s", g.Name, mode), merged, len(in.Columns))
+		if err != nil {
+			return nil, err
+		}
+		if fw.Cost.Ops > maxOps {
+			maxOps = fw.Cost.Ops
+		}
+		thr := CalibrateThresholdRSV(fw, heldOutTraces(hdtrLTs, tune), g.Window(), in.MaxRSV)
+		if mode == uarch.ModeLowPower {
+			g.LowPower = PointPredictor{M: fw}
+			g.ThresholdLow = thr
+		} else {
+			g.HighPerf = PointPredictor{M: fw}
+			g.ThresholdHigh = thr
+		}
+	}
+	g.OpsPerPrediction = maxOps
+	return g, g.Validate(in.Spec)
+}
+
+// VerifyWindowArithmetic exposes the window count a controller will use on
+// a trace with the given recorded intervals, for planning experiments.
+func (g *GatingController) VerifyWindowArithmetic(intervals int) (windows, predictions int) {
+	k := g.Granularity / g.Interval
+	if k <= 0 {
+		return 0, 0
+	}
+	windows = intervals / k
+	predictions = windows - 2
+	if predictions < 0 {
+		predictions = 0
+	}
+	return windows, predictions
+}

@@ -1,0 +1,256 @@
+// Package counters implements the paper's information-theoretic telemetry
+// selection (Section 6.2): two heuristic screens that cull low-information
+// counters, followed by PF Counter Selection — an adaptation of the
+// Perona-Freeman spectral factorization (Algorithm 1) that repeatedly
+// identifies the largest group of statistically interchangeable counters
+// via the second eigenvector of the counter covariance, keeps one
+// representative, and removes the rest.
+package counters
+
+import (
+	"fmt"
+	"math"
+
+	"clustergate/internal/mat"
+)
+
+// Screens holds the low-information culling thresholds of Section 6.2.
+type Screens struct {
+	// ZeroFracPerTrace flags a counter in a trace when it reads zero for
+	// more than this fraction of the trace (paper: 0.15).
+	ZeroFracPerTrace float64
+	// MaxFlaggedTraces removes a counter flagged in more than this
+	// fraction of traces (paper: 0.05).
+	MaxFlaggedTraces float64
+	// StdKeepFrac keeps only this top fraction of counters by standard
+	// deviation (paper: 0.5 — "remove the bottom 50%").
+	StdKeepFrac float64
+}
+
+// DefaultScreens returns the paper's thresholds.
+func DefaultScreens() Screens {
+	return Screens{ZeroFracPerTrace: 0.15, MaxFlaggedTraces: 0.05, StdKeepFrac: 0.5}
+}
+
+// ScreenLowActivity returns the counter indices that survive the
+// zero-reading screen. traces[t][i][c] is counter c at interval i of
+// trace t.
+func ScreenLowActivity(traces [][][]float64, s Screens) []int {
+	if len(traces) == 0 || len(traces[0]) == 0 {
+		return nil
+	}
+	nC := len(traces[0][0])
+	flagged := make([]int, nC)
+	for _, tr := range traces {
+		if len(tr) == 0 {
+			continue
+		}
+		zero := make([]int, nC)
+		for _, interval := range tr {
+			for c, v := range interval {
+				if v == 0 {
+					zero[c]++
+				}
+			}
+		}
+		limit := int(s.ZeroFracPerTrace * float64(len(tr)))
+		for c := range zero {
+			if zero[c] > limit {
+				flagged[c]++
+			}
+		}
+	}
+	maxFlags := int(s.MaxFlaggedTraces * float64(len(traces)))
+	var keep []int
+	for c := 0; c < nC; c++ {
+		if flagged[c] <= maxFlags {
+			keep = append(keep, c)
+		}
+	}
+	return keep
+}
+
+// ScreenLowStd filters candidates, keeping the top StdKeepFrac by
+// signal-to-noise ratio. The paper removes the bottom half by standard
+// deviation; its counters share a common count scale, whereas per-cycle
+// normalisation here spreads counters across six orders of magnitude, so
+// the scale-free equivalent — the coefficient of variation (σ/µ) — is
+// used: near-constant counters are removed regardless of their absolute
+// magnitude, and low-rate but strongly modulated counters (cache misses,
+// prefetch fills) survive.
+func ScreenLowStd(x [][]float64, candidates []int, s Screens) []int {
+	type cs struct {
+		idx int
+		sd  float64
+	}
+	stats := make([]cs, len(candidates))
+	col := make([]float64, len(x))
+	for k, c := range candidates {
+		for i := range x {
+			col[i] = x[i][c]
+		}
+		mu := mat.Mean(col)
+		if mu < 0 {
+			mu = -mu
+		}
+		stats[k] = cs{c, mat.Std(col) / (mu + 1e-12)}
+	}
+	// Selection by partial sort: keep the top fraction.
+	nKeep := int(float64(len(stats)) * s.StdKeepFrac)
+	if nKeep < 1 {
+		nKeep = 1
+	}
+	// Simple insertion-style selection is fine at 936 counters.
+	for i := 0; i < nKeep; i++ {
+		maxJ := i
+		for j := i + 1; j < len(stats); j++ {
+			if stats[j].sd > stats[maxJ].sd {
+				maxJ = j
+			}
+		}
+		stats[i], stats[maxJ] = stats[maxJ], stats[i]
+	}
+	keep := make([]int, nKeep)
+	for i := 0; i < nKeep; i++ {
+		keep[i] = stats[i].idx
+	}
+	return keep
+}
+
+// PFConfig parameterises Algorithm 1.
+type PFConfig struct {
+	// R is the number of counters to select (paper: 12).
+	R int
+	// Tau is the similarity threshold on second-eigenvector coefficients;
+	// counters with |E_j,2| / |E_R,2| > Tau join the removed group.
+	Tau float64
+	// MaxCorr removes any remaining candidate whose absolute correlation
+	// with a selected counter exceeds this, a direct redundancy guard on
+	// top of the spectral grouping. Zero selects 0.9.
+	MaxCorr float64
+}
+
+// DefaultPFConfig matches the paper's final configuration.
+func DefaultPFConfig() PFConfig { return PFConfig{R: 12, Tau: 0.5, MaxCorr: 0.95} }
+
+// PFSelect runs Perona-Freeman counter selection over the candidate
+// counters of the sample matrix x (rows are samples, columns counters).
+// Rows are standardised before the covariance is taken, so grouping is by
+// correlation rather than raw scale — counters in this system span six
+// orders of magnitude and raw covariance would group by magnitude alone.
+// It returns the selected counter indices in selection order.
+func PFSelect(x [][]float64, candidates []int, cfg PFConfig) ([]int, error) {
+	if cfg.R <= 0 {
+		return nil, fmt.Errorf("counters: R must be positive")
+	}
+	if len(x) < 2 {
+		return nil, fmt.Errorf("counters: need at least two samples")
+	}
+	// Build the counters×samples matrix of standardized candidate rows.
+	data := mat.New(len(candidates), len(x))
+	for k, c := range candidates {
+		row := data.Row(k)
+		for i := range x {
+			row[i] = x[i][c]
+		}
+		standardize(row)
+	}
+	corr := mat.Covariance(data)
+	// The Perona-Freeman factorization operates on a non-negative affinity
+	// matrix; absolute correlation is the affinity between counters, and
+	// its leading (Perron) eigenvector localises on the dominant group of
+	// statistically interchangeable counters.
+	affinity := corr.Clone()
+	for i := range affinity.Data {
+		affinity.Data[i] = math.Abs(affinity.Data[i])
+	}
+
+	remaining := make([]int, len(candidates)) // indices into candidates
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var selected []int
+	for len(selected) < cfg.R && len(remaining) > 0 {
+		if len(remaining) == 1 {
+			selected = append(selected, candidates[remaining[0]])
+			break
+		}
+		sub := affinity.SubMatrix(remaining, remaining)
+		_, vecs := mat.EigenSym(sub)
+		// The leading eigenvector of the affinity submatrix exposes the
+		// dominant interchangeable group (the paper indexes it as the
+		// second eigenvector of its own factorization; on a plain affinity
+		// matrix the Perron vector plays that role).
+		v := vecs.Col(0)
+
+		best := 0
+		for j := 1; j < len(v); j++ {
+			if math.Abs(v[j]) > math.Abs(v[best]) {
+				best = j
+			}
+		}
+
+		// The eigenvector ranks participation in the dominant factor; the
+		// kept representative is the lowest counter index among the near-
+		// peak coefficients — the canonical physical signal rather than one
+		// of its derived copies.
+		ref := math.Abs(v[best])
+		rep := remaining[best]
+		for j, idx := range remaining {
+			if math.Abs(v[j])/ref > cfg.Tau && candidates[idx] < candidates[rep] {
+				rep = idx
+			}
+		}
+		selected = append(selected, candidates[rep])
+		// Remove only the truly interchangeable counters: those whose
+		// affinity to the pick exceeds MaxCorr (scaled variants, noisy
+		// samples, and sums dominated by the same signal). Moderately
+		// correlated counters stay selectable — they carry the residual
+		// information later rounds should capture.
+		maxCorr := cfg.MaxCorr
+		if maxCorr == 0 {
+			maxCorr = 0.9
+		}
+		var next []int
+		for _, idx := range remaining {
+			if idx == rep {
+				continue
+			}
+			if affinity.At(rep, idx) < maxCorr {
+				next = append(next, idx)
+			}
+		}
+		remaining = next
+	}
+	return selected, nil
+}
+
+// Select composes the screens and PF selection: the full Section 6.2
+// pipeline from raw per-trace telemetry to the final counter set.
+func Select(traces [][][]float64, screens Screens, cfg PFConfig) ([]int, error) {
+	keep := ScreenLowActivity(traces, screens)
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("counters: no counters survive the activity screen")
+	}
+	// Flatten intervals into one sample matrix.
+	var x [][]float64
+	for _, tr := range traces {
+		x = append(x, tr...)
+	}
+	keep = ScreenLowStd(x, keep, screens)
+	return PFSelect(x, keep, cfg)
+}
+
+func standardize(row []float64) {
+	mu := mat.Mean(row)
+	sd := mat.Std(row)
+	if sd == 0 {
+		for i := range row {
+			row[i] = 0
+		}
+		return
+	}
+	for i := range row {
+		row[i] = (row[i] - mu) / sd
+	}
+}

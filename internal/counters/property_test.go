@@ -1,0 +1,173 @@
+package counters
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synthSamples builds a sample matrix with nC counters: half independent
+// signals, half noisy copies of earlier columns (redundant), on varied
+// scales — the structure PF selection is meant to untangle.
+func synthSamples(n, nC int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	for i := range x {
+		row := make([]float64, nC)
+		for c := 0; c < nC; c++ {
+			if c >= 2 && c%2 == 1 {
+				// Noisy copy of an earlier independent column.
+				row[c] = row[c-1]*3 + 0.01*rng.NormFloat64()
+			} else {
+				scale := math.Pow(10, float64(c%5)-2)
+				row[c] = scale * rng.NormFloat64()
+			}
+		}
+		x[i] = row
+	}
+	return x
+}
+
+// TestPFSelectWellFormedProperty: whatever the data, the selection must be
+// unique indices drawn from the candidate set, at most R of them, in
+// selection order — the firmware maps these straight to mux controls, so a
+// duplicate or out-of-set index is a hardware bug.
+func TestPFSelectWellFormedProperty(t *testing.T) {
+	f := func(seedRaw uint16, rRaw uint8) bool {
+		nC := 14
+		cand := make([]int, nC)
+		for i := range cand {
+			cand[i] = i
+		}
+		cfg := DefaultPFConfig()
+		cfg.R = 1 + int(rRaw)%10
+		x := synthSamples(200, nC, int64(seedRaw))
+		sel, err := PFSelect(x, cand, cfg)
+		if err != nil {
+			t.Logf("select: %v", err)
+			return false
+		}
+		if len(sel) > cfg.R {
+			t.Logf("selected %d > R=%d", len(sel), cfg.R)
+			return false
+		}
+		seen := map[int]bool{}
+		inCand := map[int]bool{}
+		for _, c := range cand {
+			inCand[c] = true
+		}
+		for _, s := range sel {
+			if seen[s] {
+				t.Logf("duplicate counter %d", s)
+				return false
+			}
+			seen[s] = true
+			if !inCand[s] {
+				t.Logf("counter %d outside candidate set", s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPFSelectSkipsRedundantCopies: a counter that is an affine copy of an
+// already-selected one must not be co-selected — the MaxCorr redundancy
+// guard is what frees selection slots for genuinely new information.
+func TestPFSelectSkipsRedundantCopies(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := 400
+	x := make([][]float64, n)
+	for i := range x {
+		a := rng.NormFloat64()
+		b := rng.NormFloat64()
+		c := rng.NormFloat64()
+		x[i] = []float64{a, 2 * a, b, -3 * b, c, a + 1}
+	}
+	sel, err := PFSelect(x, []int{0, 1, 2, 3, 4, 5}, PFConfig{R: 3, Tau: 0.5, MaxCorr: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := map[int]int{0: 0, 1: 0, 5: 0, 2: 1, 3: 1, 4: 2}
+	seen := map[int]bool{}
+	for _, s := range sel {
+		g := group[s]
+		if seen[g] {
+			t.Fatalf("selection %v picked two copies of signal group %d", sel, g)
+		}
+		seen[g] = true
+	}
+	if len(sel) != 3 {
+		t.Fatalf("expected all 3 independent signals, got %v", sel)
+	}
+}
+
+// TestScreenLowStdSubsetProperty: the σ screen must return a duplicate-free
+// subset of its candidates of exactly the configured keep fraction,
+// whatever the data.
+func TestScreenLowStdSubsetProperty(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		x := synthSamples(120, 10, int64(seedRaw))
+		cand := []int{0, 2, 3, 5, 7, 9}
+		s := DefaultScreens()
+		keep := ScreenLowStd(x, cand, s)
+		wantN := int(float64(len(cand)) * s.StdKeepFrac)
+		if wantN < 1 {
+			wantN = 1
+		}
+		if len(keep) != wantN {
+			t.Logf("kept %d, want %d", len(keep), wantN)
+			return false
+		}
+		inCand := map[int]bool{}
+		for _, c := range cand {
+			inCand[c] = true
+		}
+		seen := map[int]bool{}
+		for _, k := range keep {
+			if !inCand[k] || seen[k] {
+				t.Logf("bad keep entry %d in %v", k, keep)
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScreenLowActivityDropsDeadCounters: a counter that is zero in every
+// interval of every trace must be screened out; one that is always active
+// must survive.
+func TestScreenLowActivityDropsDeadCounters(t *testing.T) {
+	traces := make([][][]float64, 4)
+	rng := rand.New(rand.NewSource(7))
+	for t := range traces {
+		intervals := make([][]float64, 50)
+		for i := range intervals {
+			intervals[i] = []float64{0, 1 + rng.Float64(), rng.Float64()}
+		}
+		traces[t] = intervals
+	}
+	keep := ScreenLowActivity(traces, DefaultScreens())
+	for _, c := range keep {
+		if c == 0 {
+			t.Fatal("dead counter 0 survived the activity screen")
+		}
+	}
+	found := false
+	for _, c := range keep {
+		if c == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("always-active counter 1 was screened out")
+	}
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+
+	"clustergate/internal/trace"
+)
+
+// cacheVersion invalidates cached telemetry when the recording format or
+// simulator behaviour changes incompatibly.
+const cacheVersion = 4
+
+type cacheFile struct {
+	Version int
+	Key     string
+	Traces  []*TraceTelemetry
+}
+
+// corpusHash fingerprints the generator content — application phases,
+// transitions, and trace seeds — so cached telemetry is invalidated when
+// workload definitions change, not only when counts do.
+func corpusHash(c *trace.Corpus) uint64 {
+	h := fnv.New64a()
+	w := func(v float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	for _, a := range c.Apps {
+		h.Write([]byte(a.Name))
+		w(float64(a.Seed))
+		for _, ph := range a.Phases {
+			p := ph.Params
+			for _, v := range []float64{
+				p.DepDist, p.LoadFrac, p.StoreFrac, p.BranchFrac, p.FPFrac,
+				p.LongLatFrac, float64(p.DataFootprint), float64(p.CodeFootprint),
+				p.StrideFrac, p.BranchEntropy, float64(ph.Length),
+			} {
+				w(v)
+			}
+		}
+		for _, row := range a.Transition {
+			for _, v := range row {
+				w(v)
+			}
+		}
+	}
+	for _, t := range c.Traces {
+		w(float64(t.Seed))
+		w(float64(t.StartPhase))
+		w(float64(t.NumInstrs))
+	}
+	return h.Sum64()
+}
+
+// SimulateCorpusCached simulates a corpus, memoising the result as a gob
+// file under dir keyed by the corpus name, trace count, and config. A
+// cache hit skips simulation entirely; corruption or mismatch falls back
+// to simulating and rewriting. Pass dir == "" to disable caching.
+func SimulateCorpusCached(c *trace.Corpus, cfg Config, dir string) ([]*TraceTelemetry, error) {
+	if dir == "" {
+		return SimulateCorpus(c, cfg), nil
+	}
+	key := fmt.Sprintf("%s-%d-%d-%s-%x-v%d", c.Name, len(c.Apps), len(c.Traces), cfg, corpusHash(c), cacheVersion)
+	path := filepath.Join(dir, key+".gob")
+
+	if f, err := os.Open(path); err == nil {
+		var cached cacheFile
+		dec := gob.NewDecoder(f)
+		err := dec.Decode(&cached)
+		f.Close()
+		if err == nil && cached.Version == cacheVersion && cached.Key == key {
+			return cached.Traces, nil
+		}
+	}
+
+	tel := SimulateCorpus(c, cfg)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return tel, fmt.Errorf("dataset: cache dir: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return tel, fmt.Errorf("dataset: cache create: %w", err)
+	}
+	enc := gob.NewEncoder(f)
+	err = enc.Encode(cacheFile{Version: cacheVersion, Key: key, Traces: tel})
+	cerr := f.Close()
+	if err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return tel, fmt.Errorf("dataset: cache write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return tel, fmt.Errorf("dataset: cache rename: %w", err)
+	}
+	return tel, nil
+}

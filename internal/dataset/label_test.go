@@ -1,0 +1,47 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestSLALabelMonotoneProperty: loosening the SLA can only turn 0-labels
+// into 1-labels, never the reverse.
+func TestSLALabelMonotoneProperty(t *testing.T) {
+	f := func(hiRaw, loRaw uint16) bool {
+		hi := 0.1 + float64(hiRaw%80)/10
+		lo := 0.1 + float64(loRaw%80)/10
+		strict := SLA{PSLA: 0.9}.Label(hi, lo)
+		loose := SLA{PSLA: 0.7}.Label(hi, lo)
+		return loose >= strict
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWindowIPCBetweenMinAndMax: the aggregate window IPC lies between the
+// slowest and fastest interval.
+func TestWindowIPCBetweenMinAndMax(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		src := []IntervalRecord{
+			{IPC: 0.5 + float64(a%40)/10},
+			{IPC: 0.5 + float64(b%40)/10},
+			{IPC: 0.5 + float64(c%40)/10},
+		}
+		lo, hi := src[0].IPC, src[0].IPC
+		for _, r := range src[1:] {
+			if r.IPC < lo {
+				lo = r.IPC
+			}
+			if r.IPC > hi {
+				hi = r.IPC
+			}
+		}
+		w := WindowIPC(src, 0, 3)
+		return w >= lo-1e-9 && w <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"clustergate/internal/trace"
+)
+
+// PrintCorpus renders the Table 1 / Table 2 corpus composition for the
+// environment's actual corpora.
+func PrintCorpus(w io.Writer, e *Env) {
+	fmt.Fprintln(w, "Table 1: HDTR training corpus composition")
+	byCat := e.HDTR.AppsByCategory()
+	var cats []trace.Category
+	for c := trace.Category(0); c < trace.NumCategories; c++ {
+		cats = append(cats, c)
+	}
+	total := 0
+	for _, c := range cats {
+		fmt.Fprintf(w, "  %-24s %d apps\n", c, byCat[c])
+		total += byCat[c]
+	}
+	fmt.Fprintf(w, "  %-24s %d apps, %d traces\n", "total", total, len(e.HDTR.Traces))
+
+	fmt.Fprintln(w, "\nTable 2: SPEC2017-like test corpus")
+	workloads := map[string]int{}
+	traces := map[string]int{}
+	for _, a := range e.SPEC.Apps {
+		workloads[a.Benchmark]++
+	}
+	for _, t := range e.SPEC.Traces {
+		traces[t.App.Benchmark]++
+	}
+	var names []string
+	for n := range workloads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	wl, tr := 0, 0
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-20s %2d workloads, %3d traces\n", n, workloads[n], traces[n])
+		wl += workloads[n]
+		tr += traces[n]
+	}
+	fmt.Fprintf(w, "  %-20s %2d workloads, %3d traces\n", "total", wl, tr)
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"clustergate/internal/power"
+	"clustergate/internal/trace"
+	"clustergate/internal/uarch"
+)
+
+// The paper's Section 1 positions cluster gating as complementary to
+// DVFS: at and below the voltage floor, frequency scaling stops paying
+// quadratically while gating keeps removing switched capacitance and
+// leakage. This harness sweeps the operating-point table over a gateable
+// workload mix and reports both levers side by side.
+
+// DVFSRow is one operating point of the complementarity sweep.
+type DVFSRow struct {
+	Point power.OperatingPoint
+	// EnergyVsTurbo is the energy per unit work relative to the turbo
+	// point (1.0 = no saving).
+	EnergyVsTurbo float64
+	// GatingGain is the mean PPW improvement from gating the second
+	// cluster at this operating point.
+	GatingGain float64
+}
+
+// dvfsMix simulates a gateable archetype mix in both cluster modes.
+func dvfsMix(apps int) (hi, lo []uarch.Events) {
+	// Serial and memory-bound archetypes: the gating opportunity the
+	// second cluster cannot convert into performance.
+	idx := []int{6, 2, 9, 12, 17}
+	for k := 0; k < apps; k++ {
+		app := trace.NewApplication(idx[k%len(idx)], fmt.Sprintf("dvfs%02d", k), int64(3+k))
+		run := func(mode uarch.Mode) uarch.Events {
+			core := uarch.NewCoreInMode(uarch.DefaultConfig(), mode)
+			s := trace.NewStream(&trace.Trace{App: app, Seed: int64(11 + k), NumInstrs: 150_000})
+			buf := make([]trace.Instruction, 8192)
+			for {
+				n := s.Read(buf)
+				if n == 0 {
+					break
+				}
+				core.Execute(buf[:n])
+			}
+			return core.Events()
+		}
+		hi = append(hi, run(uarch.ModeHighPerf))
+		lo = append(lo, run(uarch.ModeLowPower))
+	}
+	return hi, lo
+}
+
+// DVFSSweep computes the complementarity table across the default curve.
+func DVFSSweep(apps int) ([]DVFSRow, error) {
+	model := power.DefaultModel()
+	hi, lo := dvfsMix(apps)
+
+	var out []DVFSRow
+	var turboE float64
+	for i, op := range power.DefaultDVFSCurve() {
+		var e, gainSum float64
+		for k := range hi {
+			e += model.EnergyAt(hi[k], uarch.ModeHighPerf, op)
+			g, err := model.GatingGainAt(hi[k], lo[k], op)
+			if err != nil {
+				return nil, err
+			}
+			gainSum += g
+		}
+		if i == 0 {
+			turboE = e
+		}
+		out = append(out, DVFSRow{
+			Point:         op,
+			EnergyVsTurbo: e / turboE,
+			GatingGain:    gainSum / float64(len(hi)),
+		})
+	}
+	return out, nil
+}
+
+// DVFSGainAtVmin returns the mean gating PPW gain at the voltage floor.
+func DVFSGainAtVmin(apps int) (float64, error) {
+	rows, err := DVFSSweep(apps)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range rows {
+		if r.Point.Name == "vmin" {
+			return r.GatingGain, nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: no vmin point in the DVFS curve")
+}
+
+// PrintDVFS renders the complementarity sweep.
+func PrintDVFS(w io.Writer, rows []DVFSRow) {
+	fmt.Fprintln(w, "DVFS complementarity (gateable workload mix)")
+	fmt.Fprintf(w, "  %-12s %6s %6s %22s %18s\n",
+		"point", "GHz", "V", "energy/work vs turbo", "gating PPW gain")
+	for _, r := range rows {
+		marker := ""
+		if r.Point.Name == "vmin" {
+			marker = "  <- voltage floor"
+		}
+		fmt.Fprintf(w, "  %-12s %6.1f %6.2f %21.1f%% %17.1f%%%s\n",
+			r.Point.Name, r.Point.FreqGHz, r.Point.Voltage,
+			100*(r.EnergyVsTurbo-1), 100*r.GatingGain, marker)
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDVFSSweepShape(t *testing.T) {
+	rows, err := DVFSSweep(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("expected the full curve, got %d points", len(rows))
+	}
+	if rows[0].EnergyVsTurbo != 1 {
+		t.Errorf("turbo row not normalised: %v", rows[0].EnergyVsTurbo)
+	}
+	var vmin, below *DVFSRow
+	for i := range rows {
+		if rows[i].GatingGain <= 0 {
+			t.Errorf("gating gain at %s is %v; the complementarity claim needs it positive",
+				rows[i].Point.Name, rows[i].GatingGain)
+		}
+		switch rows[i].Point.Name {
+		case "vmin":
+			vmin = &rows[i]
+		case "below-vmin":
+			below = &rows[i]
+		}
+	}
+	if vmin == nil || below == nil {
+		t.Fatal("curve is missing the voltage-floor points")
+	}
+	// DVFS saves energy down to the floor, then gives some back.
+	if vmin.EnergyVsTurbo >= 1 {
+		t.Errorf("no DVFS saving at vmin: %v", vmin.EnergyVsTurbo)
+	}
+	if below.EnergyVsTurbo <= vmin.EnergyVsTurbo {
+		t.Errorf("scaling below vmin should cost energy: %v vs %v",
+			below.EnergyVsTurbo, vmin.EnergyVsTurbo)
+	}
+}
+
+func TestDVFSGainAtVmin(t *testing.T) {
+	g, err := DVFSGainAtVmin(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 0.05 {
+		t.Errorf("gain at vmin = %v; should be clearly positive for the gateable mix", g)
+	}
+}
+
+func TestPrintDVFS(t *testing.T) {
+	rows, err := DVFSSweep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	PrintDVFS(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"voltage floor", "vmin", "gating PPW gain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

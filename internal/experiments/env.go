@@ -1,0 +1,231 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment consumes a shared Env — the training corpus
+// (HDTR), the held-out SPEC2017-like test corpus, their simulated
+// telemetry, and the PF-selected counter set — and prints the same rows or
+// series the paper reports.
+//
+// Experiments run at a configurable Scale; absolute numbers differ from
+// the paper (the substrate is a synthetic simulator), but each experiment
+// targets the paper's qualitative shape, recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"clustergate/internal/counters"
+	"clustergate/internal/dataset"
+	"clustergate/internal/mcu"
+	"clustergate/internal/power"
+	"clustergate/internal/telemetry"
+	"clustergate/internal/trace"
+	"clustergate/internal/uarch"
+)
+
+// Scale sizes the corpora and the statistical effort of the experiments.
+type Scale struct {
+	Name string
+
+	HDTRApps         int // applications in the training corpus
+	HDTRTracesPerApp int
+	HDTRInstrs       int // instructions per training trace
+
+	SPECTracesPerWorkload int
+	SPECInstrs            int
+
+	Folds     int // cross-validation folds (paper: 32)
+	MLPEpochs int // Adam epochs for screening MLPs
+
+	// Fig4Sizes are the tuning-set sizes swept in Figure 4.
+	Fig4Sizes []int
+	// Fig5Counters are the counter counts swept in Figure 5.
+	Fig5Counters []int
+}
+
+// QuickScale is sized for tests and benchmarks: minutes of total work.
+func QuickScale() Scale {
+	return Scale{
+		Name:     "quick",
+		HDTRApps: 84, HDTRTracesPerApp: 2, HDTRInstrs: 550_000,
+		SPECTracesPerWorkload: 1, SPECInstrs: 650_000,
+		Folds: 4, MLPEpochs: 10,
+		Fig4Sizes:    []int{1, 5, 20, 60},
+		Fig5Counters: []int{2, 4, 8, 12, 24},
+	}
+}
+
+// DefaultScale reproduces the paper's corpus sizes with scaled trace
+// lengths; a full paperbench run takes tens of minutes on one core.
+func DefaultScale() Scale {
+	return Scale{
+		Name:     "default",
+		HDTRApps: 593, HDTRTracesPerApp: 3, HDTRInstrs: 650_000,
+		SPECTracesPerWorkload: 3, SPECInstrs: 700_000,
+		Folds: 8, MLPEpochs: 12,
+		Fig4Sizes:    []int{1, 5, 10, 20, 50, 100, 200, 300, 440},
+		Fig5Counters: []int{2, 4, 8, 12, 16, 24, 32},
+	}
+}
+
+// FullScale matches the paper's statistical effort (32 folds); expect
+// hours single-threaded.
+func FullScale() Scale {
+	s := DefaultScale()
+	s.Name = "full"
+	s.HDTRTracesPerApp = 4
+	s.SPECTracesPerWorkload = 5
+	s.Folds = 32
+	s.MLPEpochs = 25
+	return s
+}
+
+// Env is the shared experimental environment.
+type Env struct {
+	Scale Scale
+	Cfg   dataset.Config
+	CS    *telemetry.CounterSet
+	PM    *power.Model
+	Spec  mcu.Spec
+	Seed  int64
+
+	HDTR    *trace.Corpus
+	HDTRTel []*dataset.TraceTelemetry
+	SPEC    *trace.Corpus
+	SPECTel []*dataset.TraceTelemetry
+
+	// PFColumns are the counter-set indices chosen by PF Counter Selection
+	// on HDTR telemetry (Section 6.2); PFNames are their names.
+	PFColumns []int
+	PFNames   []string
+	// ExpertColumns are the Eyerman et al. counters CHARSTAR uses.
+	ExpertColumns []int
+
+	// Log receives progress lines; nil silences them.
+	Log io.Writer
+}
+
+// NewEnv builds corpora, simulates telemetry (memoised under cacheDir),
+// and runs counter selection.
+func NewEnv(scale Scale, cacheDir string, seed int64) (*Env, error) {
+	return NewEnvLogged(scale, cacheDir, seed, nil)
+}
+
+// NewEnvLogged is NewEnv with progress lines written to log during the
+// (potentially long) corpus simulation.
+func NewEnvLogged(scale Scale, cacheDir string, seed int64, log io.Writer) (*Env, error) {
+	e := &Env{
+		Log:   log,
+		Scale: scale,
+		Cfg:   dataset.DefaultConfig(),
+		CS:    telemetry.NewStandardCounterSet(),
+		PM:    power.DefaultModel(),
+		Spec:  mcu.DefaultSpec(),
+		Seed:  seed,
+	}
+
+	e.HDTR = trace.BuildHDTR(trace.HDTRConfig{
+		Apps:             scale.HDTRApps,
+		MeanTracesPerApp: scale.HDTRTracesPerApp,
+		InstrsPerTrace:   scale.HDTRInstrs,
+		Seed:             seed,
+	})
+	e.SPEC = trace.BuildSPEC(trace.SPECConfig{
+		TracesPerWorkload: scale.SPECTracesPerWorkload,
+		InstrsPerTrace:    scale.SPECInstrs,
+		Seed:              seed + 1,
+	})
+
+	var err error
+	start := time.Now()
+	e.HDTRTel, err = dataset.SimulateCorpusCached(e.HDTR, e.Cfg, cacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: HDTR telemetry: %w", err)
+	}
+	e.logf("HDTR telemetry: %d traces in %.1fs", len(e.HDTRTel), time.Since(start).Seconds())
+
+	start = time.Now()
+	e.SPECTel, err = dataset.SimulateCorpusCached(e.SPEC, e.Cfg, cacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: SPEC telemetry: %w", err)
+	}
+	e.logf("SPEC telemetry: %d traces in %.1fs", len(e.SPECTel), time.Since(start).Seconds())
+
+	start = time.Now()
+	if err := e.selectCounters(); err != nil {
+		return nil, err
+	}
+	e.logf("PF counter selection in %.1fs: %v", time.Since(start).Seconds(), e.PFNames)
+
+	e.ExpertColumns, err = columnsByName(e.CS, telemetry.ExpertNames())
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// selectCounters runs the Section 6.2 pipeline on a telemetry subsample.
+func (e *Env) selectCounters() error {
+	// Subsample traces for the 936-counter expansion: the covariance needs
+	// thousands of samples, not hundreds of thousands.
+	sub := e.HDTRTel
+	const maxTraces = 220
+	if len(sub) > maxTraces {
+		step := len(sub) / maxTraces
+		var pick []*dataset.TraceTelemetry
+		for i := 0; i < len(sub); i += step {
+			pick = append(pick, sub[i])
+		}
+		sub = pick
+	}
+	raw := dataset.CounterTraces(sub, e.CS, uarch.ModeLowPower)
+	cols, err := counters.Select(raw, counters.DefaultScreens(), counters.DefaultPFConfig())
+	if err != nil {
+		return fmt.Errorf("experiments: PF selection: %w", err)
+	}
+	e.PFColumns = cols
+	e.PFNames = make([]string, len(cols))
+	for i, c := range cols {
+		e.PFNames[i] = e.CS.Names[c]
+	}
+	return nil
+}
+
+// TopCounters returns the first r PF-selected counters (PF selection is
+// ordered by information content, so prefixes are the Figure 5 sweep).
+// When r exceeds the selected set, selection is re-run with a larger R.
+func (e *Env) TopCounters(r int) ([]int, error) {
+	if r <= len(e.PFColumns) {
+		return e.PFColumns[:r], nil
+	}
+	sub := e.HDTRTel
+	if len(sub) > 120 {
+		sub = sub[:120]
+	}
+	raw := dataset.CounterTraces(sub, e.CS, uarch.ModeLowPower)
+	cfg := counters.DefaultPFConfig()
+	cfg.R = r
+	return counters.Select(raw, counters.DefaultScreens(), cfg)
+}
+
+func (e *Env) logf(format string, args ...any) {
+	if e.Log != nil {
+		fmt.Fprintf(e.Log, "# "+format+"\n", args...)
+	}
+}
+
+func columnsByName(cs *telemetry.CounterSet, names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		idx := cs.Index(n)
+		if idx < 0 {
+			return nil, fmt.Errorf("experiments: counter %q missing", n)
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+// DefaultScaleSpec returns the paper's microcontroller spec (a convenience
+// mirror of mcu.DefaultSpec for tests and tools in this package).
+func DefaultScaleSpec() mcu.Spec { return mcu.DefaultSpec() }

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"clustergate/internal/mcu"
+	"clustergate/internal/ml"
+	"clustergate/internal/ml/forest"
+	"clustergate/internal/ml/mlp"
+)
+
+// screenMLP is the large network Section 6.1/6.2 screen with, chosen to
+// factor out topology effects (3 layers, 32/32/16 filters).
+func (e *Env) screenMLP() Trainer {
+	return func(tune *ml.Dataset, seed int64) (Scorer, error) {
+		return mlp.Train(mlp.Config{
+			Hidden: []int{32, 32, 16}, Epochs: e.Scale.MLPEpochs, Seed: seed,
+		}, tune)
+	}
+}
+
+// Fig4Point is one tuning-set size of Figure 4.
+type Fig4Point struct {
+	TuningApps int
+	PGOS       FoldStats
+	RSV        FoldStats
+}
+
+// Fig4Diversity reproduces Figure 4: training-set diversity (number of
+// distinct tuning applications) against PGOS stability and RSV. The
+// paper's result: PGOS std halves and RSV falls ~2.5× as applications
+// scale from 20 to 440.
+func Fig4Diversity(e *Env) ([]Fig4Point, error) {
+	lts := e.lowPowerTraces(e.PFColumns)
+	train := e.screenMLP()
+	var out []Fig4Point
+	for _, n := range e.Scale.Fig4Sizes {
+		res, err := e.Screen(train, lts, n, 0.5)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 size %d: %w", n, err)
+		}
+		out = append(out, Fig4Point{TuningApps: n, PGOS: res.PGOS, RSV: res.RSV})
+		e.logf("fig4 apps=%d PGOS=%.3f±%.3f RSV=%.4f±%.4f", n,
+			res.PGOS.Mean, res.PGOS.Std, res.RSV.Mean, res.RSV.Std)
+	}
+	return out, nil
+}
+
+// PrintFig4 renders the diversity sweep.
+func PrintFig4(w io.Writer, pts []Fig4Point) {
+	fmt.Fprintln(w, "Figure 4: training-set diversity vs blindspots")
+	fmt.Fprintf(w, "  %-12s %-18s %-18s\n", "tuning apps", "PGOS mean±std", "RSV mean±std")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-12d %6.2f%% ±%5.2f     %6.2f%% ±%5.2f\n",
+			p.TuningApps, 100*p.PGOS.Mean, 100*p.PGOS.Std, 100*p.RSV.Mean, 100*p.RSV.Std)
+	}
+}
+
+// Fig5Point is one counter-count of Figure 5.
+type Fig5Point struct {
+	Counters int
+	Names    []string
+	PGOS     FoldStats
+	RSV      FoldStats
+}
+
+// Fig5Counters reproduces Figure 5: the number of PF-selected counters
+// against PGOS and RSV at a fixed 80% tuning set. The paper's result: ≥8
+// counters are needed for consistently high PGOS; 12 minimise RSV.
+func Fig5Counters(e *Env) ([]Fig5Point, error) {
+	maxR := 0
+	for _, r := range e.Scale.Fig5Counters {
+		if r > maxR {
+			maxR = r
+		}
+	}
+	allCols, err := e.TopCounters(maxR)
+	if err != nil {
+		return nil, err
+	}
+	train := e.screenMLP()
+	var out []Fig5Point
+	for _, r := range e.Scale.Fig5Counters {
+		if r > len(allCols) {
+			r = len(allCols)
+		}
+		cols := allCols[:r]
+		lts := e.lowPowerTraces(cols)
+		res, err := e.Screen(train, lts, 0, 0.5)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 r=%d: %w", r, err)
+		}
+		names := make([]string, len(cols))
+		for i, c := range cols {
+			names[i] = e.CS.Names[c]
+		}
+		out = append(out, Fig5Point{Counters: r, Names: names, PGOS: res.PGOS, RSV: res.RSV})
+		e.logf("fig5 r=%d PGOS=%.3f±%.3f RSV=%.4f", r, res.PGOS.Mean, res.PGOS.Std, res.RSV.Mean)
+	}
+	return out, nil
+}
+
+// Fig5Expert measures the same screen with the expert counter set, the
+// comparison Section 6.2 makes against model-specific counters.
+func Fig5Expert(e *Env) (ScreenResult, error) {
+	return e.Screen(e.screenMLP(), e.lowPowerTraces(e.ExpertColumns), 0, 0.5)
+}
+
+// PrintFig5 renders the counter sweep plus the expert-counter comparison.
+func PrintFig5(w io.Writer, pts []Fig5Point, expert ScreenResult) {
+	fmt.Fprintln(w, "Figure 5: telemetry information content")
+	fmt.Fprintf(w, "  %-10s %-18s %-18s\n", "counters", "PGOS mean±std", "RSV mean±std")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-10d %6.2f%% ±%5.2f     %6.2f%% ±%5.2f\n",
+			p.Counters, 100*p.PGOS.Mean, 100*p.PGOS.Std, 100*p.RSV.Mean, 100*p.RSV.Std)
+	}
+	fmt.Fprintf(w, "  %-10s %6.2f%% ±%5.2f     %6.2f%% ±%5.2f\n",
+		"expert-8", 100*expert.PGOS.Mean, 100*expert.PGOS.Std, 100*expert.RSV.Mean, 100*expert.RSV.Std)
+}
+
+// PrintTable4 lists the PF-selected counters, the analogue of the paper's
+// Table 4, including each derived counter's composition.
+func PrintTable4(w io.Writer, e *Env) {
+	fmt.Fprintln(w, "Table 4: counters chosen by PF Counter Selection")
+	for i, c := range e.PFColumns {
+		name := e.CS.Names[c]
+		if desc := e.CS.Describe(c); desc != name {
+			fmt.Fprintf(w, "  %2d. %-26s (= %s)\n", i+1, name, desc)
+		} else {
+			fmt.Fprintf(w, "  %2d. %s\n", i+1, name)
+		}
+	}
+}
+
+// Fig6Point is one network topology of the Figure 6 screen.
+type Fig6Point struct {
+	Hidden     []int
+	Ops        int
+	FitsBudget bool // fits the 50k-instruction budget (781 ops)
+	PGOS       FoldStats
+	RSV        FoldStats
+}
+
+// Fig6Topologies is the hyperparameter grid: 1–3 layers, 4–32 filters.
+func Fig6Topologies() [][]int {
+	return [][]int{
+		{4}, {8}, {16}, {32},
+		{8, 4}, {16, 8}, {32, 16}, {8, 8},
+		{8, 8, 4}, {16, 8, 4}, {16, 16, 8}, {32, 32, 16},
+	}
+}
+
+// Fig6Screen reproduces Figure 6: high-throughput screening of MLP
+// hyperparameters, with each network's sensitivity calibrated to keep
+// tuning-set violations below 1% (Section 6.3). The selection rule — the
+// highest-PGOS topology among low-variance, budget-fitting candidates —
+// lands on 3-layer networks; the paper picks 8/8/4.
+func Fig6Screen(e *Env) ([]Fig6Point, error) {
+	lts := e.lowPowerTraces(e.PFColumns)
+	budget := e.Spec.OpsBudget(50_000)
+	var out []Fig6Point
+	for _, hidden := range Fig6Topologies() {
+		h := hidden
+		train := func(tune *ml.Dataset, seed int64) (Scorer, error) {
+			return mlp.Train(mlp.Config{Hidden: h, Epochs: e.Scale.MLPEpochs, Seed: seed}, tune)
+		}
+		res, err := e.Screen(train, lts, 0, 0.5)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %v: %w", hidden, err)
+		}
+		cost := mcu.MLPCost(len(e.PFColumns), hidden).Ops
+		out = append(out, Fig6Point{
+			Hidden: hidden, Ops: cost, FitsBudget: cost <= budget,
+			PGOS: res.PGOS, RSV: res.RSV,
+		})
+		e.logf("fig6 %v ops=%d PGOS=%.3f±%.3f", hidden, cost, res.PGOS.Mean, res.PGOS.Std)
+	}
+	return out, nil
+}
+
+// Fig6RFScreen runs the same protocol over random-forest shapes; the paper
+// selects 8 trees of depth 8.
+func Fig6RFScreen(e *Env) ([]Fig6Point, error) {
+	lts := e.lowPowerTraces(e.PFColumns)
+	budget := e.Spec.OpsBudget(40_000)
+	shapes := []struct{ trees, depth int }{
+		{4, 4}, {4, 8}, {8, 4}, {8, 8}, {16, 8}, {8, 12},
+	}
+	var out []Fig6Point
+	for _, sh := range shapes {
+		shape := sh
+		train := func(tune *ml.Dataset, seed int64) (Scorer, error) {
+			return forest.Train(forest.Config{NumTrees: shape.trees, MaxDepth: shape.depth, Seed: seed}, tune)
+		}
+		res, err := e.Screen(train, lts, 0, 0.5)
+		if err != nil {
+			return nil, fmt.Errorf("fig6-rf %dx%d: %w", sh.trees, sh.depth, err)
+		}
+		cost := mcu.ForestCost(sh.trees, sh.depth).Ops
+		out = append(out, Fig6Point{
+			Hidden: []int{sh.trees, sh.depth}, Ops: cost, FitsBudget: cost <= budget,
+			PGOS: res.PGOS, RSV: res.RSV,
+		})
+	}
+	return out, nil
+}
+
+// PrintFig6 renders the screen, marking budget-compatible topologies.
+func PrintFig6(w io.Writer, title string, pts []Fig6Point) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "  %-16s %-8s %-8s %-18s %-18s\n", "topology", "ops", "budget", "PGOS mean±std", "RSV mean±std")
+	for _, p := range pts {
+		mark := " "
+		if p.FitsBudget {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "  %-16v %-8d %-8s %6.2f%% ±%5.2f     %6.2f%% ±%5.2f\n",
+			p.Hidden, p.Ops, mark, 100*p.PGOS.Mean, 100*p.PGOS.Std, 100*p.RSV.Mean, 100*p.RSV.Std)
+	}
+}
+
+// BestByScreen applies the Section 6.3 selection rule: among candidates
+// (preferring budget-fitting ones), minimise PGOS standard deviation while
+// keeping a high mean — concretely, the lowest-std point whose mean is
+// within 5 points of the best budget-fitting mean.
+func BestByScreen(pts []Fig6Point) Fig6Point {
+	var pool []Fig6Point
+	for _, p := range pts {
+		if p.FitsBudget {
+			pool = append(pool, p)
+		}
+	}
+	if len(pool) == 0 {
+		pool = pts
+	}
+	bestMean := 0.0
+	for _, p := range pool {
+		if p.PGOS.Mean > bestMean {
+			bestMean = p.PGOS.Mean
+		}
+	}
+	best := pool[0]
+	for _, p := range pool[1:] {
+		if p.PGOS.Mean >= bestMean-0.05 && (best.PGOS.Mean < bestMean-0.05 || p.PGOS.Std < best.PGOS.Std) {
+			best = p
+		}
+	}
+	return best
+}

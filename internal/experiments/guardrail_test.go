@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+func TestGuardrailStudyShape(t *testing.T) {
+	e := quickEnv(t)
+	g, err := BuildGeneralBestRF(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := GuardrailStudy(e, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BareWorst <= 0 || r.BareWorst > 1.01 || r.GuardedWorst <= 0 || r.GuardedWorst > 1.01 {
+		t.Fatalf("worst-case performance out of range: %+v", r)
+	}
+	// The guardrail can only improve (or match) the worst case.
+	if r.GuardedWorst < r.BareWorst-0.02 {
+		t.Errorf("guardrail worsened worst-case perf: %.3f vs %.3f", r.GuardedWorst, r.BareWorst)
+	}
+}
+
+func TestGranularitySweepShape(t *testing.T) {
+	e := quickEnv(t)
+	pts, err := GranularitySweep(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5", len(pts))
+	}
+	// Budget feasibility: 10k/20k infeasible for the 545-op forest, 40k+
+	// feasible.
+	if pts[0].FitsBudget || pts[1].FitsBudget {
+		t.Error("10k/20k granularity should not fit the MCU budget")
+	}
+	if !pts[2].FitsBudget {
+		t.Error("40k granularity should fit the MCU budget")
+	}
+	// Coarser adaptation should not dramatically increase PPW (the paper's
+	// claim is the opposite direction: fine granularity maximises PPW).
+	if pts[len(pts)-1].PPW > pts[2].PPW+0.08 {
+		t.Errorf("100k PPW %.3f far above 40k PPW %.3f; granularity trend inverted",
+			pts[len(pts)-1].PPW, pts[2].PPW)
+	}
+}

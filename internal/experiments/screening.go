@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clustergate/internal/core"
+	"clustergate/internal/dataset"
+	"clustergate/internal/metrics"
+	"clustergate/internal/ml"
+	"clustergate/internal/uarch"
+)
+
+// Scorer is any trained point model.
+type Scorer interface{ Score([]float64) float64 }
+
+// Trainer fits a model to a tuning set.
+type Trainer func(tune *ml.Dataset, seed int64) (Scorer, error)
+
+// FoldStats summarises a metric's distribution across folds.
+type FoldStats struct {
+	Mean, Std float64
+}
+
+// ScreenResult is one model configuration's cross-validation outcome
+// (Sections 6.1–6.3 evaluate candidates this way).
+type ScreenResult struct {
+	PGOS FoldStats
+	RSV  FoldStats
+	FPR  FoldStats
+}
+
+// lowPowerTraces labels HDTR telemetry from low-power-mode counters — the
+// harder prediction problem the paper's Section 6 screens train on.
+func (e *Env) lowPowerTraces(cols []int) []*dataset.LabeledTrace {
+	return dataset.BuildLabeled(e.HDTRTel, e.CS, dataset.BuildOptions{
+		Mode:    uarch.ModeLowPower,
+		SLA:     dataset.SLA{PSLA: 0.9},
+		Columns: cols,
+	})
+}
+
+// baseWindow is the SLA window at the 10k-instruction screening
+// granularity.
+func (e *Env) baseWindow() metrics.SLAWindow {
+	return metrics.SLAWindow{W: core.SLAWindowInstrs / e.Cfg.Interval}
+}
+
+// evalOnTraces scores every sample of the labelled traces at the threshold
+// and returns (PGOS, RSV, FPR).
+func evalOnTraces(m Scorer, lts []*dataset.LabeledTrace, thr float64, win metrics.SLAWindow) (pgos, rsv, fpr float64) {
+	var conf metrics.Confusion
+	windows, violations := 0, 0
+	for _, lt := range lts {
+		pred := make([]int, len(lt.X))
+		for i, x := range lt.X {
+			if m.Score(x) >= thr {
+				pred[i] = 1
+			}
+			conf.Add(pred[i], lt.Y[i])
+		}
+		w := win.W
+		for start := 0; start < len(pred); start += w {
+			end := start + w
+			if end > len(pred) {
+				end = len(pred)
+			}
+			if end == start {
+				continue
+			}
+			fp := 0
+			for i := start; i < end; i++ {
+				if pred[i] == 1 && lt.Y[i] == 0 {
+					fp++
+				}
+			}
+			windows++
+			if float64(fp)/float64(end-start) > 0.5 {
+				violations++
+			}
+		}
+	}
+	if windows > 0 {
+		rsv = float64(violations) / float64(windows)
+	}
+	return conf.PGOS(), rsv, conf.FPR()
+}
+
+// splitTraces partitions labelled traces by application: a fixed
+// validation fraction, and a tuning set capped at tuneApps applications
+// (tuneApps ≤ 0 uses every non-validation application). This implements
+// the Figure 4 protocol: validation size fixed at 20% of applications,
+// tuning diversity swept.
+func splitTraces(lts []*dataset.LabeledTrace, valFrac float64, tuneApps int, seed int64) (tune, val []*dataset.LabeledTrace) {
+	appSet := map[string]bool{}
+	for _, lt := range lts {
+		appSet[lt.App] = true
+	}
+	apps := make([]string, 0, len(appSet))
+	for a := range appSet {
+		apps = append(apps, a)
+	}
+	// Map iteration order is random; sort for determinism before shuffling.
+	sortStrings(apps)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(apps), func(i, j int) { apps[i], apps[j] = apps[j], apps[i] })
+
+	nVal := int(float64(len(apps))*valFrac + 0.5)
+	if nVal < 1 {
+		nVal = 1
+	}
+	valApps := map[string]bool{}
+	for _, a := range apps[:nVal] {
+		valApps[a] = true
+	}
+	tuneSet := map[string]bool{}
+	limit := len(apps) - nVal
+	if tuneApps > 0 && tuneApps < limit {
+		limit = tuneApps
+	}
+	for _, a := range apps[nVal : nVal+limit] {
+		tuneSet[a] = true
+	}
+	for _, lt := range lts {
+		switch {
+		case valApps[lt.App]:
+			val = append(val, lt)
+		case tuneSet[lt.App]:
+			tune = append(tune, lt)
+		}
+	}
+	return tune, val
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func flattenTraces(lts []*dataset.LabeledTrace) *ml.Dataset {
+	return dataset.Flatten(lts, false)
+}
+
+// Screen cross-validates a trainer: for each fold, train on up to
+// tuneApps applications and measure PGOS/RSV/FPR on held-out validation
+// applications at the given threshold.
+func (e *Env) Screen(train Trainer, lts []*dataset.LabeledTrace, tuneApps int, thr float64) (ScreenResult, error) {
+	var pgoss, rsvs, fprs []float64
+	win := e.baseWindow()
+	for f := 0; f < e.Scale.Folds; f++ {
+		tuneTr, valTr := splitTraces(lts, 0.2, tuneApps, e.Seed+int64(f)*7919)
+		tune := flattenTraces(tuneTr)
+		if tune.Len() == 0 || len(valTr) == 0 {
+			return ScreenResult{}, fmt.Errorf("experiments: empty fold (tuneApps=%d)", tuneApps)
+		}
+		m, err := train(tune, e.Seed+int64(f))
+		if err != nil {
+			return ScreenResult{}, err
+		}
+		pgos, rsv, fpr := evalOnTraces(m, valTr, thr, win)
+		pgoss = append(pgoss, pgos)
+		rsvs = append(rsvs, rsv)
+		fprs = append(fprs, fpr)
+	}
+	var res ScreenResult
+	res.PGOS.Mean, res.PGOS.Std = metrics.MeanStd(pgoss)
+	res.RSV.Mean, res.RSV.Std = metrics.MeanStd(rsvs)
+	res.FPR.Mean, res.FPR.Std = metrics.MeanStd(fprs)
+	return res, nil
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"clustergate/internal/dataset"
+	"clustergate/internal/mcu"
+	"clustergate/internal/ml"
+	"clustergate/internal/ml/forest"
+	"clustergate/internal/ml/linear"
+	"clustergate/internal/ml/mlp"
+	"clustergate/internal/ml/svm"
+)
+
+// Table3BudgetRow is one line of Table 3's left half.
+type Table3BudgetRow struct {
+	Granularity int
+	MaxOps      int
+	Budget      int
+}
+
+// Table3Budget reproduces Table 3 (left): the microcontroller operation
+// budget per prediction granularity.
+func Table3Budget(spec mcu.Spec) []Table3BudgetRow {
+	var out []Table3BudgetRow
+	for _, g := range []int{10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 100_000} {
+		out = append(out, Table3BudgetRow{g, spec.MaxOps(g), spec.OpsBudget(g)})
+	}
+	return out
+}
+
+// Table3ModelRow is one line of Table 3's right half.
+type Table3ModelRow struct {
+	Class    string
+	Config   string
+	Counters int
+	Cost     mcu.Cost
+	PGOS     FoldStats
+}
+
+// Table3Models reproduces Table 3 (right): per model class, the firmware
+// inference cost, memory footprint, and cross-validated PGOS on low-power
+// telemetry with the 12 PF counters (8 expert counters for the CHARSTAR-
+// style MLP, per the paper).
+func Table3Models(e *Env) ([]Table3ModelRow, error) {
+	nPF := len(e.PFColumns)
+	pfTraces := e.lowPowerTraces(e.PFColumns)
+	expertTraces := e.lowPowerTraces(e.ExpertColumns)
+
+	rows := []struct {
+		class, config string
+		counters      int
+		cost          mcu.Cost
+		train         Trainer
+		traces        []*dataset.LabeledTrace
+	}{
+		{"Multi Layer Perceptron", "3 layers, 32/32/16 filters", nPF,
+			mcu.MLPCost(nPF, []int{32, 32, 16}),
+			func(t *ml.Dataset, s int64) (Scorer, error) {
+				return mlp.Train(mlp.Config{Hidden: []int{32, 32, 16}, Epochs: e.Scale.MLPEpochs, Seed: s}, t)
+			}, pfTraces},
+		{"Decision Tree", "max depth 16", nPF,
+			mcu.TreeCost(16),
+			func(t *ml.Dataset, s int64) (Scorer, error) {
+				return forest.TrainTree(forest.TreeConfig{MaxDepth: 16, Seed: s}, t)
+			}, pfTraces},
+		{"Support Vector Machine", "χ² kernel, ≤1000 support vectors", nPF,
+			mcu.Chi2SVMCost(nPF, 1000),
+			func(t *ml.Dataset, s int64) (Scorer, error) {
+				return svm.TrainChi2(svm.Chi2Config{MaxSupport: 1000, Epochs: 8, Gamma: 0.6, Seed: s}, t)
+			}, pfTraces},
+		{"Random Forest", "16 trees, max depth 8", nPF,
+			mcu.ForestCost(16, 8),
+			func(t *ml.Dataset, s int64) (Scorer, error) {
+				return forest.Train(forest.Config{NumTrees: 16, MaxDepth: 8, Seed: s}, t)
+			}, pfTraces},
+		{"Random Forest", "8 trees, max depth 8", nPF,
+			mcu.ForestCost(8, 8),
+			func(t *ml.Dataset, s int64) (Scorer, error) {
+				return forest.Train(forest.Config{NumTrees: 8, MaxDepth: 8, Seed: s}, t)
+			}, pfTraces},
+		{"Multi Layer Perceptron", "3 layers, 8/8/4 filters", nPF,
+			mcu.MLPCost(nPF, []int{8, 8, 4}),
+			func(t *ml.Dataset, s int64) (Scorer, error) {
+				return mlp.Train(mlp.Config{Hidden: []int{8, 8, 4}, Epochs: e.Scale.MLPEpochs, Seed: s}, t)
+			}, pfTraces},
+		{"Multi Layer Perceptron", "1 layer, 10 filters (∝ Ravi et al.)", len(e.ExpertColumns),
+			mcu.MLPCost(len(e.ExpertColumns), []int{10}),
+			func(t *ml.Dataset, s int64) (Scorer, error) {
+				return mlp.Train(mlp.Config{Hidden: []int{10}, Epochs: e.Scale.MLPEpochs, Seed: s}, t)
+			}, expertTraces},
+		{"Support Vector Machine", "linear kernel, 5 SVM ensemble", nPF,
+			mcu.LinearSVMCost(nPF, 5),
+			func(t *ml.Dataset, s int64) (Scorer, error) {
+				return svm.TrainEnsemble(5, svm.LinearConfig{Seed: s}, t)
+			}, pfTraces},
+		{"Regression", "logistic", nPF,
+			mcu.LogisticCost(nPF),
+			func(t *ml.Dataset, s int64) (Scorer, error) {
+				return linear.Train(linear.Config{}, t)
+			}, pfTraces},
+	}
+
+	var out []Table3ModelRow
+	for _, r := range rows {
+		res, err := e.Screen(r.train, r.traces, 0, 0.5)
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s (%s): %w", r.class, r.config, err)
+		}
+		out = append(out, Table3ModelRow{
+			Class: r.class, Config: r.config, Counters: r.counters,
+			Cost: r.cost, PGOS: res.PGOS,
+		})
+	}
+	return out, nil
+}
+
+// PrintTable3 renders both halves like the paper.
+func PrintTable3(w io.Writer, budget []Table3BudgetRow, models []Table3ModelRow) {
+	fmt.Fprintln(w, "Table 3 (left): microcontroller budget")
+	fmt.Fprintf(w, "  %-12s %-10s %-10s\n", "granularity", "max ops", "budget")
+	for _, r := range budget {
+		fmt.Fprintf(w, "  %-12d %-10d %-10d\n", r.Granularity, r.MaxOps, r.Budget)
+	}
+	fmt.Fprintln(w, "\nTable 3 (right): model classes")
+	fmt.Fprintf(w, "  %-26s %-36s %-9s %-10s %-12s %s\n",
+		"class", "configuration", "counters", "ops/pred", "memory", "PGOS")
+	for _, r := range models {
+		fmt.Fprintf(w, "  %-26s %-36s %-9d %-10d %-12s %.2f%% ±%.2f\n",
+			r.Class, r.Config, r.Counters, r.Cost.Ops, memStr(r.Cost.MemoryBytes),
+			100*r.PGOS.Mean, 100*r.PGOS.Std)
+	}
+}
+
+func memStr(b int) string {
+	if b >= 1024 {
+		return fmt.Sprintf("%.2fKB", float64(b)/1024)
+	}
+	return fmt.Sprintf("%dB", b)
+}

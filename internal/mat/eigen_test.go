@@ -1,0 +1,140 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := FromRows([][]float64{
+		{3, 0, 0},
+		{0, 1, 0},
+		{0, 0, 2},
+	})
+	vals, vecs := EigenSym(a)
+	want := []float64{3, 2, 1}
+	for i, w := range want {
+		if !almostEqual(vals[i], w, 1e-10) {
+			t.Errorf("eigenvalue[%d] = %v, want %v", i, vals[i], w)
+		}
+	}
+	// First eigenvector should be ±e0.
+	if !almostEqual(math.Abs(vecs.At(0, 0)), 1, 1e-10) {
+		t.Errorf("leading eigenvector = %v, want ±e0", vecs.Col(0))
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs := EigenSym(a)
+	if !almostEqual(vals[0], 3, 1e-10) || !almostEqual(vals[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// Leading eigenvector is (1,1)/√2 up to sign.
+	v := vecs.Col(0)
+	if !almostEqual(math.Abs(v[0]), 1/math.Sqrt2, 1e-10) || !almostEqual(v[0], v[1], 1e-10) {
+		t.Errorf("leading eigenvector = %v, want ±(1,1)/√2", v)
+	}
+}
+
+func TestEigenSymNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-square input")
+		}
+	}()
+	EigenSym(New(2, 3))
+}
+
+// randomSymmetric builds an n×n symmetric matrix with entries from rng.
+func randomSymmetric(n int, rng *rand.Rand) *Matrix {
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func TestEigenSymReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(12)
+		a := randomSymmetric(n, rng)
+		vals, vecs := EigenSym(a)
+
+		// A·v_k == λ_k·v_k for every eigenpair.
+		for k := 0; k < n; k++ {
+			v := vecs.Col(k)
+			av := a.MulVec(v)
+			for i := 0; i < n; i++ {
+				if !almostEqual(av[i], vals[k]*v[i], 1e-7) {
+					t.Fatalf("trial %d: A·v != λ·v at k=%d i=%d: %v vs %v",
+						trial, k, i, av[i], vals[k]*v[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEigenSymOrthonormalVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomSymmetric(8, rng)
+	_, vecs := EigenSym(a)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			d := Dot(vecs.Col(i), vecs.Col(j))
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if !almostEqual(d, want, 1e-8) {
+				t.Fatalf("v%d·v%d = %v, want %v", i, j, d, want)
+			}
+		}
+	}
+}
+
+func TestEigenSymTraceProperty(t *testing.T) {
+	// Sum of eigenvalues equals trace; product-free quick property.
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		n := 2 + int(uint(seed)%7)
+		a := randomSymmetric(n, rng)
+		vals, _ := EigenSym(a)
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sum += vals[i]
+		}
+		return almostEqual(trace, sum, 1e-8*(1+math.Abs(trace)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEigenSymDescendingOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals, _ := EigenSym(randomSymmetric(10, rng))
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not descending: %v", vals)
+		}
+	}
+}
+
+func BenchmarkEigenSym64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomSymmetric(64, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EigenSym(a)
+	}
+}

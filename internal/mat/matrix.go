@@ -1,0 +1,290 @@
+// Package mat provides the small dense linear-algebra kernel used by the
+// reproduction: matrices, vector statistics, covariance, and a symmetric
+// Jacobi eigendecomposition. The Perona-Freeman counter-selection algorithm
+// (internal/counters) and the ML optimizers (internal/ml) are its main
+// clients.
+//
+// The package is deliberately minimal — row-major float64 storage, no
+// BLAS-style generality — because every matrix in this system is small
+// (at most 936×936 for the counter covariance).
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zeroed r×c matrix.
+func New(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows. The rows are
+// copied.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	c := len(rows[0])
+	m := New(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("mat: ragged rows: row 0 has %d cols, row %d has %d", c, i, len(row)))
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of bounds for %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("mat: row %d out of bounds for %dx%d", i, m.Rows, m.Cols))
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: col %d out of bounds for %dx%d", j, m.Rows, m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Data[i*m.Cols+j]
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	n := New(m.Rows, m.Cols)
+	copy(n.Data, m.Data)
+	return n
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product m·b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := New(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Data[i*m.Cols : (i+1)*m.Cols]
+		oi := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, mv := range mi {
+			if mv == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range bk {
+				oi[j] += mv * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·v.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("mat: dimension mismatch %dx%d · vec(%d)", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), v)
+	}
+	return out
+}
+
+// Scale multiplies every element in place and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// Add adds b element-wise in place and returns m.
+func (m *Matrix) Add(b *Matrix) *Matrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: dimension mismatch %dx%d + %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	for i := range m.Data {
+		m.Data[i] += b.Data[i]
+	}
+	return m
+}
+
+// SubMatrix returns a copy of m restricted to the given row and column
+// index sets.
+func (m *Matrix) SubMatrix(rows, cols []int) *Matrix {
+	out := New(len(rows), len(cols))
+	for i, r := range rows {
+		src := m.Row(r)
+		dst := out.Row(i)
+		for j, c := range cols {
+			if c < 0 || c >= m.Cols {
+				panic(fmt.Sprintf("mat: submatrix col %d out of bounds for %dx%d", c, m.Rows, m.Cols))
+			}
+			dst[j] = src[c]
+		}
+	}
+	return out
+}
+
+// String renders a small matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.4g", m.At(i, j))
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// Mean returns the arithmetic mean of v; 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Std returns the population standard deviation of v; 0 for fewer than two
+// samples.
+func Std(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	mu := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v)))
+}
+
+// Covariance returns the n×n covariance matrix of the rows of X, where each
+// of the n rows is one variable observed over X.Cols samples. This matches
+// the orientation used by Perona-Freeman screening (counters as rows).
+func Covariance(x *Matrix) *Matrix {
+	n, t := x.Rows, x.Cols
+	cov := New(n, n)
+	if t < 2 {
+		return cov
+	}
+	// Center each row.
+	centered := x.Clone()
+	for i := 0; i < n; i++ {
+		row := centered.Row(i)
+		mu := Mean(row)
+		for j := range row {
+			row[j] -= mu
+		}
+	}
+	inv := 1 / float64(t-1)
+	for i := 0; i < n; i++ {
+		ri := centered.Row(i)
+		for j := i; j < n; j++ {
+			c := Dot(ri, centered.Row(j)) * inv
+			cov.Set(i, j, c)
+			cov.Set(j, i, c)
+		}
+	}
+	return cov
+}
+
+// CorrelationFromCovariance converts a covariance matrix to a correlation
+// matrix in place and returns it. Variables with zero variance correlate 0
+// with everything and 1 with themselves.
+func CorrelationFromCovariance(cov *Matrix) *Matrix {
+	n := cov.Rows
+	sd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sd[i] = math.Sqrt(cov.At(i, i))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				cov.Set(i, j, 1)
+			case sd[i] == 0 || sd[j] == 0:
+				cov.Set(i, j, 0)
+			default:
+				cov.Set(i, j, cov.At(i, j)/(sd[i]*sd[j]))
+			}
+		}
+	}
+	return cov
+}

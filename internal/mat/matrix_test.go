@@ -1,0 +1,216 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("dims = %dx%d, want 3x4", m.Rows, m.Cols)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if got := m.At(2, 1); got != 6 {
+		t.Errorf("At(2,1) = %v, want 6", got)
+	}
+	m.Set(0, 0, -1)
+	if got := m.At(0, 0); got != -1 {
+		t.Errorf("after Set, At(0,0) = %v, want -1", got)
+	}
+	if got := m.Col(1); got[0] != 2 || got[1] != 4 || got[2] != 6 {
+		t.Errorf("Col(1) = %v, want [2 4 6]", got)
+	}
+	if got := m.Row(1); got[0] != 3 || got[1] != 4 {
+		t.Errorf("Row(1) = %v, want [3 4]", got)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestAtOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-bounds access")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("T dims = %dx%d, want 3x2", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul(%d,%d) = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec([]float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Errorf("MulVec = %v, want [-2 -2]", got)
+	}
+}
+
+func TestMulIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		n := 1 + int(seed%5+5)%5 // 1..5
+		m := New(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		p := m.Mul(Identity(n))
+		for i := range m.Data {
+			if !almostEqual(p.Data[i], m.Data[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleAddSub(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.Scale(2)
+	if m.At(1, 1) != 8 {
+		t.Errorf("Scale: At(1,1) = %v, want 8", m.At(1, 1))
+	}
+	m.Add(FromRows([][]float64{{1, 1}, {1, 1}}))
+	if m.At(0, 0) != 3 {
+		t.Errorf("Add: At(0,0) = %v, want 3", m.At(0, 0))
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := FromRows([][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+		{7, 8, 9},
+	})
+	s := m.SubMatrix([]int{0, 2}, []int{1, 2})
+	if s.Rows != 2 || s.Cols != 2 {
+		t.Fatalf("dims = %dx%d, want 2x2", s.Rows, s.Cols)
+	}
+	if s.At(0, 0) != 2 || s.At(0, 1) != 3 || s.At(1, 0) != 8 || s.At(1, 1) != 9 {
+		t.Errorf("SubMatrix = %v", s)
+	}
+}
+
+func TestDotNormMeanStd(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Std([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("Std(const) = %v, want 0", got)
+	}
+	got := Std([]float64{1, 3})
+	if !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Std([1 3]) = %v, want 1", got)
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Two perfectly correlated variables, one anti-correlated.
+	x := FromRows([][]float64{
+		{1, 2, 3, 4},
+		{2, 4, 6, 8},
+		{4, 3, 2, 1},
+	})
+	cov := Covariance(x)
+	if !almostEqual(cov.At(0, 0), 5.0/3.0, 1e-12) {
+		t.Errorf("var(x0) = %v, want 5/3", cov.At(0, 0))
+	}
+	if !almostEqual(cov.At(0, 1), 10.0/3.0, 1e-12) {
+		t.Errorf("cov(x0,x1) = %v, want 10/3", cov.At(0, 1))
+	}
+	if !almostEqual(cov.At(0, 2), -5.0/3.0, 1e-12) {
+		t.Errorf("cov(x0,x2) = %v, want -5/3", cov.At(0, 2))
+	}
+	if !almostEqual(cov.At(0, 1), cov.At(1, 0), 0) {
+		t.Error("covariance not symmetric")
+	}
+}
+
+func TestCorrelationFromCovariance(t *testing.T) {
+	x := FromRows([][]float64{
+		{1, 2, 3, 4},
+		{2, 4, 6, 8},
+		{4, 3, 2, 1},
+		{5, 5, 5, 5}, // zero variance
+	})
+	corr := CorrelationFromCovariance(Covariance(x))
+	if !almostEqual(corr.At(0, 1), 1, 1e-12) {
+		t.Errorf("corr(x0,x1) = %v, want 1", corr.At(0, 1))
+	}
+	if !almostEqual(corr.At(0, 2), -1, 1e-12) {
+		t.Errorf("corr(x0,x2) = %v, want -1", corr.At(0, 2))
+	}
+	if corr.At(3, 0) != 0 || corr.At(3, 3) != 1 {
+		t.Errorf("zero-variance row handling: got off=%v diag=%v", corr.At(3, 0), corr.At(3, 3))
+	}
+}
+
+func TestCovarianceDegenerate(t *testing.T) {
+	cov := Covariance(FromRows([][]float64{{1}, {2}}))
+	for _, v := range cov.Data {
+		if v != 0 {
+			t.Fatal("covariance of single sample should be zero matrix")
+		}
+	}
+}

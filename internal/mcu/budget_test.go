@@ -1,0 +1,65 @@
+package mcu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestBudgetMonotoneProperty: coarser granularity can never shrink the
+// prediction budget, and availability scales it linearly.
+func TestBudgetMonotoneProperty(t *testing.T) {
+	s := DefaultSpec()
+	f := func(g1, g2 uint16) bool {
+		a, b := int(g1)+1000, int(g2)+1000
+		if a > b {
+			a, b = b, a
+		}
+		return s.OpsBudget(a) <= s.OpsBudget(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFinestGranularityIsSufficientProperty: the chosen granularity always
+// affords the requested ops, and the next finer step never does.
+func TestFinestGranularityIsSufficientProperty(t *testing.T) {
+	s := DefaultSpec()
+	f := func(opsRaw uint16) bool {
+		ops := int(opsRaw)%3000 + 1
+		g := s.FinestGranularity(ops, 10_000)
+		if s.OpsBudget(g) < ops {
+			return false
+		}
+		if g > 10_000 && s.OpsBudget(g-10_000) >= ops {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCostMonotoneInTopology: adding layers, filters, trees, or depth never
+// reduces firmware cost.
+func TestCostMonotoneInTopology(t *testing.T) {
+	if MLPCost(12, []int{8}).Ops >= MLPCost(12, []int{8, 8}).Ops {
+		t.Error("adding a layer did not increase MLP cost")
+	}
+	if MLPCost(12, []int{8}).Ops >= MLPCost(12, []int{16}).Ops {
+		t.Error("widening a layer did not increase MLP cost")
+	}
+	if MLPCost(8, []int{8}).Ops >= MLPCost(16, []int{8}).Ops {
+		t.Error("more inputs did not increase MLP cost")
+	}
+	if ForestCost(8, 8).Ops >= ForestCost(9, 8).Ops {
+		t.Error("adding a tree did not increase forest cost")
+	}
+	if TreeCost(8).Ops >= TreeCost(9).Ops {
+		t.Error("deeper tree did not increase cost")
+	}
+	if Chi2SVMCost(12, 100).Ops >= Chi2SVMCost(12, 101).Ops {
+		t.Error("more support vectors did not increase χ² cost")
+	}
+}

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionCategories(t *testing.T) {
+	var c Confusion
+	c.Add(1, 1) // TP
+	c.Add(1, 0) // FP
+	c.Add(0, 0) // TN
+	c.Add(0, 1) // FN
+	if c.TP != 1 || c.FP != 1 || c.TN != 1 || c.FN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Total() != 4 {
+		t.Errorf("total = %d, want 4", c.Total())
+	}
+	if c.Accuracy() != 0.5 {
+		t.Errorf("accuracy = %v, want 0.5", c.Accuracy())
+	}
+}
+
+func TestPGOS(t *testing.T) {
+	// 3 of 4 gating opportunities seized.
+	c := Confusion{TP: 3, FN: 1, TN: 10, FP: 2}
+	if got := c.PGOS(); got != 0.75 {
+		t.Errorf("PGOS = %v, want 0.75", got)
+	}
+	empty := Confusion{TN: 5}
+	if got := empty.PGOS(); got != 0 {
+		t.Errorf("PGOS without positives = %v, want 0", got)
+	}
+}
+
+func TestFPR(t *testing.T) {
+	c := Confusion{FP: 1, TN: 9}
+	if got := c.FPR(); got != 0.1 {
+		t.Errorf("FPR = %v, want 0.1", got)
+	}
+	if (&Confusion{TP: 3}).FPR() != 0 {
+		t.Error("FPR without negatives should be 0")
+	}
+}
+
+func TestStandardWindow(t *testing.T) {
+	// Paper's example: 16G instr/s, 1ms, 10k instr/pred → 1600.
+	w := StandardWindow(16e9, 0.001, 10_000)
+	if w.W != 1600 {
+		t.Errorf("W = %d, want 1600", w.W)
+	}
+	// 40k-instruction predictions → 400.
+	if w := StandardWindow(16e9, 0.001, 40_000); w.W != 400 {
+		t.Errorf("W = %d, want 400", w.W)
+	}
+	if w := StandardWindow(1, 0.001, 10_000); w.W != 1 {
+		t.Errorf("degenerate W = %d, want clamp to 1", w.W)
+	}
+}
+
+func TestRSVPerfectPredictions(t *testing.T) {
+	truth := make([]int, 1000)
+	for i := range truth {
+		truth[i] = i % 2
+	}
+	if got := RSV(truth, truth, SLAWindow{W: 100}); got != 0 {
+		t.Errorf("perfect predictions RSV = %v, want 0", got)
+	}
+}
+
+func TestRSVSystematicBlindspot(t *testing.T) {
+	// Second half of the trace: model always gates while truth says no —
+	// a blindspot. First half is perfect.
+	n := 1000
+	pred := make([]int, n)
+	truth := make([]int, n)
+	for i := 0; i < n/2; i++ {
+		truth[i] = 1
+		pred[i] = 1
+	}
+	for i := n / 2; i < n; i++ {
+		truth[i] = 0
+		pred[i] = 1 // false positives throughout
+	}
+	got := RSV(pred, truth, SLAWindow{W: 100})
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("blindspot RSV = %v, want 0.5 (half the windows violate)", got)
+	}
+}
+
+func TestRSVSpuriousErrorsBelowThreshold(t *testing.T) {
+	// 30% scattered false positives never push any window past the >50%
+	// expectation threshold — the paper's point that spurious mistakes are
+	// imperceptible while systematic ones violate SLAs.
+	n := 1000
+	pred := make([]int, n)
+	truth := make([]int, n) // all zeros: never gate
+	for i := 0; i < n; i += 3 {
+		pred[i] = 1
+	}
+	if got := RSV(pred, truth, SLAWindow{W: 100}); got != 0 {
+		t.Errorf("scattered-FP RSV = %v, want 0", got)
+	}
+}
+
+func TestRSVWindowLargerThanTrace(t *testing.T) {
+	pred := []int{1, 1, 1}
+	truth := []int{0, 0, 0}
+	if got := RSV(pred, truth, SLAWindow{W: 1000}); got != 1 {
+		t.Errorf("single-window RSV = %v, want 1", got)
+	}
+}
+
+func TestRSVEmptyAndMismatch(t *testing.T) {
+	if got := RSV(nil, nil, SLAWindow{W: 10}); got != 0 {
+		t.Errorf("empty RSV = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	RSV([]int{1}, []int{1, 0}, SLAWindow{W: 1})
+}
+
+func TestRSVBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		n := 50 + int(uint(seed)%500)
+		pred := make([]int, n)
+		truth := make([]int, n)
+		for i := range pred {
+			pred[i] = rng.Intn(2)
+			truth[i] = rng.Intn(2)
+		}
+		r := RSV(pred, truth, SLAWindow{W: 37})
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	pred := []int{1, 0, 1, 1}
+	truth := []int{1, 0, 0, 1}
+	e := Evaluate(pred, truth, SLAWindow{W: 2})
+	if e.Confusion.TP != 2 || e.Confusion.FP != 1 || e.Confusion.TN != 1 {
+		t.Errorf("confusion = %+v", e.Confusion)
+	}
+	if e.RSV != 0 {
+		t.Errorf("RSV = %v, want 0 (no window majority-violates)", e.RSV)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 {
+		t.Errorf("mean = %v, want 5", mean)
+	}
+	if math.Abs(std-2) > 1e-12 {
+		t.Errorf("std = %v, want 2", std)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Error("empty MeanStd should be zeros")
+	}
+}

@@ -1,0 +1,63 @@
+package metrics
+
+import "testing"
+
+// TestRSVMatchesPaperExample reproduces the paper's window arithmetic:
+// W = 1600 predictions at 10k-instruction granularity, violation when the
+// expected false-positive indicator exceeds 0.5 (Eqs. 2–3).
+func TestRSVMatchesPaperExample(t *testing.T) {
+	w := StandardWindow(16e9, 0.001, 10_000)
+	n := w.W * 4
+	pred := make([]int, n)
+	truth := make([]int, n)
+	// One of four windows has 60% FPs (violating); the rest 40% (not).
+	for i := 0; i < n; i++ {
+		window := i / w.W
+		frac := 0.4
+		if window == 2 {
+			frac = 0.6
+		}
+		if float64(i%w.W) < frac*float64(w.W) {
+			pred[i] = 1 // false positive: truth stays 0
+		}
+	}
+	if got := RSV(pred, truth, w); got != 0.25 {
+		t.Errorf("RSV = %v, want 0.25 (1 of 4 windows)", got)
+	}
+}
+
+// TestRSVBlindspotVsSpurious encodes the paper's core distinction: the
+// same total number of mistakes yields wildly different RSV depending on
+// whether they are concentrated (blindspot) or scattered (spurious).
+func TestRSVBlindspotVsSpurious(t *testing.T) {
+	const n, w = 800, 100
+	win := SLAWindow{W: w}
+	totalFPs := 160 // 20% error rate overall
+
+	// Concentrated: two whole windows of FPs, everything else perfect.
+	pred := make([]int, n)
+	truth := make([]int, n)
+	for i := 0; i < totalFPs; i++ {
+		pred[i] = 1
+	}
+	concentrated := RSV(pred, truth, win)
+
+	// Scattered: one FP every 5 predictions.
+	pred2 := make([]int, n)
+	truth2 := make([]int, n)
+	for i := 0; i < n; i += 5 {
+		pred2[i] = 1
+	}
+	scattered := RSV(pred2, truth2, win)
+
+	if concentrated <= scattered {
+		t.Fatalf("concentrated RSV %.3f ≤ scattered RSV %.3f; metric cannot see blindspots",
+			concentrated, scattered)
+	}
+	if scattered != 0 {
+		t.Errorf("scattered 20%% errors RSV = %v, want 0 (imperceptible)", scattered)
+	}
+	if concentrated != 2.0/8.0 {
+		t.Errorf("concentrated RSV = %v, want 0.25", concentrated)
+	}
+}

@@ -1,0 +1,30 @@
+package forest
+
+import (
+	"testing"
+
+	"clustergate/internal/ml/mltest"
+)
+
+func BenchmarkTreeInferenceDepth16(b *testing.B) {
+	train := mltest.Linear(3000, 12, 10, 1)
+	tree, err := TrainTree(TreeConfig{MaxDepth: 16, Seed: 1}, train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := train.X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Score(x)
+	}
+}
+
+func BenchmarkMergeForests(b *testing.B) {
+	train := mltest.Linear(1000, 12, 10, 1)
+	f1, _ := Train(Config{NumTrees: 4, MaxDepth: 8, Seed: 1}, train)
+	f2, _ := Train(Config{NumTrees: 4, MaxDepth: 8, Seed: 2}, train)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Merge(f1, f2)
+	}
+}

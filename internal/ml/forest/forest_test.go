@@ -1,0 +1,152 @@
+package forest
+
+import (
+	"testing"
+
+	"clustergate/internal/ml/mltest"
+)
+
+func TestTreeLearnsAxisRule(t *testing.T) {
+	train := mltest.Linear(1500, 5, 10, 1)
+	test := mltest.Linear(400, 5, 10, 2)
+	tree, err := TrainTree(TreeConfig{MaxDepth: 8, Seed: 1}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(tree, test, 0.5); acc < 0.8 {
+		t.Errorf("tree accuracy = %.3f, want ≥0.8", acc)
+	}
+}
+
+func TestTreeDepthBound(t *testing.T) {
+	train := mltest.XOR(2000, 4, 10, 3)
+	for _, depth := range []int{1, 3, 8, 16} {
+		tree, err := TrainTree(TreeConfig{MaxDepth: depth, Seed: 2}, train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tree.Depth(); d > depth {
+			t.Errorf("MaxDepth %d produced depth %d", depth, d)
+		}
+	}
+}
+
+func TestTreePureLeafStops(t *testing.T) {
+	// All-positive data: a single leaf with prob 1.
+	d := mltest.Linear(50, 3, 2, 4)
+	for i := range d.Y {
+		d.Y[i] = 1
+	}
+	tree, err := TrainTree(TreeConfig{MaxDepth: 8, Seed: 1}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Nodes) != 1 {
+		t.Errorf("pure dataset grew %d nodes, want 1", len(tree.Nodes))
+	}
+	if tree.Score(d.X[0]) != 1 {
+		t.Errorf("pure-positive leaf prob = %v, want 1", tree.Score(d.X[0]))
+	}
+}
+
+func TestForestLearnsXOR(t *testing.T) {
+	train := mltest.XOR(3000, 4, 10, 5)
+	test := mltest.XOR(600, 4, 10, 6)
+	f, err := Train(Config{NumTrees: 8, MaxDepth: 8, FeatureFrac: 1, Seed: 7}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(f, test, 0.5); acc < 0.88 {
+		t.Errorf("forest XOR accuracy = %.3f, want ≥0.88", acc)
+	}
+}
+
+func TestForestShape(t *testing.T) {
+	train := mltest.Linear(500, 12, 5, 8)
+	f, err := Train(Config{NumTrees: 8, MaxDepth: 8, Seed: 1}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Trees) != 8 {
+		t.Fatalf("trees = %d, want 8", len(f.Trees))
+	}
+	for i, tree := range f.Trees {
+		if d := tree.Depth(); d > 8 {
+			t.Errorf("tree %d depth %d exceeds 8", i, d)
+		}
+	}
+}
+
+func TestForestScoreGranularity(t *testing.T) {
+	train := mltest.Linear(800, 4, 5, 9)
+	f, err := Train(Config{NumTrees: 8, MaxDepth: 6, Seed: 2}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Majority-vote scores are multiples of 1/8.
+	for _, x := range train.X[:50] {
+		s := f.Score(x)
+		scaled := s * 8
+		if scaled != float64(int(scaled+0.5)) {
+			t.Fatalf("score %v is not a vote fraction of 8 trees", s)
+		}
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	train := mltest.Linear(500, 4, 5, 10)
+	a, _ := Train(Config{NumTrees: 4, MaxDepth: 6, Seed: 3}, train)
+	b, _ := Train(Config{NumTrees: 4, MaxDepth: 6, Seed: 3}, train)
+	for _, x := range train.X[:100] {
+		if a.Score(x) != b.Score(x) {
+			t.Fatal("identical seeds produced different forests")
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	train := mltest.Linear(400, 4, 5, 11)
+	a, _ := Train(Config{NumTrees: 4, MaxDepth: 8, Seed: 1}, train)
+	b, _ := Train(Config{NumTrees: 4, MaxDepth: 8, Seed: 2}, train)
+	m := Merge(a, b)
+	if len(m.Trees) != 8 {
+		t.Fatalf("merged trees = %d, want 8", len(m.Trees))
+	}
+	// Merge must not mutate inputs.
+	if len(a.Trees) != 4 || len(b.Trees) != 4 {
+		t.Error("Merge mutated its inputs")
+	}
+}
+
+func TestTrainInvalidConfig(t *testing.T) {
+	train := mltest.Linear(100, 3, 5, 1)
+	if _, err := Train(Config{NumTrees: 0, MaxDepth: 8}, train); err == nil {
+		t.Error("zero trees accepted")
+	}
+	if _, err := TrainTree(TreeConfig{MaxDepth: 0}, train); err == nil {
+		t.Error("zero depth accepted")
+	}
+}
+
+func BenchmarkForestInference8x8(b *testing.B) {
+	train := mltest.Linear(2000, 12, 10, 1)
+	f, err := Train(Config{NumTrees: 8, MaxDepth: 8, Seed: 1}, train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := train.X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Score(x)
+	}
+}
+
+func BenchmarkForestTraining(b *testing.B) {
+	train := mltest.Linear(5000, 12, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(Config{NumTrees: 8, MaxDepth: 8, Seed: int64(i)}, train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package forest
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustergate/internal/ml/mltest"
+)
+
+// TestTreeScoreBoundedProperty: a trained tree's score is a leaf
+// probability, so it must lie in [0,1] for any input, including inputs far
+// outside the training distribution.
+func TestTreeScoreBoundedProperty(t *testing.T) {
+	tune := mltest.Linear(400, 6, 8, 11)
+	tree, err := TrainTree(TreeConfig{MaxDepth: 8, Seed: 1}, tune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw [6]float64) bool {
+		x := make([]float64, 6)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			x[i] = v * 1e6 // push far outside the training range
+		}
+		p := tree.Score(x)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForestScoreIsTreeMeanProperty: the forest score must equal the
+// fraction of member trees voting positive — the firmware evaluates trees
+// independently and counts votes, so any drift here would change deployed
+// behaviour.
+func TestForestScoreIsTreeMeanProperty(t *testing.T) {
+	tune := mltest.XOR(600, 5, 10, 7)
+	fst, err := Train(Config{NumTrees: 6, MaxDepth: 6, Seed: 3}, tune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw [5]float64) bool {
+		x := make([]float64, 5)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			x[i] = v
+		}
+		var votes float64
+		for i := range fst.Trees {
+			if fst.Trees[i].Score(x) >= 0.5 {
+				votes++
+			}
+		}
+		want := votes / float64(len(fst.Trees))
+		return math.Abs(fst.Score(x)-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergePreservesMemberScores: grafting (Table 6) merges an app-specific
+// forest into a general one; the merged forest must count votes over the
+// union of trees, with both originals untouched.
+func TestMergePreservesMemberScores(t *testing.T) {
+	a, err := Train(Config{NumTrees: 4, MaxDepth: 5, Seed: 5},
+		mltest.Linear(300, 4, 6, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(Config{NumTrees: 4, MaxDepth: 5, Seed: 9},
+		mltest.XOR(300, 4, 6, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Merge(a, b)
+	if len(m.Trees) != len(a.Trees)+len(b.Trees) {
+		t.Fatalf("merged tree count %d", len(m.Trees))
+	}
+	f := func(raw [4]float64) bool {
+		x := make([]float64, 4)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			x[i] = v
+		}
+		want := (a.Score(x)*float64(len(a.Trees)) + b.Score(x)*float64(len(b.Trees))) /
+			float64(len(m.Trees))
+		// Vote counts are small integers over small denominators; the
+		// weighted combination of the two vote fractions is exact.
+		return math.Abs(m.Score(x)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTreeDepthRespectsConfigProperty: the grower must never exceed the
+// configured depth — firmware op cost (8 ops per level) is budgeted from
+// MaxDepth, so an overgrown tree would blow the MCU budget silently.
+func TestTreeDepthRespectsConfigProperty(t *testing.T) {
+	f := func(seedRaw uint16, depthRaw uint8) bool {
+		depth := 2 + int(depthRaw)%10
+		tune := mltest.XOR(500, 6, 8, int64(seedRaw))
+		tree, err := TrainTree(TreeConfig{MaxDepth: depth, Seed: int64(seedRaw)}, tune)
+		if err != nil {
+			t.Logf("train: %v", err)
+			return false
+		}
+		return tree.Depth() <= depth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package linear
+
+import (
+	"math"
+	"testing"
+
+	"clustergate/internal/ml/mltest"
+)
+
+func TestLogisticLearnsLinearRule(t *testing.T) {
+	train := mltest.Linear(2000, 6, 10, 1)
+	test := mltest.Linear(500, 6, 10, 2)
+	m, err := Train(Config{}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(m, test, 0.5); acc < 0.88 {
+		t.Errorf("logistic accuracy = %.3f, want ≥0.88", acc)
+	}
+}
+
+func TestLogisticCannotLearnXOR(t *testing.T) {
+	// Sanity check on the test harness itself: XOR is linearly
+	// inseparable, so logistic accuracy should hover near chance.
+	train := mltest.XOR(2000, 4, 10, 3)
+	test := mltest.XOR(500, 4, 10, 4)
+	m, err := Train(Config{}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(m, test, 0.5); acc > 0.65 {
+		t.Errorf("logistic XOR accuracy = %.3f; dataset is not XOR-hard", acc)
+	}
+}
+
+func TestLogisticFiniteWeights(t *testing.T) {
+	train := mltest.Linear(500, 8, 5, 5)
+	m, err := Train(Config{MaxIter: 200}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkFinite(m.W); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(m.B) {
+		t.Fatal("bias is NaN")
+	}
+}
+
+func TestLBFGSQuadratic(t *testing.T) {
+	// Minimise (x-3)² + (y+1)²; L-BFGS should find (3,-1) quickly.
+	f := func(v []float64) (float64, []float64) {
+		dx, dy := v[0]-3, v[1]+1
+		return dx*dx + dy*dy, []float64{2 * dx, 2 * dy}
+	}
+	theta := []float64{0, 0}
+	lbfgs(f, theta, 50, 5)
+	if math.Abs(theta[0]-3) > 1e-4 || math.Abs(theta[1]+1) > 1e-4 {
+		t.Errorf("L-BFGS minimum = %v, want (3,-1)", theta)
+	}
+}
+
+func TestLBFGSRosenbrock(t *testing.T) {
+	// The banana function is a standard L-BFGS stress test.
+	f := func(v []float64) (float64, []float64) {
+		x, y := v[0], v[1]
+		fx := (1-x)*(1-x) + 100*(y-x*x)*(y-x*x)
+		gx := -2*(1-x) - 400*x*(y-x*x)
+		gy := 200 * (y - x*x)
+		return fx, []float64{gx, gy}
+	}
+	theta := []float64{-1.2, 1}
+	lbfgs(f, theta, 5000, 10)
+	if math.Abs(theta[0]-1) > 1e-2 || math.Abs(theta[1]-1) > 1e-2 {
+		t.Errorf("Rosenbrock minimum = %v, want (1,1)", theta)
+	}
+}
+
+func TestSRCHBucketOf(t *testing.T) {
+	edges := []float64{1, 2, 3}
+	cases := []struct {
+		v    float64
+		want int
+	}{{0.5, 0}, {1, 0}, {1.5, 1}, {2.5, 2}, {3.5, 3}, {100, 3}}
+	for _, c := range cases {
+		if got := bucketOf(c.v, edges); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSRCHFeaturize(t *testing.T) {
+	s := &SRCH{
+		Edges:   [][]float64{{1, 2}, {10, 20}},
+		Buckets: 3,
+	}
+	f := s.Featurize([][]float64{{0.5, 15}, {1.5, 25}})
+	if len(f) != 6 {
+		t.Fatalf("features = %d, want 6", len(f))
+	}
+	// Counter 0: one sample in bucket 0, one in bucket 1.
+	if f[0] != 0.5 || f[1] != 0.5 || f[2] != 0 {
+		t.Errorf("counter-0 histogram = %v", f[:3])
+	}
+	// Counter 1: one in bucket 1, one in bucket 2.
+	if f[3] != 0 || f[4] != 0.5 || f[5] != 0.5 {
+		t.Errorf("counter-1 histogram = %v", f[3:])
+	}
+}
+
+func TestSRCHTrainAndScore(t *testing.T) {
+	train := mltest.Linear(2000, 5, 10, 6)
+	test := mltest.Linear(500, 5, 10, 7)
+	s, err := TrainSRCH(SRCHConfig{Buckets: 10}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumFeatures() != 50 {
+		t.Errorf("features = %d, want 50 (5 counters × 10 buckets)", s.NumFeatures())
+	}
+	if acc := mltest.Accuracy(s, test, 0.5); acc < 0.75 {
+		t.Errorf("SRCH accuracy = %.3f, want ≥0.75", acc)
+	}
+}
+
+func TestSRCHScoreWindow(t *testing.T) {
+	train := mltest.Linear(800, 4, 5, 8)
+	s, err := TrainSRCH(SRCHConfig{Buckets: 5}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := [][]float64{train.X[0], train.X[1], train.X[2]}
+	score := s.ScoreWindow(w)
+	if score < 0 || score > 1 {
+		t.Errorf("window score %v outside [0,1]", score)
+	}
+}
+
+func TestQuantileHelper(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	if q := quantile(sorted, 0.5); q != 3 {
+		t.Errorf("median = %v, want 3", q)
+	}
+	if !math.IsNaN(quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}

@@ -1,0 +1,129 @@
+package linear
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustergate/internal/ml/mltest"
+)
+
+// TestLogisticScoreBoundedProperty: logistic output is a probability for
+// any physically plausible input. Magnitudes are bounded because near
+// ±1e308 the margin dot product overflows to Inf-Inf = NaN, which no real
+// per-cycle counter vector can produce.
+func TestLogisticScoreBoundedProperty(t *testing.T) {
+	m, err := Train(Config{}, mltest.Linear(500, 5, 8, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw [5]float64) bool {
+		x := make([]float64, 5)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			x[i] = math.Mod(v, 1e6)
+		}
+		p := m.Score(x)
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogisticMonotoneAlongWeights: moving a sample in the direction of the
+// learned weight vector must never decrease the score — the sigmoid is
+// monotone in the linear margin.
+func TestLogisticMonotoneAlongWeights(t *testing.T) {
+	m, err := Train(Config{}, mltest.Linear(500, 4, 8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw [4]float64, stepRaw uint8) bool {
+		x := make([]float64, 4)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			x[i] = math.Mod(v, 100)
+			if math.IsNaN(x[i]) {
+				x[i] = 0
+			}
+		}
+		step := float64(stepRaw%50) / 10
+		y := make([]float64, 4)
+		for i := range x {
+			y[i] = x[i] + step*m.W[i]
+		}
+		return m.Score(y) >= m.Score(x)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSRCHFeaturizeIsHistogramProperty: SRCH window features are per-counter
+// bucket histograms normalised by window length — each counter's buckets
+// must sum to 1 and every entry must be a non-negative fraction.
+func TestSRCHFeaturizeIsHistogramProperty(t *testing.T) {
+	s, err := TrainSRCH(SRCHConfig{Buckets: 4}, mltest.Linear(400, 3, 8, 33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw [8][3]float64) bool {
+		window := make([][]float64, len(raw))
+		for i, r := range raw {
+			row := make([]float64, 3)
+			for j, v := range r {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					v = 0
+				}
+				row[j] = v
+			}
+			window[i] = row
+		}
+		feats := s.Featurize(window)
+		if len(feats) != s.NumFeatures() {
+			t.Logf("feature count %d != %d", len(feats), s.NumFeatures())
+			return false
+		}
+		per := s.Buckets
+		for c := 0; c < len(s.Edges); c++ {
+			sum := 0.0
+			for b := 0; b < per; b++ {
+				v := feats[c*per+b]
+				if v < 0 {
+					t.Logf("negative count at counter %d bucket %d", c, b)
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Logf("counter %d histogram sums to %v, want 1", c, sum)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBucketOfProperty: the bucket index must always be a valid index into
+// [0, len(edges)] — one bucket per gap plus the overflow bucket.
+func TestBucketOfProperty(t *testing.T) {
+	edges := []float64{-1, 0, 2.5}
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			v = 0
+		}
+		b := bucketOf(v, edges)
+		return b >= 0 && b <= len(edges)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package ml defines the shared contract for adaptation models and the
+// dataset utilities the paper's training methodology needs: application-
+// partitioned tuning/validation splits (telemetry from one application must
+// never appear on both sides) and repeated randomized folds (the paper's
+// k=32 cross-validation).
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Model is a trained binary adaptation model. Score returns the model's
+// confidence in [0,1] that the low-power configuration meets the SLA for
+// the sample; callers compare it against a calibrated sensitivity threshold
+// (Section 6.3) to produce gating decisions.
+type Model interface {
+	Score(x []float64) float64
+}
+
+// Predict applies the model at the given decision threshold.
+func Predict(m Model, x []float64, threshold float64) int {
+	if m.Score(x) >= threshold {
+		return 1
+	}
+	return 0
+}
+
+// Dataset is a labelled telemetry dataset. Rows of X are counter vectors;
+// Y[i] ∈ {0,1} is the ground-truth configuration for sample i (1 = gate);
+// App[i] names the application the sample came from.
+type Dataset struct {
+	X   [][]float64
+	Y   []int
+	App []string
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Y) }
+
+// Validate reports structural problems in the dataset.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) || len(d.X) != len(d.App) {
+		return fmt.Errorf("ml: ragged dataset: %d/%d/%d", len(d.X), len(d.Y), len(d.App))
+	}
+	if len(d.X) == 0 {
+		return fmt.Errorf("ml: empty dataset")
+	}
+	w := len(d.X[0])
+	for i, x := range d.X {
+		if len(x) != w {
+			return fmt.Errorf("ml: sample %d has %d features, want %d", i, len(x), w)
+		}
+		if d.Y[i] != 0 && d.Y[i] != 1 {
+			return fmt.Errorf("ml: sample %d has label %d", i, d.Y[i])
+		}
+	}
+	return nil
+}
+
+// Apps returns the distinct application names, sorted.
+func (d *Dataset) Apps() []string {
+	seen := map[string]bool{}
+	for _, a := range d.App {
+		seen[a] = true
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subset returns the dataset restricted to the given sample indices,
+// sharing the underlying rows.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := &Dataset{
+		X:   make([][]float64, len(idx)),
+		Y:   make([]int, len(idx)),
+		App: make([]string, len(idx)),
+	}
+	for i, j := range idx {
+		out.X[i] = d.X[j]
+		out.Y[i] = d.Y[j]
+		out.App[i] = d.App[j]
+	}
+	return out
+}
+
+// FilterApps returns the samples belonging to applications for which keep
+// returns true.
+func (d *Dataset) FilterApps(keep func(string) bool) *Dataset {
+	var idx []int
+	for i, a := range d.App {
+		if keep(a) {
+			idx = append(idx, i)
+		}
+	}
+	return d.Subset(idx)
+}
+
+// SelectColumns returns a dataset with only the given feature columns.
+func (d *Dataset) SelectColumns(cols []int) *Dataset {
+	out := &Dataset{
+		X:   make([][]float64, len(d.X)),
+		Y:   d.Y,
+		App: d.App,
+	}
+	for i, x := range d.X {
+		row := make([]float64, len(cols))
+		for j, c := range cols {
+			row[j] = x[c]
+		}
+		out.X[i] = row
+	}
+	return out
+}
+
+// SplitByApp partitions the dataset into tuning and validation sets at the
+// application level: every sample of an application lands on one side, the
+// discipline Section 4.3 requires so validation metrics do not overestimate
+// performance on unseen applications.
+func (d *Dataset) SplitByApp(tuneFrac float64, seed int64) (tune, val *Dataset) {
+	apps := d.Apps()
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(apps), func(i, j int) { apps[i], apps[j] = apps[j], apps[i] })
+	nTune := int(float64(len(apps))*tuneFrac + 0.5)
+	if nTune < 1 {
+		nTune = 1
+	}
+	if nTune >= len(apps) && len(apps) > 1 {
+		nTune = len(apps) - 1
+	}
+	inTune := make(map[string]bool, nTune)
+	for _, a := range apps[:nTune] {
+		inTune[a] = true
+	}
+	tune = d.FilterApps(func(a string) bool { return inTune[a] })
+	val = d.FilterApps(func(a string) bool { return !inTune[a] })
+	return tune, val
+}
+
+// Fold is one randomized tuning/validation partition.
+type Fold struct {
+	Tune, Val *Dataset
+}
+
+// Folds produces k randomized application-partitioned folds with the given
+// tuning fraction (the paper uses 80/20 and k = 32).
+func (d *Dataset) Folds(k int, tuneFrac float64, seed int64) []Fold {
+	out := make([]Fold, k)
+	for i := range out {
+		out[i].Tune, out[i].Val = d.SplitByApp(tuneFrac, seed+int64(i)*7919)
+	}
+	return out
+}
+
+// BaseRate returns the fraction of positive (gate) labels.
+func (d *Dataset) BaseRate() float64 {
+	if len(d.Y) == 0 {
+		return 0
+	}
+	n := 0
+	for _, y := range d.Y {
+		n += y
+	}
+	return float64(n) / float64(len(d.Y))
+}
+
+// Scaler standardises features to zero mean and unit variance, fit on
+// tuning data only. Gradient-trained models (MLPs, logistic regression,
+// SVMs) need it; trees do not.
+type Scaler struct {
+	Mean, Std []float64
+}
+
+// FitScaler computes feature statistics over the dataset.
+func FitScaler(d *Dataset) *Scaler {
+	if d.Len() == 0 {
+		return &Scaler{}
+	}
+	w := len(d.X[0])
+	s := &Scaler{Mean: make([]float64, w), Std: make([]float64, w)}
+	for _, x := range d.X {
+		for j, v := range x {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(d.Len())
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, x := range d.X {
+		for j, v := range x {
+			dv := v - s.Mean[j]
+			s.Std[j] += dv * dv
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Apply standardises one sample into dst (allocating if dst is short).
+func (s *Scaler) Apply(x []float64, dst []float64) []float64 {
+	if len(dst) < len(x) {
+		dst = make([]float64, len(x))
+	}
+	for j, v := range x {
+		dst[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return dst[:len(x)]
+}
+
+// CalibrateThreshold finds the largest decision threshold t such that the
+// model's false-positive rate on the dataset stays at or below maxFPR,
+// implementing Section 6.3's sensitivity adjustment ("keep SLA violations
+// below 1.0% on the tuning set"). It returns 0.5 when even the most
+// conservative threshold cannot reach the target.
+func CalibrateThreshold(m Model, d *Dataset, maxFPR float64) float64 {
+	scores := make([]float64, d.Len())
+	for i, x := range d.X {
+		scores[i] = m.Score(x)
+	}
+	negatives := 0
+	for _, y := range d.Y {
+		if y == 0 {
+			negatives++
+		}
+	}
+	if negatives == 0 {
+		return 0.5
+	}
+	best := math.Inf(1)
+	found := 0.5
+	for _, t := range thresholdGrid() {
+		fp := 0
+		for i := range scores {
+			if d.Y[i] == 0 && scores[i] >= t {
+				fp++
+			}
+		}
+		fpr := float64(fp) / float64(negatives)
+		if fpr <= maxFPR && t < best {
+			best = t
+			found = t
+		}
+	}
+	return found
+}
+
+func thresholdGrid() []float64 {
+	var g []float64
+	for t := 0.05; t <= 0.991; t += 0.01 {
+		g = append(g, t)
+	}
+	return g
+}

@@ -1,0 +1,199 @@
+package ml_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"clustergate/internal/ml"
+	"clustergate/internal/ml/mltest"
+)
+
+func TestDatasetValidate(t *testing.T) {
+	good := mltest.Linear(100, 4, 5, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+	bad := &ml.Dataset{X: [][]float64{{1}}, Y: []int{2}, App: []string{"a"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("label 2 accepted")
+	}
+	ragged := &ml.Dataset{X: [][]float64{{1}, {1, 2}}, Y: []int{0, 1}, App: []string{"a", "b"}}
+	if err := ragged.Validate(); err == nil {
+		t.Error("ragged features accepted")
+	}
+	empty := &ml.Dataset{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestSplitByAppDisjointness(t *testing.T) {
+	d := mltest.Linear(500, 4, 20, 2)
+	tune, val := d.SplitByApp(0.8, 7)
+	tuneApps := map[string]bool{}
+	for _, a := range tune.App {
+		tuneApps[a] = true
+	}
+	for _, a := range val.App {
+		if tuneApps[a] {
+			t.Fatalf("application %s appears in both tuning and validation sets", a)
+		}
+	}
+	if tune.Len()+val.Len() != d.Len() {
+		t.Errorf("split loses samples: %d + %d != %d", tune.Len(), val.Len(), d.Len())
+	}
+	if val.Len() == 0 {
+		t.Error("validation set is empty")
+	}
+}
+
+func TestSplitByAppDeterministic(t *testing.T) {
+	d := mltest.Linear(200, 3, 10, 3)
+	t1, _ := d.SplitByApp(0.8, 42)
+	t2, _ := d.SplitByApp(0.8, 42)
+	if t1.Len() != t2.Len() {
+		t.Fatal("same seed produced different splits")
+	}
+}
+
+func TestFoldsVary(t *testing.T) {
+	d := mltest.Linear(400, 3, 20, 4)
+	folds := d.Folds(8, 0.8, 5)
+	if len(folds) != 8 {
+		t.Fatalf("folds = %d, want 8", len(folds))
+	}
+	// At least two folds should have different validation app sets.
+	sig := func(f ml.Fold) string {
+		apps := f.Val.Apps()
+		return fmt.Sprint(apps)
+	}
+	distinct := map[string]bool{}
+	for _, f := range folds {
+		distinct[sig(f)] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("all folds identical; randomization broken")
+	}
+}
+
+func TestSelectColumns(t *testing.T) {
+	d := &ml.Dataset{
+		X:   [][]float64{{1, 2, 3}, {4, 5, 6}},
+		Y:   []int{0, 1},
+		App: []string{"a", "b"},
+	}
+	s := d.SelectColumns([]int{2, 0})
+	if s.X[0][0] != 3 || s.X[0][1] != 1 || s.X[1][0] != 6 {
+		t.Errorf("SelectColumns = %v", s.X)
+	}
+}
+
+func TestBaseRate(t *testing.T) {
+	d := &ml.Dataset{Y: []int{1, 0, 1, 1}}
+	if got := d.BaseRate(); got != 0.75 {
+		t.Errorf("BaseRate = %v, want 0.75", got)
+	}
+	if (&ml.Dataset{}).BaseRate() != 0 {
+		t.Error("empty BaseRate should be 0")
+	}
+}
+
+func TestScaler(t *testing.T) {
+	d := &ml.Dataset{
+		X:   [][]float64{{0, 10}, {2, 10}, {4, 10}},
+		Y:   []int{0, 0, 1},
+		App: []string{"a", "a", "a"},
+	}
+	s := ml.FitScaler(d)
+	if s.Mean[0] != 2 {
+		t.Errorf("mean[0] = %v, want 2", s.Mean[0])
+	}
+	// Constant column gets std 1 (no blow-up).
+	if s.Std[1] != 1 {
+		t.Errorf("constant column std = %v, want 1", s.Std[1])
+	}
+	out := s.Apply([]float64{2, 10}, nil)
+	if out[0] != 0 || out[1] != 0 {
+		t.Errorf("Apply(mean) = %v, want zeros", out)
+	}
+	// No NaNs ever.
+	out = s.Apply([]float64{1e9, -1e9}, nil)
+	for _, v := range out {
+		if math.IsNaN(v) {
+			t.Fatal("scaler produced NaN")
+		}
+	}
+}
+
+// constModel scores every sample identically.
+type constModel float64
+
+func (c constModel) Score(x []float64) float64 { return float64(c) }
+
+// featureModel scores by the first feature through a squashing map.
+type featureModel struct{}
+
+func (featureModel) Score(x []float64) float64 { return 1 / (1 + math.Exp(-x[0])) }
+
+func TestPredictThreshold(t *testing.T) {
+	if ml.Predict(constModel(0.7), nil, 0.5) != 1 {
+		t.Error("score 0.7 at threshold 0.5 should predict 1")
+	}
+	if ml.Predict(constModel(0.3), nil, 0.5) != 0 {
+		t.Error("score 0.3 at threshold 0.5 should predict 0")
+	}
+}
+
+func TestCalibrateThreshold(t *testing.T) {
+	// Negatives concentrated at low scores, positives at high: threshold
+	// should sit between them for a tight FPR target.
+	d := &ml.Dataset{}
+	for i := 0; i < 200; i++ {
+		x := -2.0 // score ≈ 0.12
+		y := 0
+		if i%2 == 0 {
+			x = 2.0 // score ≈ 0.88
+			y = 1
+		}
+		d.X = append(d.X, []float64{x})
+		d.Y = append(d.Y, y)
+		d.App = append(d.App, "a")
+	}
+	thr := ml.CalibrateThreshold(featureModel{}, d, 0.01)
+	if thr <= 0.119 || thr > 0.9 {
+		t.Errorf("calibrated threshold = %v, want in (0.119, 0.9]", thr)
+	}
+	// The calibrated threshold must achieve the FPR target.
+	fp := 0
+	for i, x := range d.X {
+		if d.Y[i] == 0 && (featureModel{}).Score(x) >= thr {
+			fp++
+		}
+	}
+	if fp > 1 {
+		t.Errorf("calibrated threshold allows %d false positives", fp)
+	}
+}
+
+func TestCalibrateThresholdNoNegatives(t *testing.T) {
+	d := &ml.Dataset{
+		X: [][]float64{{1}}, Y: []int{1}, App: []string{"a"},
+	}
+	if thr := ml.CalibrateThreshold(constModel(0.5), d, 0.01); thr != 0.5 {
+		t.Errorf("threshold without negatives = %v, want 0.5", thr)
+	}
+}
+
+func TestFilterApps(t *testing.T) {
+	d := mltest.Linear(100, 2, 4, 9)
+	sub := d.FilterApps(func(a string) bool { return a == "app00" })
+	if sub.Len() != 25 {
+		t.Errorf("filtered %d samples, want 25", sub.Len())
+	}
+	for _, a := range sub.App {
+		if a != "app00" {
+			t.Fatal("filter leaked other apps")
+		}
+	}
+}

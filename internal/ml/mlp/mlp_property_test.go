@@ -1,0 +1,53 @@
+package mlp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustergate/internal/ml/mltest"
+)
+
+// TestScoreBoundedProperty: sigmoid output stays in (0,1) for arbitrary
+// finite inputs, including extreme magnitudes.
+func TestScoreBoundedProperty(t *testing.T) {
+	train := mltest.Linear(400, 6, 5, 21)
+	n, err := Train(Config{Hidden: []int{8, 4}, Epochs: 4, Seed: 2}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clamp := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		// Physically meaningful counter values are bounded; wrap extreme
+		// generator values into a wide but finite range.
+		return math.Mod(v, 1e6)
+	}
+	f := func(a, b, c float64) bool {
+		x := []float64{clamp(a), clamp(b), clamp(c), clamp(-a), clamp(a * b), clamp(c - b)}
+		s := n.Score(x)
+		return s >= 0 && s <= 1 && !math.IsNaN(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTrainingReducesLoss: more epochs never leave training accuracy
+// dramatically worse than fewer (a sanity property of Adam convergence on
+// a learnable problem).
+func TestTrainingReducesLoss(t *testing.T) {
+	train := mltest.Linear(1500, 5, 10, 22)
+	short, err := Train(Config{Hidden: []int{8}, Epochs: 2, Seed: 3}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Train(Config{Hidden: []int{8}, Epochs: 25, Seed: 3}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := mltest.Accuracy(long, train, 0.5), mltest.Accuracy(short, train, 0.5); a < b-0.05 {
+		t.Errorf("training accuracy regressed with epochs: %.3f → %.3f", b, a)
+	}
+}

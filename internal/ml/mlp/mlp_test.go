@@ -1,0 +1,158 @@
+package mlp
+
+import (
+	"testing"
+
+	"clustergate/internal/ml"
+	"clustergate/internal/ml/mltest"
+)
+
+func TestMLPLearnsLinearRule(t *testing.T) {
+	train := mltest.Linear(2000, 6, 10, 1)
+	test := mltest.Linear(500, 6, 10, 2)
+	n, err := Train(Config{Hidden: []int{8}, Epochs: 20, Seed: 3}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(n, test, 0.5); acc < 0.85 {
+		t.Errorf("linear-rule accuracy = %.3f, want ≥0.85", acc)
+	}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	train := mltest.XOR(3000, 4, 10, 4)
+	test := mltest.XOR(600, 4, 10, 5)
+	n, err := Train(Config{Hidden: []int{16, 8}, Epochs: 40, Seed: 6}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(n, test, 0.5); acc < 0.9 {
+		t.Errorf("XOR accuracy = %.3f, want ≥0.9 (nonlinear capacity missing)", acc)
+	}
+}
+
+func TestMLPScoreRange(t *testing.T) {
+	train := mltest.Linear(500, 4, 5, 7)
+	n, err := Train(Config{Hidden: []int{4}, Epochs: 5, Seed: 1}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range train.X[:100] {
+		s := n.Score(x)
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v outside [0,1]", s)
+		}
+	}
+}
+
+func TestMLPDeterministicTraining(t *testing.T) {
+	train := mltest.Linear(500, 4, 5, 8)
+	a, err := Train(Config{Hidden: []int{8, 4}, Epochs: 5, Seed: 11}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(Config{Hidden: []int{8, 4}, Epochs: 5, Seed: 11}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range a.Weights {
+		for i := range a.Weights[l] {
+			if a.Weights[l][i] != b.Weights[l][i] {
+				t.Fatal("identical seeds produced different weights")
+			}
+		}
+	}
+}
+
+func TestMLPTopologyAccounting(t *testing.T) {
+	train := mltest.Linear(300, 12, 5, 9)
+	n, err := Train(Config{Hidden: []int{8, 8, 4}, Epochs: 2, Seed: 1}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumLayers() != 4 {
+		t.Errorf("layers = %d, want 4 (3 hidden + output)", n.NumLayers())
+	}
+	// 12→8→8→4→1: weights 96+64+32+4 = 196, biases 8+8+4+1 = 21.
+	if got := n.NumParams(); got != 217 {
+		t.Errorf("params = %d, want 217", got)
+	}
+}
+
+func TestMLPInvalidConfig(t *testing.T) {
+	train := mltest.Linear(100, 3, 5, 1)
+	if _, err := Train(Config{Hidden: []int{0}}, train); err == nil {
+		t.Error("zero-width layer accepted")
+	}
+	if _, err := Train(Config{Hidden: []int{4}}, &ml.Dataset{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestMLPClassWeighting(t *testing.T) {
+	// With 10:1 imbalance, upweighting positives should raise recall.
+	train := mltest.Linear(3000, 4, 10, 12)
+	// Make it imbalanced: drop most positives.
+	var idx []int
+	posKept := 0
+	for i, y := range train.Y {
+		if y == 1 {
+			if posKept%8 != 0 {
+				posKept++
+				continue
+			}
+			posKept++
+		}
+		idx = append(idx, i)
+	}
+	imb := train.Subset(idx)
+
+	plain, err := Train(Config{Hidden: []int{8}, Epochs: 20, Seed: 3}, imb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Train(Config{Hidden: []int{8}, Epochs: 20, Seed: 3, ClassWeightPos: 8}, imb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := mltest.Linear(1000, 4, 10, 13)
+	recall := func(m ml.Model) float64 {
+		tp, pos := 0, 0
+		for i, x := range test.X {
+			if test.Y[i] == 1 {
+				pos++
+				if ml.Predict(m, x, 0.5) == 1 {
+					tp++
+				}
+			}
+		}
+		return float64(tp) / float64(pos)
+	}
+	if recall(weighted) <= recall(plain) {
+		t.Errorf("class weighting did not improve recall: plain %.3f vs weighted %.3f",
+			recall(plain), recall(weighted))
+	}
+}
+
+func BenchmarkMLPInference884(b *testing.B) {
+	train := mltest.Linear(500, 12, 5, 1)
+	n, err := Train(Config{Hidden: []int{8, 8, 4}, Epochs: 2, Seed: 1}, train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := train.X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Score(x)
+	}
+}
+
+func BenchmarkMLPTraining(b *testing.B) {
+	train := mltest.Linear(2000, 12, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(Config{Hidden: []int{8, 8, 4}, Epochs: 10, Seed: int64(i)}, train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

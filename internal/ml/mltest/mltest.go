@@ -1,0 +1,73 @@
+// Package mltest provides synthetic labelled datasets for testing the ML
+// implementations against known decision boundaries.
+package mltest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clustergate/internal/ml"
+)
+
+// Linear generates an n-sample dataset whose label is a noisy linear rule
+// over dim standard-normal features, with samples spread over nApps
+// applications.
+func Linear(n, dim, nApps int, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &ml.Dataset{}
+	// The decision rule is fixed across seeds so that independently seeded
+	// train and test sets share the same ground truth.
+	wrng := rand.New(rand.NewSource(1234))
+	w := make([]float64, dim)
+	for j := range w {
+		w[j] = wrng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim)
+		z := 0.0
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			z += w[j] * x[j]
+		}
+		y := 0
+		if z+0.3*rng.NormFloat64() > 0 {
+			y = 1
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, y)
+		d.App = append(d.App, fmt.Sprintf("app%02d", i%nApps))
+	}
+	return d
+}
+
+// XOR generates a dataset whose label is the XOR of the signs of the first
+// two features — unlearnable by any linear model, easy for trees and MLPs.
+func XOR(n, dim, nApps int, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &ml.Dataset{}
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		y := 0
+		if (x[0] > 0) != (x[1] > 0) {
+			y = 1
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, y)
+		d.App = append(d.App, fmt.Sprintf("app%02d", i%nApps))
+	}
+	return d
+}
+
+// Accuracy scores the model on the dataset at the given threshold.
+func Accuracy(m ml.Model, d *ml.Dataset, threshold float64) float64 {
+	correct := 0
+	for i, x := range d.X {
+		if ml.Predict(m, x, threshold) == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}

@@ -1,0 +1,83 @@
+package ml_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clustergate/internal/ml"
+	"clustergate/internal/ml/mltest"
+)
+
+// TestSplitByAppPartitionProperty: for random datasets, the app-level split
+// always partitions (disjoint apps, no lost samples).
+func TestSplitByAppPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64, fracByte uint8) bool {
+		n := 50 + int(uint(seed)%200)
+		apps := 3 + int(uint(seed)%17)
+		d := mltest.Linear(n, 3, apps, seed)
+		frac := 0.2 + float64(fracByte%60)/100
+		tune, val := d.SplitByApp(frac, rng.Int63())
+		if tune.Len()+val.Len() != d.Len() {
+			return false
+		}
+		tuneApps := map[string]bool{}
+		for _, a := range tune.App {
+			tuneApps[a] = true
+		}
+		for _, a := range val.App {
+			if tuneApps[a] {
+				return false
+			}
+		}
+		return val.Len() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScalerInverseProperty: standardising then de-standardising recovers
+// the original features.
+func TestScalerInverseProperty(t *testing.T) {
+	d := mltest.Linear(200, 5, 5, 11)
+	s := ml.FitScaler(d)
+	f := func(idxRaw uint16) bool {
+		x := d.X[int(idxRaw)%d.Len()]
+		z := s.Apply(x, nil)
+		for j := range z {
+			back := z[j]*s.Std[j] + s.Mean[j]
+			if diff := back - x[j]; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSubsetPreservesRowsProperty: subsetting never reorders or mutates the
+// referenced samples.
+func TestSubsetPreservesRowsProperty(t *testing.T) {
+	d := mltest.Linear(300, 4, 6, 12)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		idx := make([]int, 1+rng.Intn(50))
+		for i := range idx {
+			idx[i] = rng.Intn(d.Len())
+		}
+		sub := d.Subset(idx)
+		for i, j := range idx {
+			if &sub.X[i][0] != &d.X[j][0] || sub.Y[i] != d.Y[j] || sub.App[i] != d.App[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

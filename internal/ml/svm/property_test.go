@@ -1,0 +1,120 @@
+package svm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustergate/internal/ml/mltest"
+)
+
+// TestChi2KernelSymmetricBoundedProperty: the exponential χ² kernel must be
+// symmetric, bounded in [0,1] (0 only by underflow at extreme distances),
+// and exactly 1 on the diagonal — the dual ascent trainer and the firmware
+// cost model both assume these.
+func TestChi2KernelSymmetricBoundedProperty(t *testing.T) {
+	m, err := TrainChi2(Chi2Config{MaxSupport: 50, Epochs: 2}, mltest.Linear(300, 4, 8, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(ra, rb [4]float64) bool {
+		a := m.prepare(clean4(ra))
+		b := m.prepare(clean4(rb))
+		kab := m.kernel(a, b)
+		kba := m.kernel(b, a)
+		if math.Abs(kab-kba) > 1e-12 {
+			t.Logf("asymmetric kernel: %v vs %v", kab, kba)
+			return false
+		}
+		if kab < 0 || kab > 1+1e-12 {
+			t.Logf("kernel out of range: %v", kab)
+			return false
+		}
+		if kaa := m.kernel(a, a); math.Abs(kaa-1) > 1e-12 {
+			t.Logf("diagonal kernel %v != 1", kaa)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChi2ScoreBoundedProperty: the sigmoid-squashed margin is a pseudo-
+// probability in [0,1] for any finite input.
+func TestChi2ScoreBoundedProperty(t *testing.T) {
+	m, err := TrainChi2(Chi2Config{MaxSupport: 50, Epochs: 2}, mltest.XOR(300, 4, 8, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw [4]float64) bool {
+		p := m.Score(clean4(raw))
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinearSVMScoreMonotoneProperty: the Pegasos model's score must be
+// monotone along its weight vector (sigmoid of a linear margin).
+func TestLinearSVMScoreMonotoneProperty(t *testing.T) {
+	m, err := TrainLinear(LinearConfig{Seed: 7}, mltest.Linear(500, 4, 8, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw [4]float64, stepRaw uint8) bool {
+		x := clean4(raw)
+		for i := range x {
+			x[i] = math.Mod(x[i], 100)
+		}
+		step := float64(stepRaw%40) / 10
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = x[i] + step*m.W[i]
+		}
+		return m.Score(y) >= m.Score(x)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnsembleScoreIsVoteFraction: an SVM ensemble score must equal the
+// fraction of members voting positive.
+func TestEnsembleScoreIsVoteFraction(t *testing.T) {
+	e, err := TrainEnsemble(5, LinearConfig{Seed: 11}, mltest.Linear(400, 4, 8, 44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw [4]float64) bool {
+		x := clean4(raw)
+		votes := 0.0
+		for _, m := range e.Members {
+			if m.Score(x) >= 0.5 {
+				votes++
+			}
+		}
+		want := votes / float64(len(e.Members))
+		return math.Abs(e.Score(x)-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clean4 maps quick's unrestricted float64s onto the domain these models
+// actually see: finite per-cycle counter rates. Magnitudes near 1e308 make
+// the margin dot product overflow to Inf-Inf = NaN, which no real
+// telemetry vector can produce.
+func clean4(raw [4]float64) []float64 {
+	x := make([]float64, 4)
+	for i, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		x[i] = math.Mod(v, 1e6)
+	}
+	return x
+}

@@ -1,0 +1,121 @@
+package svm
+
+import (
+	"testing"
+
+	"clustergate/internal/ml/mltest"
+)
+
+func TestLinearSVMLearnsLinearRule(t *testing.T) {
+	train := mltest.Linear(2000, 6, 10, 1)
+	test := mltest.Linear(500, 6, 10, 2)
+	m, err := TrainLinear(LinearConfig{Seed: 3}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(m, test, 0.5); acc < 0.85 {
+		t.Errorf("linear SVM accuracy = %.3f, want ≥0.85", acc)
+	}
+}
+
+func TestLinearSVMScoreRange(t *testing.T) {
+	train := mltest.Linear(300, 4, 5, 4)
+	m, err := TrainLinear(LinearConfig{Seed: 1}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range train.X[:50] {
+		if s := m.Score(x); s < 0 || s > 1 {
+			t.Fatalf("score %v outside [0,1]", s)
+		}
+	}
+}
+
+func TestEnsemble(t *testing.T) {
+	train := mltest.Linear(1000, 5, 10, 5)
+	test := mltest.Linear(300, 5, 10, 6)
+	e, err := TrainEnsemble(5, LinearConfig{Seed: 2}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Members) != 5 {
+		t.Fatalf("members = %d, want 5", len(e.Members))
+	}
+	if acc := mltest.Accuracy(e, test, 0.5); acc < 0.85 {
+		t.Errorf("ensemble accuracy = %.3f, want ≥0.85", acc)
+	}
+}
+
+func TestChi2LearnsXOR(t *testing.T) {
+	// The kernel SVM should solve a problem linear models cannot.
+	train := mltest.XOR(2000, 4, 10, 7)
+	test := mltest.XOR(400, 4, 10, 8)
+	m, err := TrainChi2(Chi2Config{MaxSupport: 600, Epochs: 15, Gamma: 0.6, Seed: 9}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(m, test, 0.5); acc < 0.8 {
+		t.Errorf("χ² SVM XOR accuracy = %.3f, want ≥0.8", acc)
+	}
+}
+
+func TestChi2SupportBudget(t *testing.T) {
+	train := mltest.Linear(3000, 6, 10, 10)
+	m, err := TrainChi2(Chi2Config{MaxSupport: 500, Epochs: 5, Seed: 1}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.NumSupport(); n > 500 {
+		t.Errorf("support vectors = %d, exceeds budget 500", n)
+	}
+	if n := m.NumSupport(); n == 0 {
+		t.Error("no support vectors retained")
+	}
+}
+
+func TestChi2KernelProperties(t *testing.T) {
+	m := &Chi2{Gamma: 1}
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 3}
+	if k := m.kernel(a, b); k != 1 {
+		t.Errorf("K(x,x) = %v, want 1", k)
+	}
+	c := []float64{4, 0, 1}
+	kac := m.kernel(a, c)
+	kca := m.kernel(c, a)
+	if kac != kca {
+		t.Errorf("kernel asymmetric: %v vs %v", kac, kca)
+	}
+	if kac <= 0 || kac >= 1 {
+		t.Errorf("K(x,y) = %v, want in (0,1) for distinct x,y", kac)
+	}
+	// Zero-sum coordinates must not divide by zero.
+	z := []float64{0, 0, 0}
+	if k := m.kernel(z, z); k != 1 {
+		t.Errorf("K(0,0) = %v, want 1", k)
+	}
+}
+
+func TestChi2Deterministic(t *testing.T) {
+	train := mltest.Linear(800, 4, 5, 11)
+	a, _ := TrainChi2(Chi2Config{MaxSupport: 200, Epochs: 3, Seed: 5}, train)
+	b, _ := TrainChi2(Chi2Config{MaxSupport: 200, Epochs: 3, Seed: 5}, train)
+	for _, x := range train.X[:50] {
+		if a.Score(x) != b.Score(x) {
+			t.Fatal("identical seeds produced different χ² models")
+		}
+	}
+}
+
+func BenchmarkChi2Inference(b *testing.B) {
+	train := mltest.Linear(2000, 12, 10, 1)
+	m, err := TrainChi2(Chi2Config{MaxSupport: 1000, Epochs: 5, Seed: 1}, train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := train.X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Score(x)
+	}
+}

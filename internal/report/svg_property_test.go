@@ -1,0 +1,104 @@
+package report
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// wellFormed parses the produced document with encoding/xml, which rejects
+// unescaped labels, unbalanced tags, and bad attribute quoting — the ways
+// a hand-rolled SVG writer typically breaks.
+func wellFormed(buf []byte) error {
+	dec := xml.NewDecoder(bytes.NewReader(buf))
+	for {
+		_, err := dec.Token()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// TestBarChartSVGWellFormedProperty: any label text (including XML
+// metacharacters) and any finite values must yield a well-formed SVG
+// document.
+func TestBarChartSVGWellFormedProperty(t *testing.T) {
+	f := func(labels [3]string, raw [3]float64, percent bool) bool {
+		values := make([]float64, 3)
+		labs := make([]string, 3)
+		for i := range values {
+			v := raw[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			values[i] = math.Mod(v, 1e6)
+			labs[i] = labels[i] + `<&">`
+		}
+		c := &BarChart{
+			Title:   `sweep <&"'> ` + labels[0],
+			Labels:  labs,
+			Values:  values,
+			Percent: percent,
+		}
+		var buf bytes.Buffer
+		if err := c.WriteSVG(&buf); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		if err := wellFormed(buf.Bytes()); err != nil {
+			t.Logf("malformed SVG: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScatterChartSVGWellFormedProperty: scatter output stays well-formed
+// for arbitrary finite point clouds and hostile series names.
+func TestScatterChartSVGWellFormedProperty(t *testing.T) {
+	f := func(raw [4][2]float64, name string) bool {
+		pts := make([]ScatterPoint, len(raw))
+		for i, p := range raw {
+			x, y := p[0], p[1]
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				y = 0
+			}
+			pts[i] = ScatterPoint{
+				X: math.Mod(x, 1e6), Y: math.Mod(y, 1e6),
+				Label: fmt.Sprintf("p<%d>&%q", i, name),
+			}
+		}
+		c := &ScatterChart{
+			Title:  name + `<script>`,
+			XLabel: `x <&>`,
+			YLabel: `y "quoted"`,
+			Points: pts,
+		}
+		var buf bytes.Buffer
+		if err := c.WriteSVG(&buf); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		if err := wellFormed(buf.Bytes()); err != nil {
+			t.Logf("malformed SVG: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package telemetry
+
+import "clustergate/internal/uarch"
+
+// BaseToEvents reconstructs an event-count struct from a base signal
+// vector, inverting ExtractBase. The power model consumes events, so this
+// lets recorded telemetry drive power estimation without keeping full
+// event structs per interval.
+func BaseToEvents(base []float64) uarch.Events {
+	u := func(i int) uint64 { return uint64(base[i]) }
+	return uarch.Events{
+		UopCacheMisses:    u(0),
+		L2SilentEvictions: u(1),
+		WrongPathUops:     u(2),
+		SQOccupancySum:    u(3),
+		L1DReads:          u(4),
+		StallCycles:       u(5),
+		PhysRegRefs:       u(6),
+		Loads:             u(7),
+		L1DHits:           u(8),
+		UopCacheHits:      u(9),
+		UopsStalledOnDep:  u(10),
+		UopsReady:         u(11),
+		Mispredicts:       u(12),
+		L1IMisses:         u(13),
+		L1DMisses:         u(14),
+		L2Misses:          u(15),
+		Instrs:            u(16),
+		ITLBMisses:        u(17),
+		DTLBMisses:        u(18),
+		Branches:          u(19),
+		TakenBranches:     u(20),
+		Stores:            u(21),
+		L2Hits:            u(22),
+		L2DirtyEvictions:  u(23),
+		L1IHits:           u(24),
+		FetchBubbles:      u(25),
+		RedirectCycles:    u(26),
+		BusyCycles:        u(27),
+		ReadyWaitCycles:   u(28),
+		SQStallCycles:     u(29),
+		IssueC0:           u(30),
+		IssueC1:           u(31),
+		CrossForwards:     u(32),
+		FPOps:             u(33),
+		MulOps:            u(34),
+		DivOps:            u(35),
+		ModeSwitches:      u(36),
+		RegTransferUops:   u(37),
+		PrefetchFills:     u(38),
+		Cycles:            u(39),
+	}
+}

@@ -1,0 +1,432 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Archetype is a family of applications with related phase behaviour. The
+// HDTR corpus samples applications from archetypes with per-application
+// jitter; statistical blindspots correspond to archetypes absent from a
+// tuning set.
+type Archetype struct {
+	Name     string
+	Category Category
+	Phases   []Phase
+	// Jitter is the relative perturbation applied to each phase parameter
+	// when instantiating an application from this archetype.
+	Jitter float64
+	// SelfLoop is the probability of staying in the current phase at each
+	// phase-visit boundary.
+	SelfLoop float64
+}
+
+const (
+	kib = 1 << 10
+	mib = 1 << 20
+
+	// phaseLengthScale converts the nominal phase lengths written in the
+	// archetype and benchmark tables into instantiated lengths. Real
+	// workload phases persist for hundreds of thousands of instructions —
+	// several prediction windows — and the paper's whole premise is that
+	// telemetry within a phase is statistically stationary; without this
+	// scaling most 40k-instruction prediction windows would straddle phase
+	// boundaries and be irreducibly ambiguous.
+	phaseLengthScale = 5
+)
+
+// serialPhase has short dependency chains: a 4-wide cluster extracts all
+// available ILP, so gating the second cluster is free.
+func serialPhase(footprint uint64, loadFrac float64, length int) Phase {
+	return Phase{
+		Params: PhaseParams{
+			DepDist: 1.9, LoadFrac: loadFrac, StoreFrac: loadFrac * 0.4,
+			BranchFrac: 0.12, FPFrac: 0.05, LongLatFrac: 0.01,
+			DataFootprint: footprint, CodeFootprint: 24 * kib,
+			StrideFrac: 0.5, BranchEntropy: 0.06,
+		},
+		Length: length,
+	}
+}
+
+// ilpPhase exposes wide instruction-level parallelism that only the
+// dual-cluster, 8-wide configuration can capture.
+func ilpPhase(depDist float64, fpFrac float64, length int) Phase {
+	return Phase{
+		Params: PhaseParams{
+			DepDist: depDist, LoadFrac: 0.16, StoreFrac: 0.06,
+			BranchFrac: 0.06, FPFrac: fpFrac, LongLatFrac: 0.0,
+			DataFootprint: 24 * kib, CodeFootprint: 4 * kib,
+			StrideFrac: 0.9, BranchEntropy: 0.05,
+		},
+		Length: length,
+	}
+}
+
+// fastSerialPhase has medium-length dependency chains of single-cycle ops:
+// IPC sits near 3.5 in BOTH modes, so gating is free despite the high IPC —
+// the counter signature (µops stalled on dependencies, low ready-wait) is
+// visible to the PF counter set but invisible to IPC-centric expert models.
+func fastSerialPhase(footprint uint64, length int) Phase {
+	return Phase{
+		Params: PhaseParams{
+			DepDist: 3.9, LoadFrac: 0.13, StoreFrac: 0.05,
+			BranchFrac: 0.08, FPFrac: 0.03, LongLatFrac: 0.0,
+			DataFootprint: footprint, CodeFootprint: 5 * kib,
+			StrideFrac: 0.7, BranchEntropy: 0.04,
+		},
+		Length: length,
+	}
+}
+
+// latencyBoundPhase has abundant independent random misses over a DRAM-
+// resident footprint: demand-miss parallelism is MSHR-limited, and gating
+// halves the aggregate MSHR file. Low IPC in both modes but NOT gateable —
+// the inverse trap of fastSerialPhase. The three-parameter variant spreads
+// the family across the corpus so models with adequate counters can learn
+// it as a family rather than memorise one point.
+func latencyBoundPhase(footprint uint64, length int) Phase {
+	return latencyBoundVar(20, 0.22, 0.08, footprint, length)
+}
+
+func latencyBoundVar(depDist, loadFrac, fpFrac float64, footprint uint64, length int) Phase {
+	return Phase{
+		Params: PhaseParams{
+			DepDist: depDist, LoadFrac: loadFrac, StoreFrac: 0.04,
+			BranchFrac: 0.06, FPFrac: fpFrac, LongLatFrac: 0.0,
+			DataFootprint: footprint, CodeFootprint: 6 * kib,
+			StrideFrac: 0.05, BranchEntropy: 0.02,
+		},
+		Length: length,
+	}
+}
+
+// mediumILPPhase exposes just enough parallelism to keep an 8-wide machine
+// meaningfully ahead of a 4-wide one while its IPC (~3.3 in high-perf mode)
+// overlaps fastSerialPhase's. In expert-counter space the two are nearly
+// identical — small footprints, few misses, few mispredicts — and only
+// readiness/dependency counters tell them apart; this pair is one of the
+// designed ambiguities that punishes IPC-centric adaptation models.
+func mediumILPPhase(footprint uint64, length int) Phase {
+	return Phase{
+		Params: PhaseParams{
+			DepDist: 6.2, LoadFrac: 0.13, StoreFrac: 0.05,
+			BranchFrac: 0.08, FPFrac: 0.04, LongLatFrac: 0.0,
+			DataFootprint: footprint, CodeFootprint: 5 * kib,
+			StrideFrac: 0.7, BranchEntropy: 0.04,
+		},
+		Length: length,
+	}
+}
+
+// chaseTwinPhase and chaseTrapPhase form the corpus's engineered
+// expert-space collision: identical instruction mix, footprint, and memory
+// behaviour (and therefore identical IPC bands, miss rates, TLB rates, and
+// stall fractions after jitter), differing only in dependency structure.
+// The twin's random misses are chain-limited — both cluster configurations
+// sustain them, so gating is free — while the trap's are independent and
+// MSHR-limited, losing ~15% when gating halves the MSHR file. Only
+// readiness-family counters separate them, which is precisely the
+// information-content argument of Section 6.2.
+func chaseTwinPhase(footprint uint64, length int) Phase {
+	return chasePhase(7.5, 0.28, footprint, length)
+}
+
+func chaseTrapPhase(footprint uint64, length int) Phase {
+	// Matched to the twin: the higher load fraction cancels the higher
+	// per-miss parallelism so high-perf IPC, miss rates, and stall
+	// fractions coincide with the twin's — only the readiness counters
+	// and the gated-mode outcome differ.
+	return chasePhase(11, 0.36, footprint, length)
+}
+
+func chasePhase(depDist, loadFrac float64, footprint uint64, length int) Phase {
+	return Phase{
+		Params: PhaseParams{
+			DepDist: depDist, LoadFrac: loadFrac, StoreFrac: 0.05,
+			BranchFrac: 0.05, FPFrac: 0.15, LongLatFrac: 0.0,
+			DataFootprint: footprint, CodeFootprint: 6 * kib,
+			StrideFrac: 0.05, BranchEntropy: 0.03,
+		},
+		Length: length,
+	}
+}
+
+// shapeTrapPhase is the bimodal-dependency variant of the MSHR trap: 60%
+// independent operations plus short chains, an alternative dependency
+// SHAPE at similar mean statistics. It widens the corpus's dimensionality
+// beyond what (IPC, miss-rate) pairs summarise.
+func shapeTrapPhase(footprint uint64, length int) Phase {
+	ph := chasePhase(10, 0.33, footprint, length)
+	ph.Params.DepShape = 1
+	return ph
+}
+
+// memBoundPhase stalls on the memory hierarchy; issue width is irrelevant.
+func memBoundPhase(footprint uint64, strideFrac float64, length int) Phase {
+	return Phase{
+		Params: PhaseParams{
+			DepDist: 2.8, LoadFrac: 0.34, StoreFrac: 0.10,
+			BranchFrac: 0.08, FPFrac: 0.04, LongLatFrac: 0.0,
+			DataFootprint: footprint, CodeFootprint: 16 * kib,
+			StrideFrac: strideFrac, BranchEntropy: 0.02,
+		},
+		Length: length,
+	}
+}
+
+// branchyPhase is control-dominated with hard-to-predict branches; frequent
+// flushes waste most of an 8-wide front end.
+func branchyPhase(entropy float64, codeFootprint uint64, length int) Phase {
+	return Phase{
+		Params: PhaseParams{
+			DepDist: 3.5, LoadFrac: 0.22, StoreFrac: 0.08,
+			BranchFrac: 0.20, FPFrac: 0.0, LongLatFrac: 0.0,
+			DataFootprint: 256 * kib, CodeFootprint: codeFootprint,
+			StrideFrac: 0.3, BranchEntropy: entropy,
+		},
+		Length: length,
+	}
+}
+
+// vectorPhase models dense numeric kernels: streaming loads with moderate
+// FP ILP, borderline for gating depending on exact dependency structure.
+func vectorPhase(depDist float64, footprint uint64, length int) Phase {
+	return Phase{
+		Params: PhaseParams{
+			DepDist: depDist, LoadFrac: 0.26, StoreFrac: 0.10,
+			BranchFrac: 0.04, FPFrac: 0.38, LongLatFrac: 0.01,
+			DataFootprint: footprint, CodeFootprint: 5 * kib,
+			StrideFrac: 0.95, BranchEntropy: 0.02,
+		},
+		Length: length,
+	}
+}
+
+// uniformTransition returns an n×n phase-transition matrix with the given
+// self-loop probability and the remainder spread uniformly.
+func uniformTransition(n int, selfLoop float64) [][]float64 {
+	t := make([][]float64, n)
+	for i := range t {
+		t[i] = make([]float64, n)
+		if n == 1 {
+			t[i][0] = 1
+			continue
+		}
+		rest := (1 - selfLoop) / float64(n-1)
+		for j := range t[i] {
+			if i == j {
+				t[i][j] = selfLoop
+			} else {
+				t[i][j] = rest
+			}
+		}
+	}
+	return t
+}
+
+// buildArchetypes constructs the archetype library: seven families per
+// corpus category, systematically varied in ILP, footprint, and phase mix
+// so they occupy distinct regions of telemetry space.
+func buildArchetypes() []Archetype {
+	var out []Archetype
+	add := func(name string, cat Category, jitter float64, phases ...Phase) {
+		out = append(out, Archetype{
+			Name: name, Category: cat, Phases: phases,
+			Jitter: jitter, SelfLoop: 0.82,
+		})
+	}
+
+	// --- HPC & performance benchmarks: numeric kernels across the ILP
+	// spectrum, from dense high-ILP to latency-bound stencils.
+	add("hpc-dense-ilp", CatHPC, 0.10,
+		ilpPhase(24, 0.45, 45000), vectorPhase(18, 64*kib, 30000))
+	add("hpc-stencil-stream", CatHPC, 0.12,
+		vectorPhase(4.5, 48*mib, 40000), memBoundPhase(64*mib, 0.9, 35000))
+	add("hpc-sparse-solver", CatHPC, 0.15,
+		memBoundPhase(128*mib, 0.2, 40000), chaseTwinPhase(96*mib, 30000), serialPhase(8*mib, 0.3, 25000))
+	add("hpc-fft-mixed", CatHPC, 0.10,
+		ilpPhase(20, 0.5, 30000), memBoundPhase(16*mib, 0.7, 30000), fastSerialPhase(256*kib, 20000))
+	add("hpc-nbody-compute", CatHPC, 0.08,
+		ilpPhase(28, 0.55, 60000), vectorPhase(22, 128*kib, 25000))
+	add("hpc-graph-analytics", CatHPC, 0.18,
+		memBoundPhase(256*mib, 0.1, 45000), chaseTrapPhase(224*mib, 22000), branchyPhase(0.45, 64*kib, 20000))
+	add("hpc-scalar-legacy", CatHPC, 0.12,
+		serialPhase(1*mib, 0.28, 50000), fastSerialPhase(64*kib, 30000))
+
+	// --- Cloud & security: request processing, crypto, compression.
+	add("cloud-request-serving", CatCloud, 0.15,
+		branchyPhase(0.3, 512*kib, 30000), memBoundPhase(32*mib, 0.3, 25000))
+	add("cloud-crypto-kernel", CatCloud, 0.08,
+		ilpPhase(16, 0.1, 40000), fastSerialPhase(32*kib, 20000))
+	add("cloud-compression", CatCloud, 0.12,
+		serialPhase(2*mib, 0.32, 45000), mediumILPPhase(96*kib, 20000), branchyPhase(0.5, 32*kib, 25000))
+	add("cloud-kv-store", CatCloud, 0.16,
+		memBoundPhase(512*mib, 0.15, 40000), latencyBoundVar(14, 0.30, 0.25, 256*mib, 25000), serialPhase(128*kib, 0.25, 20000))
+	add("cloud-rpc-marshalling", CatCloud, 0.14,
+		branchyPhase(0.25, 256*kib, 25000), serialPhase(512*kib, 0.3, 25000))
+	add("cloud-hash-scan", CatCloud, 0.10,
+		memBoundPhase(64*mib, 0.5, 35000), shapeTrapPhase(96*mib, 20000), ilpPhase(14, 0.05, 20000))
+	add("cloud-tls-handshake", CatCloud, 0.12,
+		ilpPhase(18, 0.15, 25000), branchyPhase(0.35, 128*kib, 20000), serialPhase(64*kib, 0.2, 15000))
+
+	// --- AI & analytics: GEMM-like compute plus pointer-heavy data prep.
+	add("ai-gemm-inference", CatAI, 0.08,
+		ilpPhase(26, 0.6, 55000), vectorPhase(20, 4*mib, 30000))
+	add("ai-feature-prep", CatAI, 0.15,
+		memBoundPhase(128*mib, 0.4, 35000), chaseTwinPhase(160*mib, 25000), branchyPhase(0.4, 96*kib, 20000))
+	add("ai-tree-ensemble", CatAI, 0.14,
+		branchyPhase(0.55, 48*kib, 30000), memBoundPhase(32*mib, 0.2, 25000))
+	add("ai-embedding-lookup", CatAI, 0.12,
+		memBoundPhase(768*mib, 0.05, 45000), latencyBoundPhase(512*mib, 25000), vectorPhase(16, 1*mib, 20000))
+	add("ai-stream-aggregation", CatAI, 0.10,
+		vectorPhase(5, 96*mib, 40000), serialPhase(4*mib, 0.3, 20000))
+	add("ai-query-engine", CatAI, 0.16,
+		branchyPhase(0.35, 384*kib, 30000), chaseTrapPhase(128*mib, 20000), memBoundPhase(48*mib, 0.6, 25000))
+	add("ai-tokenizer", CatAI, 0.12,
+		fastSerialPhase(512*kib, 25000), serialPhase(512*kib, 0.3, 25000), branchyPhase(0.45, 64*kib, 20000))
+
+	// --- Web & productivity: large code footprints, branch-dominated.
+	add("web-dom-layout", CatWeb, 0.15,
+		branchyPhase(0.4, 2*mib, 30000), chaseTwinPhase(128*mib, 22000), memBoundPhase(96*mib, 0.25, 25000))
+	add("web-js-interpreter", CatWeb, 0.14,
+		branchyPhase(0.5, 4*mib, 40000), serialPhase(1*mib, 0.28, 20000))
+	add("web-text-shaping", CatWeb, 0.10,
+		fastSerialPhase(256*kib, 30000), vectorPhase(14, 512*kib, 20000))
+	add("web-spreadsheet-recalc", CatWeb, 0.12,
+		ilpPhase(18, 0.3, 30000), branchyPhase(0.3, 768*kib, 20000))
+	add("web-xml-parse", CatWeb, 0.13,
+		serialPhase(2*mib, 0.3, 40000), branchyPhase(0.45, 512*kib, 25000))
+	add("web-cache-churn", CatWeb, 0.16,
+		memBoundPhase(192*mib, 0.15, 35000), shapeTrapPhase(160*mib, 20000), branchyPhase(0.35, 1*mib, 20000))
+	add("web-event-loop", CatWeb, 0.14,
+		branchyPhase(0.28, 640*kib, 25000), mediumILPPhase(192*kib, 18000), memBoundPhase(24*mib, 0.3, 15000))
+
+	// --- Multimedia: streaming kernels with bursts of high ILP.
+	add("mm-video-decode", CatMultimedia, 0.10,
+		vectorPhase(16, 8*mib, 35000), branchyPhase(0.3, 96*kib, 20000))
+	add("mm-audio-dsp", CatMultimedia, 0.08,
+		ilpPhase(22, 0.5, 40000), mediumILPPhase(128*kib, 20000))
+	add("mm-image-filter", CatMultimedia, 0.10,
+		vectorPhase(20, 24*mib, 45000), serialPhase(512*kib, 0.2, 15000))
+	add("mm-transcode", CatMultimedia, 0.12,
+		vectorPhase(14, 16*mib, 35000), memBoundPhase(48*mib, 0.8, 25000))
+	add("mm-color-convert", CatMultimedia, 0.08,
+		ilpPhase(24, 0.4, 35000), vectorPhase(22, 4*mib, 25000))
+	add("mm-container-demux", CatMultimedia, 0.14,
+		fastSerialPhase(1*mib, 30000), branchyPhase(0.4, 128*kib, 20000))
+	add("mm-noise-reduction", CatMultimedia, 0.10,
+		vectorPhase(6, 32*mib, 40000), ilpPhase(18, 0.45, 20000))
+
+	// --- Games, rendering & AR: mixed compute/control with spiky phases.
+	add("game-physics", CatGames, 0.12,
+		ilpPhase(20, 0.45, 30000), branchyPhase(0.35, 256*kib, 20000))
+	add("game-ai-pathing", CatGames, 0.15,
+		branchyPhase(0.5, 192*kib, 30000), chaseTrapPhase(96*mib, 20000), memBoundPhase(64*mib, 0.2, 20000))
+	add("game-geometry", CatGames, 0.10,
+		vectorPhase(18, 12*mib, 35000), ilpPhase(22, 0.5, 25000))
+	add("game-script-vm", CatGames, 0.14,
+		branchyPhase(0.45, 1*mib, 35000), mediumILPPhase(256*kib, 18000), serialPhase(512*kib, 0.26, 20000))
+	add("game-asset-stream", CatGames, 0.13,
+		memBoundPhase(256*mib, 0.7, 30000), latencyBoundVar(16, 0.26, 0.30, 192*mib, 20000), serialPhase(2*mib, 0.3, 20000))
+	add("ar-tracking", CatGames, 0.11,
+		vectorPhase(16, 6*mib, 30000), branchyPhase(0.3, 128*kib, 15000), ilpPhase(20, 0.4, 20000))
+	add("ar-scene-fusion", CatGames, 0.12,
+		ilpPhase(18, 0.35, 25000), memBoundPhase(96*mib, 0.5, 25000))
+
+	for i := range out {
+		for j, ph := range out[i].Phases {
+			if err := ph.Params.Validate(); err != nil {
+				panic(fmt.Sprintf("archetype %q phase %d: %v", out[i].Name, j, err))
+			}
+		}
+	}
+	return out
+}
+
+var archetypeLibrary = buildArchetypes()
+
+// Archetypes returns the built-in archetype library (42 families, seven per
+// corpus category). The returned slice must not be modified.
+func Archetypes() []Archetype { return archetypeLibrary }
+
+// NewApplication instantiates an application from an archetype, applying
+// deterministic per-application jitter to every phase parameter so that no
+// two applications are statistically identical.
+func NewApplication(archIdx int, name string, seed int64) *Application {
+	arch := archetypeLibrary[archIdx]
+	rng := rand.New(rand.NewSource(seed))
+	phases := make([]Phase, len(arch.Phases))
+	for i, ph := range arch.Phases {
+		p := ph.Params
+		j := arch.Jitter
+		p.DepDist = clampMin(jitter(rng, p.DepDist, j), 1.1)
+		p.LoadFrac = clamp01(jitter(rng, p.LoadFrac, j))
+		p.StoreFrac = clamp01(jitter(rng, p.StoreFrac, j))
+		p.BranchFrac = clamp01(jitter(rng, p.BranchFrac, j))
+		p.FPFrac = clamp01(jitter(rng, p.FPFrac, j))
+		p.LongLatFrac = clamp01(jitter(rng, p.LongLatFrac, j))
+		p.StrideFrac = clamp01(jitter(rng, p.StrideFrac, j))
+		p.BranchEntropy = clamp01(jitter(rng, p.BranchEntropy, j))
+		p.DepShape = clamp01(jitter(rng, p.DepShape, j))
+		p.DataFootprint = jitterBytes(rng, p.DataFootprint, j)
+		p.CodeFootprint = jitterBytes(rng, p.CodeFootprint, j)
+		normalizeMix(&p)
+		phases[i] = Phase{
+			Params: p,
+			Length: phaseLengthScale * int(clampMin(jitter(rng, float64(ph.Length), j), 2000)),
+		}
+	}
+	return &Application{
+		Name:       name,
+		Category:   arch.Category,
+		Archetype:  archIdx,
+		Phases:     phases,
+		Transition: uniformTransition(len(phases), arch.SelfLoop),
+		Seed:       seed,
+	}
+}
+
+func jitter(rng *rand.Rand, v, rel float64) float64 {
+	return v * (1 + rel*(2*rng.Float64()-1))
+}
+
+func jitterBytes(rng *rand.Rand, v uint64, rel float64) uint64 {
+	out := uint64(jitter(rng, float64(v), rel))
+	if out < 4*kib {
+		out = 4 * kib
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func clampMin(v, lo float64) float64 {
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// normalizeMix rescales instruction-mix fractions if jitter pushed their
+// sum past what leaves room for plain ALU ops.
+func normalizeMix(p *PhaseParams) {
+	sum := p.LoadFrac + p.StoreFrac + p.BranchFrac + p.FPFrac + p.LongLatFrac
+	const maxMix = 0.95
+	if sum > maxMix {
+		scale := maxMix / sum
+		p.LoadFrac *= scale
+		p.StoreFrac *= scale
+		p.BranchFrac *= scale
+		p.FPFrac *= scale
+		p.LongLatFrac *= scale
+	}
+}

@@ -1,0 +1,69 @@
+package trace
+
+import "testing"
+
+// TestArchetypePhaseFamilyCoverage checks that the corpus library spans the
+// behaviour families the blindspot experiments rely on — in particular
+// both sides of the engineered expert-space collision (chase twin/trap)
+// and the window-bound latency family.
+func TestArchetypePhaseFamilyCoverage(t *testing.T) {
+	type familyCount struct{ twin, trap, latency, ilp, serial, membound int }
+	var fc familyCount
+	for _, a := range Archetypes() {
+		for _, ph := range a.Phases {
+			p := ph.Params
+			switch {
+			case p.StrideFrac < 0.1 && p.LoadFrac >= 0.25 && p.DepDist >= 6.5 && p.DepDist < 9:
+				fc.twin++
+			case p.StrideFrac < 0.1 && p.LoadFrac >= 0.3 && p.DepDist >= 10 && p.DepDist <= 12:
+				fc.trap++
+			case p.StrideFrac < 0.1 && p.DepDist >= 13:
+				fc.latency++
+			case p.DepDist >= 14:
+				fc.ilp++
+			case p.DepDist < 2.5:
+				fc.serial++
+			case p.LoadFrac >= 0.3:
+				fc.membound++
+			}
+		}
+	}
+	if fc.twin == 0 {
+		t.Error("no chase-twin phases in the corpus library")
+	}
+	if fc.trap == 0 {
+		t.Error("no chase-trap phases in the corpus library")
+	}
+	if fc.latency == 0 {
+		t.Error("no window-bound latency phases in the corpus library")
+	}
+	if fc.ilp == 0 || fc.serial == 0 || fc.membound == 0 {
+		t.Errorf("family coverage gaps: %+v", fc)
+	}
+}
+
+// TestSpecTrapBenchmarksContainCollisions: the blindspot benchmarks must
+// carry both sides of the collision so expert-counter models face forced
+// errors inside a single application.
+func TestSpecTrapBenchmarksContainCollisions(t *testing.T) {
+	phases := ProfilePhases()
+	roms := phases["654.roms_s"]
+	trapFound := false
+	for _, ph := range roms[1] {
+		if ph.Params.StrideFrac < 0.1 && ph.Params.DepDist >= 10 {
+			trapFound = true
+		}
+	}
+	if !trapFound {
+		t.Error("roms_s perf side lacks the MSHR-limited trap phase")
+	}
+	twinFound := false
+	for _, ph := range roms[0] {
+		if ph.Params.StrideFrac < 0.1 && ph.Params.DepDist >= 6 && ph.Params.DepDist < 9 {
+			twinFound = true
+		}
+	}
+	if !twinFound {
+		t.Error("roms_s gate side lacks the matched chain-limited twin")
+	}
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Corpus is a set of applications plus the traces recorded from them.
+type Corpus struct {
+	Name   string
+	Apps   []*Application
+	Traces []*Trace
+}
+
+// AppsByCategory counts applications per corpus category.
+func (c *Corpus) AppsByCategory() map[Category]int {
+	out := make(map[Category]int)
+	for _, a := range c.Apps {
+		out[a.Category]++
+	}
+	return out
+}
+
+// TracesForApp returns the traces recorded from the named application.
+func (c *Corpus) TracesForApp(name string) []*Trace {
+	var out []*Trace
+	for _, t := range c.Traces {
+		if t.App.Name == name {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// HDTRConfig controls high-diversity training corpus generation. The
+// defaults mirror the paper's Table 1 composition (593 applications,
+// 2,648 traces) with trace lengths scaled down from 5M instructions to
+// keep full experiment sweeps tractable.
+type HDTRConfig struct {
+	// Apps is the total number of applications; it is split across the six
+	// categories in Table 1's proportions. Zero selects 593.
+	Apps int
+	// MeanTracesPerApp is the average number of traces recorded per
+	// application. Zero selects 4 (paper: 2648/593 ≈ 4.5).
+	MeanTracesPerApp int
+	// InstrsPerTrace is the length of each trace. Zero selects 200,000
+	// (20 telemetry intervals at the paper's 10k-instruction granularity).
+	InstrsPerTrace int
+	// Seed makes corpus generation deterministic.
+	Seed int64
+}
+
+func (c *HDTRConfig) applyDefaults() {
+	if c.Apps == 0 {
+		c.Apps = 593
+	}
+	if c.MeanTracesPerApp == 0 {
+		c.MeanTracesPerApp = 4
+	}
+	if c.InstrsPerTrace == 0 {
+		c.InstrsPerTrace = 200_000
+	}
+}
+
+// table1Share is the fraction of HDTR applications in each category,
+// matching Table 1 of the paper (176/75/34/171/80/57 of 593).
+var table1Share = [NumCategories]float64{
+	CatHPC:        176.0 / 593.0,
+	CatCloud:      75.0 / 593.0,
+	CatAI:         34.0 / 593.0,
+	CatWeb:        171.0 / 593.0,
+	CatMultimedia: 80.0 / 593.0,
+	CatGames:      57.0 / 593.0,
+}
+
+// BuildHDTR generates the high-diversity training corpus. Applications are
+// assigned round-robin to the archetypes of their category, so even small
+// corpora spread across behaviour families the way the paper's did.
+func BuildHDTR(cfg HDTRConfig) *Corpus {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x48445452)) // "HDTR"
+
+	// Category archetype index lists.
+	byCat := make([][]int, NumCategories)
+	for i, a := range Archetypes() {
+		byCat[a.Category] = append(byCat[a.Category], i)
+	}
+
+	corpus := &Corpus{Name: "hdtr"}
+	appIdx := 0
+	for cat := Category(0); cat < NumCategories; cat++ {
+		n := int(table1Share[cat]*float64(cfg.Apps) + 0.5)
+		if n == 0 && cfg.Apps >= int(NumCategories) {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			arch := byCat[cat][i%len(byCat[cat])]
+			name := fmt.Sprintf("%s-app%03d", cat, i)
+			app := NewApplication(arch, name, rng.Int63())
+			corpus.Apps = append(corpus.Apps, app)
+			appIdx++
+
+			// 1..2*mean-1 traces per app, mean cfg.MeanTracesPerApp.
+			nTraces := 1 + rng.Intn(2*cfg.MeanTracesPerApp-1)
+			for t := 0; t < nTraces; t++ {
+				corpus.Traces = append(corpus.Traces, &Trace{
+					App:        app,
+					Name:       fmt.Sprintf("%s/t%02d", name, t),
+					Workload:   fmt.Sprintf("%s/in%d", name, t),
+					Seed:       rng.Int63(),
+					StartPhase: rng.Intn(len(app.Phases)),
+					NumInstrs:  cfg.InstrsPerTrace,
+				})
+			}
+		}
+	}
+	return corpus
+}
+
+// SubsetApps returns a new corpus containing only the first n applications
+// of c in a deterministic shuffled order, with their traces. It is used for
+// the training-set-diversity sweep (Figure 4).
+func (c *Corpus) SubsetApps(n int, seed int64) *Corpus {
+	if n >= len(c.Apps) {
+		return c
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(len(c.Apps))
+	keep := make(map[string]bool, n)
+	sub := &Corpus{Name: fmt.Sprintf("%s-sub%d", c.Name, n)}
+	for _, i := range perm[:n] {
+		sub.Apps = append(sub.Apps, c.Apps[i])
+		keep[c.Apps[i].Name] = true
+	}
+	for _, t := range c.Traces {
+		if keep[t.App.Name] {
+			sub.Traces = append(sub.Traces, t)
+		}
+	}
+	return sub
+}

@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildHDTRDefaultComposition(t *testing.T) {
+	c := BuildHDTR(HDTRConfig{Seed: 1})
+	if got := len(c.Apps); got < 590 || got > 596 {
+		t.Errorf("apps = %d, want ≈593", got)
+	}
+	byCat := c.AppsByCategory()
+	// Table 1 proportions.
+	wants := map[Category]int{
+		CatHPC: 176, CatCloud: 75, CatAI: 34,
+		CatWeb: 171, CatMultimedia: 80, CatGames: 57,
+	}
+	for cat, want := range wants {
+		got := byCat[cat]
+		if got < want-2 || got > want+2 {
+			t.Errorf("category %s: %d apps, want ≈%d", cat, got, want)
+		}
+	}
+	// ≈2648 traces at mean 4 traces/app (1..7 uniform per app).
+	if got := len(c.Traces); got < 1800 || got > 2900 {
+		t.Errorf("traces = %d, want in [1800,2900]", got)
+	}
+}
+
+func TestBuildHDTRDeterministic(t *testing.T) {
+	a := BuildHDTR(HDTRConfig{Apps: 30, Seed: 9})
+	b := BuildHDTR(HDTRConfig{Apps: 30, Seed: 9})
+	if len(a.Traces) != len(b.Traces) {
+		t.Fatalf("trace counts differ: %d vs %d", len(a.Traces), len(b.Traces))
+	}
+	for i := range a.Traces {
+		if a.Traces[i].Seed != b.Traces[i].Seed || a.Traces[i].Name != b.Traces[i].Name {
+			t.Fatalf("trace %d differs between identical builds", i)
+		}
+	}
+}
+
+func TestBuildHDTRScaledDown(t *testing.T) {
+	c := BuildHDTR(HDTRConfig{Apps: 60, MeanTracesPerApp: 2, InstrsPerTrace: 50_000, Seed: 3})
+	if got := len(c.Apps); got < 55 || got > 65 {
+		t.Errorf("apps = %d, want ≈60", got)
+	}
+	for _, tr := range c.Traces {
+		if tr.NumInstrs != 50_000 {
+			t.Fatalf("trace %s has %d instrs, want 50000", tr.Name, tr.NumInstrs)
+		}
+	}
+	// Every category still represented.
+	if got := len(c.AppsByCategory()); got != int(NumCategories) {
+		t.Errorf("only %d categories represented, want %d", got, NumCategories)
+	}
+}
+
+func TestSubsetApps(t *testing.T) {
+	c := BuildHDTR(HDTRConfig{Apps: 50, Seed: 2})
+	sub := c.SubsetApps(10, 77)
+	if len(sub.Apps) != 10 {
+		t.Fatalf("subset apps = %d, want 10", len(sub.Apps))
+	}
+	appSet := map[string]bool{}
+	for _, a := range sub.Apps {
+		appSet[a.Name] = true
+	}
+	for _, tr := range sub.Traces {
+		if !appSet[tr.App.Name] {
+			t.Fatalf("trace %s from app outside subset", tr.Name)
+		}
+	}
+	// Requesting more apps than exist returns the original corpus.
+	if got := c.SubsetApps(500, 1); got != c {
+		t.Error("oversized subset should return original corpus")
+	}
+	// Same seed gives same subset.
+	sub2 := c.SubsetApps(10, 77)
+	for i := range sub.Apps {
+		if sub.Apps[i].Name != sub2.Apps[i].Name {
+			t.Fatal("subset not deterministic")
+		}
+	}
+}
+
+func TestTracesForApp(t *testing.T) {
+	c := BuildHDTR(HDTRConfig{Apps: 20, Seed: 4})
+	name := c.Apps[0].Name
+	trs := c.TracesForApp(name)
+	if len(trs) == 0 {
+		t.Fatalf("no traces for %s", name)
+	}
+	for _, tr := range trs {
+		if tr.App.Name != name {
+			t.Fatalf("trace %s does not belong to %s", tr.Name, name)
+		}
+	}
+}
+
+func TestBuildSPECComposition(t *testing.T) {
+	c := BuildSPEC(SPECConfig{Seed: 1})
+	// Table 2's per-benchmark counts sum to 117 (the paper's text says
+	// 118; the table itself does not add up to that). One app per workload.
+	if got := len(c.Apps); got != 117 {
+		t.Errorf("workload apps = %d, want 117", got)
+	}
+	// ≈571 traces.
+	if got := len(c.Traces); got < 450 || got > 720 {
+		t.Errorf("traces = %d, want ≈571", got)
+	}
+	benchmarks := map[string]int{}
+	for _, a := range c.Apps {
+		if a.Benchmark == "" {
+			t.Fatalf("app %s missing benchmark", a.Name)
+		}
+		benchmarks[a.Benchmark]++
+	}
+	if len(benchmarks) != 20 {
+		t.Errorf("benchmarks = %d, want 20", len(benchmarks))
+	}
+	for name, want := range SPECWorkloadCounts() {
+		if benchmarks[name] != want {
+			t.Errorf("%s has %d workloads, want %d", name, benchmarks[name], want)
+		}
+	}
+}
+
+func TestBuildSPECWorkloadsDiffer(t *testing.T) {
+	c := BuildSPEC(SPECConfig{Seed: 1})
+	var x264 []*Application
+	for _, a := range c.Apps {
+		if a.Benchmark == "625.x264_s" {
+			x264 = append(x264, a)
+		}
+	}
+	if len(x264) < 2 {
+		t.Fatal("need at least two x264 workloads")
+	}
+	if x264[0].Phases[0].Params == x264[1].Phases[0].Params {
+		t.Error("two workloads of the same benchmark are identical; input jitter inactive")
+	}
+}
+
+func TestSPECBenchmarksOrder(t *testing.T) {
+	names := SPECBenchmarks()
+	if len(names) != 20 {
+		t.Fatalf("benchmark count = %d, want 20", len(names))
+	}
+	if names[0] != "600.perlbench_s" {
+		t.Errorf("first benchmark = %s, want 600.perlbench_s", names[0])
+	}
+	if names[len(names)-1] != "654.roms_s" {
+		t.Errorf("last benchmark = %s, want 654.roms_s", names[len(names)-1])
+	}
+	for _, n := range names {
+		if !strings.Contains(n, "_s") {
+			t.Errorf("benchmark %q missing _s suffix", n)
+		}
+	}
+}
+
+func TestBuildSPECPhasesValid(t *testing.T) {
+	c := BuildSPEC(SPECConfig{Seed: 5})
+	for _, a := range c.Apps {
+		for i, ph := range a.Phases {
+			if err := ph.Params.Validate(); err != nil {
+				t.Errorf("%s phase %d: %v", a.Name, i, err)
+			}
+		}
+	}
+}
+
+func TestShareTransitionTimeShares(t *testing.T) {
+	// Build a SPEC app and verify its transition matrix realises the
+	// profile's gate fraction in expected time share.
+	c := BuildSPEC(SPECConfig{TracesPerWorkload: 1, Seed: 8})
+	profiles := ProfilePhases()
+	for _, app := range c.Apps[:12] {
+		gatePhases := len(profiles[app.Benchmark][0])
+		row := app.Transition[0]
+		var gateTime, totalTime float64
+		for j, p := range row {
+			share := p * float64(app.Phases[j].Length)
+			totalTime += share
+			if j < gatePhases {
+				gateTime += share
+			}
+		}
+		frac := gateTime / totalTime
+		if frac < 0.005 || frac > 0.995 {
+			t.Errorf("%s expected gate share = %.3f, degenerate", app.Name, frac)
+		}
+		// All rows identical (iid phase visits).
+		for i := 1; i < len(app.Transition); i++ {
+			for j := range row {
+				if app.Transition[i][j] != row[j] {
+					t.Fatalf("%s transition rows differ", app.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestSpecProfilePhasesExposed(t *testing.T) {
+	phases := ProfilePhases()
+	if len(phases) != 20 {
+		t.Fatalf("profiles = %d, want 20", len(phases))
+	}
+	roms := phases["654.roms_s"]
+	if len(roms[0]) == 0 || len(roms[1]) == 0 {
+		t.Fatal("roms profile missing gate or perf phases")
+	}
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceSerializeRoundTrip(t *testing.T) {
+	app := NewApplication(3, "ser", 77)
+	tr := &Trace{App: app, Name: "ser/t0", Seed: 5, NumInstrs: 50_000}
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("binary size: %d bytes (%.2f B/instr)", buf.Len(), float64(buf.Len())/50_000)
+
+	rd, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Name != "ser/t0" || rd.Total != 50_000 {
+		t.Fatalf("header = %q/%d", rd.Name, rd.Total)
+	}
+
+	// Decode fully and compare against regeneration.
+	want := make([]Instruction, 50_000)
+	NewStream(tr).Read(want)
+	got := make([]Instruction, 0, 50_000)
+	chunk := make([]Instruction, 1000)
+	for {
+		n, err := rd.Read(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		got = append(got, chunk[:n]...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d instructions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if rd.Remaining() != 0 {
+		t.Errorf("Remaining = %d after full decode", rd.Remaining())
+	}
+}
+
+func TestTraceReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewTraceReader(bytes.NewReader([]byte("NOPE????"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewTraceReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestTraceSerializeCompactness(t *testing.T) {
+	// Sequential-heavy traces should encode in a handful of bytes per
+	// instruction thanks to delta coding.
+	app := NewApplication(0, "compact", 3)
+	tr := &Trace{App: app, Seed: 9, NumInstrs: 20_000}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	perInstr := float64(buf.Len()) / 20_000
+	if perInstr > 10 {
+		t.Errorf("encoding = %.2f bytes/instruction, want <10", perInstr)
+	}
+}

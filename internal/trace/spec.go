@@ -1,0 +1,275 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// specProfile describes one SPEC2017-like benchmark: its Table 2 workload
+// count, a behavioural sketch, and the fraction of runtime spent in phases
+// where low-power mode meets the 90% SLA (calibrated against the paper's
+// Figure 7 and Table 6).
+type specProfile struct {
+	name      string
+	workloads int
+	gateFrac  float64 // target fraction of time in gateable phases
+	gate      []Phase // phases where a single cluster suffices
+	perf      []Phase // phases that need both clusters
+}
+
+// deceptivePhase models roms_s-style ocean-model code: moderate
+// independent memory-level parallelism over a DRAM-resident working set.
+// In expert-counter space it is indistinguishable from the chain-limited
+// pointer-chasing phases that gate for free (same IPC band, same miss and
+// TLB rates, same stall fraction) — but its misses are independent and
+// MSHR-limited, so gating costs ~15% of performance: the statistical
+// blindspot CHARSTAR falls into (Figure 9). Readiness counters (PF set)
+// expose the difference.
+func deceptivePhase(length int) Phase {
+	return chaseTrapPhase(224*mib, length)
+}
+
+// specSuite defines the 20-benchmark test suite. Workload counts follow
+// Table 2 (118 workloads). gateFrac values are set so the oracle low-power
+// residency profile matches Figure 7's shape (45.7% mean, bwaves/nab near
+// saturation, x264/imagick near zero).
+func specSuite() []specProfile {
+	return []specProfile{
+		// --- SPECint 2017 ---
+		{"600.perlbench_s", 4, 0.20,
+			[]Phase{branchyPhase(0.42, 1536*kib, 30000), fastSerialPhase(768*kib, 25000)},
+			[]Phase{mediumILPPhase(48*kib, 25000)}},
+		{"602.gcc_s", 7, 0.68,
+			[]Phase{branchyPhase(0.38, 3*mib, 35000), memBoundPhase(80*mib, 0.25, 30000), serialPhase(2*mib, 0.3, 25000)},
+			[]Phase{ilpPhase(16, 0.02, 25000)}},
+		{"605.mcf_s", 7, 0.61,
+			[]Phase{memBoundPhase(384*mib, 0.08, 40000), serialPhase(16*mib, 0.34, 25000)},
+			[]Phase{ilpPhase(15, 0.0, 25000)}},
+		{"620.omnetpp_s", 9, 0.89,
+			[]Phase{memBoundPhase(160*mib, 0.12, 35000), branchyPhase(0.4, 768*kib, 25000)},
+			[]Phase{ilpPhase(14, 0.05, 20000)}},
+		{"623.xalancbmk_s", 2, 0.46,
+			[]Phase{serialPhase(3*mib, 0.3, 30000), branchyPhase(0.35, 1*mib, 25000)},
+			[]Phase{mediumILPPhase(64*kib, 25000)}},
+		{"625.x264_s", 12, 0.012,
+			[]Phase{serialPhase(256*kib, 0.24, 12000)},
+			[]Phase{ilpPhase(24, 0.35, 45000), vectorPhase(40, 384*kib, 35000)}},
+		{"631.deepsjeng_s", 12, 0.30,
+			[]Phase{branchyPhase(0.5, 96*kib, 25000), memBoundPhase(24*mib, 0.15, 20000)},
+			[]Phase{mediumILPPhase(64*kib, 20000), ilpPhase(18, 0.0, 22000)}},
+		{"641.leela_s", 10, 0.20,
+			[]Phase{branchyPhase(0.48, 128*kib, 22000), memBoundPhase(40*mib, 0.2, 18000)},
+			[]Phase{chaseTrapPhase(48*mib, 18000), ilpPhase(19, 0.05, 25000)}},
+		{"648.exchange2_s", 5, 0.09,
+			[]Phase{fastSerialPhase(48*kib, 12000)},
+			[]Phase{ilpPhase(22, 0.0, 40000), mediumILPPhase(48*kib, 22000)}},
+		{"657.xz_s", 5, 0.46,
+			[]Phase{serialPhase(48*mib, 0.3, 30000), chaseTwinPhase(96*mib, 25000)},
+			[]Phase{chaseTrapPhase(96*mib, 22000)}},
+
+		// --- SPECfp 2017 ---
+		{"603.bwaves_s", 5, 0.97,
+			[]Phase{memBoundPhase(512*mib, 0.85, 45000), vectorPhase(4, 256*mib, 35000)},
+			[]Phase{ilpPhase(20, 0.5, 15000)}},
+		{"607.cactuBSSN_s", 6, 0.92,
+			[]Phase{memBoundPhase(320*mib, 0.8, 40000), vectorPhase(4.5, 128*mib, 30000)},
+			[]Phase{ilpPhase(21, 0.55, 18000)}},
+		{"619.lbm_s", 3, 0.57,
+			[]Phase{vectorPhase(4.2, 384*mib, 40000), memBoundPhase(256*mib, 0.9, 30000)},
+			[]Phase{ilpPhase(22, 0.5, 25000)}},
+		{"621.wrf_s", 1, 0.33,
+			[]Phase{vectorPhase(4.5, 96*mib, 30000), serialPhase(8*mib, 0.28, 22000)},
+			[]Phase{ilpPhase(20, 0.45, 28000)}},
+		{"627.cam4_s", 1, 0.36,
+			[]Phase{vectorPhase(4.8, 64*mib, 28000), branchyPhase(0.3, 512*kib, 18000)},
+			[]Phase{ilpPhase(21, 0.5, 28000)}},
+		{"628.pop2_s", 1, 0.18,
+			[]Phase{vectorPhase(5, 48*mib, 25000), serialPhase(4*mib, 0.26, 18000)},
+			[]Phase{mediumILPPhase(96*kib, 22000), ilpPhase(22, 0.5, 25000)}},
+		{"638.imagick_s", 12, 0.03,
+			[]Phase{serialPhase(1*mib, 0.22, 12000)},
+			[]Phase{ilpPhase(26, 0.55, 45000), vectorPhase(40, 384*kib, 30000)}},
+		{"644.nab_s", 5, 0.98,
+			[]Phase{fastSerialPhase(2*mib, 45000), serialPhase(1*mib, 0.26, 35000)},
+			[]Phase{ilpPhase(19, 0.5, 12000)}},
+		{"649.fotonik3d_s", 5, 0.33,
+			[]Phase{memBoundPhase(224*mib, 0.75, 25000), chaseTwinPhase(160*mib, 20000)},
+			[]Phase{chaseTrapPhase(160*mib, 25000), ilpPhase(20, 0.5, 22000)}},
+		// roms_s: half its runtime is deceptive prefetch-friendly streaming
+		// — the statistical blindspot CHARSTAR falls into (Figure 9).
+		{"654.roms_s", 5, 0.41,
+			[]Phase{chaseTwinPhase(288*mib, 30000), vectorPhase(4.3, 192*mib, 25000)},
+			[]Phase{deceptivePhase(35000), deceptivePhase(28000)}},
+	}
+}
+
+// SPECConfig controls test-suite generation. Defaults mirror Table 2:
+// 20 benchmarks, 118 workloads, ≈571 traces.
+type SPECConfig struct {
+	// TracesPerWorkload is the mean number of SimPoint-style traces per
+	// workload. Zero selects 5 (paper: 571/118 ≈ 4.8).
+	TracesPerWorkload int
+	// InstrsPerTrace is the length of each trace. Zero selects 200,000.
+	InstrsPerTrace int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c *SPECConfig) applyDefaults() {
+	if c.TracesPerWorkload == 0 {
+		c.TracesPerWorkload = 5
+	}
+	if c.InstrsPerTrace == 0 {
+		c.InstrsPerTrace = 200_000
+	}
+}
+
+// BuildSPEC generates the SPEC2017-like held-out test corpus. One
+// Application is created per (benchmark, input) workload, with small
+// per-workload parameter jitter standing in for input-dependent behaviour.
+func BuildSPEC(cfg SPECConfig) *Corpus {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x53504543)) // "SPEC"
+	corpus := &Corpus{Name: "spec2017"}
+
+	for _, prof := range specSuite() {
+		for w := 0; w < prof.workloads; w++ {
+			app := buildSpecApp(prof, w, rng.Int63())
+			corpus.Apps = append(corpus.Apps, app)
+
+			n := cfg.TracesPerWorkload - 1 + rng.Intn(3) // mean ≈ TracesPerWorkload
+			if n < 1 {
+				n = 1
+			}
+			for t := 0; t < n; t++ {
+				corpus.Traces = append(corpus.Traces, &Trace{
+					App:        app,
+					Name:       fmt.Sprintf("%s/sp%02d", app.Name, t),
+					Workload:   app.Name,
+					Seed:       rng.Int63(),
+					StartPhase: rng.Intn(len(app.Phases)),
+					NumInstrs:  cfg.InstrsPerTrace,
+				})
+			}
+		}
+	}
+	return corpus
+}
+
+// buildSpecApp instantiates one workload of a benchmark. Phase lengths
+// stay at their nominal (well-mixed) values; gateFrac is realised through
+// the phase-visit distribution: every transition row samples the next
+// phase with probability proportional to the phase's target time share
+// divided by its length, so expected runtime splits gateFrac:1-gateFrac
+// between the gate and perf phase groups.
+func buildSpecApp(prof specProfile, workload int, seed int64) *Application {
+	rng := rand.New(rand.NewSource(seed))
+	const inputJitter = 0.06
+
+	var phases []Phase
+	appendJittered := func(src []Phase) {
+		for _, ph := range src {
+			p := ph.Params
+			p.DepDist = clampMin(jitter(rng, p.DepDist, inputJitter), 1.1)
+			p.LoadFrac = clamp01(jitter(rng, p.LoadFrac, inputJitter))
+			p.StoreFrac = clamp01(jitter(rng, p.StoreFrac, inputJitter))
+			p.BranchFrac = clamp01(jitter(rng, p.BranchFrac, inputJitter))
+			p.FPFrac = clamp01(jitter(rng, p.FPFrac, inputJitter))
+			p.StrideFrac = clamp01(jitter(rng, p.StrideFrac, inputJitter))
+			p.BranchEntropy = clamp01(jitter(rng, p.BranchEntropy, inputJitter))
+			p.DepShape = clamp01(jitter(rng, p.DepShape, inputJitter))
+			p.DataFootprint = jitterBytes(rng, p.DataFootprint, inputJitter)
+			p.CodeFootprint = jitterBytes(rng, p.CodeFootprint, inputJitter)
+			normalizeMix(&p)
+			phases = append(phases, Phase{
+				Params: p,
+				Length: phaseLengthScale * int(clampMin(jitter(rng, float64(ph.Length), inputJitter), 2000)),
+			})
+		}
+	}
+	appendJittered(prof.gate)
+	appendJittered(prof.perf)
+
+	return &Application{
+		Name:       fmt.Sprintf("%s/wl%02d", prof.name, workload),
+		Category:   CatHPC, // suite category is not used downstream
+		Archetype:  -1,
+		Benchmark:  prof.name,
+		Phases:     phases,
+		Transition: shareTransition(phases, len(prof.gate), prof.gateFrac),
+		Seed:       seed,
+	}
+}
+
+// shareTransition builds a transition matrix with identical rows whose
+// visit probabilities give the first nGate phases a combined gateFrac time
+// share. Within each group, time splits proportionally to nominal phase
+// lengths.
+func shareTransition(phases []Phase, nGate int, gateFrac float64) [][]float64 {
+	n := len(phases)
+	gateLen, perfLen := 0.0, 0.0
+	for i, ph := range phases {
+		if i < nGate {
+			gateLen += float64(ph.Length)
+		} else {
+			perfLen += float64(ph.Length)
+		}
+	}
+	// Time share of phase i is p_i·L_i/Σp_j·L_j, so for share_i ∝
+	// groupShare·L_i/groupLen the visit probability must be uniform
+	// within a group: p_i ∝ groupShare/groupLen.
+	row := make([]float64, n)
+	total := 0.0
+	for i := range phases {
+		w := gateFrac / gateLen
+		if i >= nGate {
+			w = (1 - gateFrac) / perfLen
+		}
+		if nGate == 0 {
+			w = 1 / perfLen
+		}
+		if nGate == n {
+			w = 1 / gateLen
+		}
+		row[i] = w
+		total += row[i]
+	}
+	t := make([][]float64, n)
+	for i := range t {
+		t[i] = make([]float64, n)
+		for j := range row {
+			t[i][j] = row[j] / total
+		}
+	}
+	return t
+}
+
+// SPECBenchmarks lists the benchmark names of the test suite in suite
+// order (integer benchmarks first), matching Table 2.
+func SPECBenchmarks() []string {
+	profiles := specSuite()
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.name
+	}
+	return out
+}
+
+// SPECWorkloadCounts returns the Table 2 workload count per benchmark.
+func SPECWorkloadCounts() map[string]int {
+	out := make(map[string]int)
+	for _, p := range specSuite() {
+		out[p.name] = p.workloads
+	}
+	return out
+}
+
+// ProfilePhases exposes each benchmark's gate and perf phase lists for
+// calibration tooling and tests.
+func ProfilePhases() map[string][2][]Phase {
+	out := map[string][2][]Phase{}
+	for _, p := range specSuite() {
+		out[p.name] = [2][]Phase{p.gate, p.perf}
+	}
+	return out
+}

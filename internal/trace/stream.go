@@ -1,0 +1,335 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// cacheLine is the stride, in bytes, of sequential data accesses.
+const cacheLine = 64
+
+// Stream generates the dynamic instruction sequence for one trace. It is
+// deterministic given the trace seed and cheap enough to regenerate, so
+// traces are never materialised on disk.
+type Stream struct {
+	trace     *Trace
+	rng       *rand.Rand
+	remaining int // instructions left in the trace
+	phase     int
+	phaseLeft int // instructions left in the current phase visit
+	// visit holds the current phase-visit's effective parameters: real
+	// workload phases are only approximately stationary, so each visit
+	// drifts around the phase's nominal behaviour.
+	visit PhaseParams
+
+	// Memory-side state.
+	dataBase  uint64
+	streamPtr uint64
+
+	// I-side state: pcCursor walks the code footprint in units of 4-byte
+	// instructions, wrapping to model loop execution.
+	codeBase uint64
+	pcCursor uint64
+
+	// producible records which recent instructions produce a register
+	// value (branches and stores do not); dependency sampling skips
+	// non-producers so control flow never breaks data chains.
+	producible [512]bool
+
+	generated int
+	batchPos  int
+}
+
+// NewStream positions a fresh generator at the start of the trace.
+func NewStream(tr *Trace) *Stream {
+	if len(tr.App.Phases) == 0 {
+		panic("trace: application has no phases")
+	}
+	if tr.StartPhase < 0 || tr.StartPhase >= len(tr.App.Phases) {
+		panic(fmt.Sprintf("trace: start phase %d out of range [0,%d)", tr.StartPhase, len(tr.App.Phases)))
+	}
+	s := &Stream{
+		trace:     tr,
+		rng:       rand.New(rand.NewSource(tr.Seed)),
+		remaining: tr.NumInstrs,
+		phase:     tr.StartPhase,
+		dataBase:  0x10000000 + uint64(tr.App.Seed%251)*0x1000000,
+		codeBase:  0x400000 + uint64(tr.App.Seed%127)*0x100000,
+	}
+	s.streamPtr = s.dataBase
+	s.phaseLeft = s.samplePhaseLength()
+	s.visit = s.driftParams(&tr.App.Phases[s.phase].Params)
+	return s
+}
+
+// visitDrift is the relative within-phase parameter drift per visit.
+const visitDrift = 0.12
+
+// driftParams perturbs a phase's nominal parameters for one visit.
+func (s *Stream) driftParams(p *PhaseParams) PhaseParams {
+	v := *p
+	j := func(x float64) float64 { return x * (1 + visitDrift*(2*s.rng.Float64()-1)) }
+	v.DepDist = j(v.DepDist)
+	if v.DepDist < 1.1 {
+		v.DepDist = 1.1
+	}
+	v.LoadFrac = clampFrac(j(v.LoadFrac))
+	v.StoreFrac = clampFrac(j(v.StoreFrac))
+	v.BranchFrac = clampFrac(j(v.BranchFrac))
+	v.FPFrac = clampFrac(j(v.FPFrac))
+	v.StrideFrac = clampFrac(j(v.StrideFrac))
+	v.BranchEntropy = clampFrac(j(v.BranchEntropy))
+	if f := uint64(j(float64(v.DataFootprint))); f >= 4096 {
+		v.DataFootprint = f
+	}
+	return v
+}
+
+func clampFrac(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Phase returns the index of the phase currently generating instructions.
+func (s *Stream) Phase() int { return s.phase }
+
+// Generated returns how many instructions have been emitted so far.
+func (s *Stream) Generated() int { return s.generated }
+
+// Remaining returns how many instructions the stream will still produce.
+func (s *Stream) Remaining() int { return s.remaining }
+
+// Read fills buf with the next instructions and reports how many were
+// produced; it returns 0 when the trace is exhausted.
+func (s *Stream) Read(buf []Instruction) int {
+	n := len(buf)
+	if n > s.remaining {
+		n = s.remaining
+	}
+	for i := 0; i < n; i++ {
+		if s.phaseLeft <= 0 {
+			s.advancePhase()
+		}
+		s.batchPos = i
+		buf[i] = s.next()
+		s.phaseLeft--
+	}
+	s.remaining -= n
+	s.generated += n
+	return n
+}
+
+func (s *Stream) samplePhaseLength() int {
+	mean := s.trace.App.Phases[s.phase].Length
+	// Uniform in [mean/2, 3*mean/2) keeps phase durations variable but
+	// bounded, so prediction two intervals ahead stays learnable.
+	l := mean/2 + s.rng.Intn(mean)
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+func (s *Stream) advancePhase() {
+	row := s.trace.App.Transition[s.phase]
+	u := s.rng.Float64()
+	acc := 0.0
+	next := len(row) - 1
+	for j, p := range row {
+		acc += p
+		if u < acc {
+			next = j
+			break
+		}
+	}
+	s.phase = next
+	s.phaseLeft = s.samplePhaseLength()
+	s.visit = s.driftParams(&s.trace.App.Phases[s.phase].Params)
+}
+
+// next synthesises a single instruction under the current phase parameters.
+func (s *Stream) next() Instruction {
+	p := &s.visit
+	var in Instruction
+
+	// Program counter: sequential walk with wraparound inside the code
+	// footprint, modelling loop bodies whose size is the footprint. Each
+	// phase executes its own code region.
+	codeWords := p.CodeFootprint / 4
+	if codeWords == 0 {
+		codeWords = 1
+	}
+	in.PC = s.codeBase + uint64(s.phase)<<26 + (s.pcCursor%codeWords)*4
+	s.pcCursor++
+
+	// The op class is a deterministic function of the (phase, PC) pair:
+	// re-executing a loop body re-executes the same instructions. This
+	// gives branches stable locations and biases, which real predictors
+	// (and ours) exploit.
+	in.Op = s.opClassAt(p, in.PC)
+	strided := false
+	switch in.Op {
+	case OpLoad, OpStore:
+		in.Addr, strided = s.nextAddr(p)
+	}
+
+	switch {
+	case strided:
+		// Sequential accesses compute their address from an induction
+		// variable produced long ago: the access does not extend the
+		// current dependency chain, so independent misses overlap.
+		in.Dep1 = 128 + int32(s.rng.Intn(256))
+	case in.Op == OpBranch && s.rng.Float64() >= p.BranchEntropy:
+		// Predictable branches test loop counters and induction
+		// variables: they resolve as soon as they issue rather than
+		// waiting on the data chain. Data-dependent (high-entropy)
+		// branches stay chained and resolve late, as on real machines.
+		in.Dep1 = 128 + int32(s.rng.Intn(256))
+	default:
+		in.Dep1 = s.depDistance(p)
+	}
+	// Two-source ops carry a second, older operand 40% of the time; it is
+	// sampled beyond Dep1 so the nearer producer stays on the critical
+	// path and ILP is governed by DepDist alone.
+	if in.Op != OpLoad && in.Op != OpBranch && s.rng.Float64() < 0.4 {
+		in.Dep2 = in.Dep1 + s.depDistance(p)
+		const maxDist = 512
+		if in.Dep2 > maxDist {
+			in.Dep2 = maxDist
+		}
+	}
+
+	if in.Op == OpBranch {
+		in.Taken = s.branchOutcome(p, in.PC)
+		if in.Taken && s.rng.Float64() < 0.05 {
+			// Occasional long jump relocates the code cursor, touching a
+			// different region of the footprint.
+			s.pcCursor = uint64(s.rng.Int63()) % codeWords
+		}
+	}
+	s.producible[uint64(s.generated+s.batchPos)&511] = in.Op != OpBranch && in.Op != OpStore
+	in.Dep1 = s.skipNonProducers(in.Dep1)
+	in.Dep2 = s.skipNonProducers(in.Dep2)
+	return in
+}
+
+// skipNonProducers walks a dependency distance past branches and stores,
+// which produce no register value.
+func (s *Stream) skipNonProducers(d int32) int32 {
+	if d <= 0 {
+		return d
+	}
+	pos := uint64(s.generated + s.batchPos)
+	for tries := 0; tries < 8; tries++ {
+		if d >= int32(pos) || s.producible[(pos-uint64(d))&511] {
+			return d
+		}
+		d++
+		if d > 512 {
+			return 512
+		}
+	}
+	return d
+}
+
+// opClassAt deterministically maps a (phase, PC) pair to an op class with
+// the phase's mix fractions.
+func (s *Stream) opClassAt(p *PhaseParams, pc uint64) OpClass {
+	// splitmix64 finalizer: sequential PCs need full avalanche for the
+	// class thresholds below to sample uniformly.
+	h := pc ^ uint64(s.trace.App.Seed)*0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	u := float64(h>>11) / float64(1<<53)
+	h2 := h * 0x2545F4914F6CDD1D
+	switch {
+	case u < p.LoadFrac:
+		return OpLoad
+	case u < p.LoadFrac+p.StoreFrac:
+		return OpStore
+	case u < p.LoadFrac+p.StoreFrac+p.BranchFrac:
+		return OpBranch
+	case u < p.LoadFrac+p.StoreFrac+p.BranchFrac+p.FPFrac:
+		if h2&1 == 0 {
+			return OpFPAdd
+		}
+		return OpFPMul
+	case u < p.LoadFrac+p.StoreFrac+p.BranchFrac+p.FPFrac+p.LongLatFrac:
+		if h2&1 == 0 {
+			return OpDiv
+		}
+		return OpFPDiv
+	default:
+		if h2&0xF == 0 { // 1/16 of remaining ALU ops are multiplies
+			return OpMul
+		}
+		return OpALU
+	}
+}
+
+// depDistance samples a backward dependency distance with the phase's mean;
+// a shifted exponential matches the geometric chain lengths of real code.
+// High-ILP code consists largely of mutually independent operations, so the
+// probability of chaining at all falls as DepDist grows (returning 0 means
+// no register dependency).
+func (s *Stream) depDistance(p *PhaseParams) int32 {
+	// DepShape morphs the distribution: at shape 1, 60% of operations are
+	// fully independent and the rest chain tightly (DepDist/3), keeping
+	// mean-level statistics near the homogeneous shape-0 form while
+	// tripling independent memory parallelism.
+	mean := p.DepDist
+	if p.DepShape > 0 {
+		if s.rng.Float64() < 0.6*p.DepShape {
+			return 0
+		}
+		mean = p.DepDist * (1 - 0.67*p.DepShape)
+		if mean < 1.1 {
+			mean = 1.1
+		}
+	}
+	if pInd := 1 - 4/mean; pInd > 0 {
+		if pInd > 0.9 {
+			pInd = 0.9
+		}
+		if s.rng.Float64() < pInd {
+			return 0
+		}
+	}
+	d := 1 + int32(s.rng.ExpFloat64()*(mean-1))
+	const maxDist = 512
+	if d > maxDist {
+		d = maxDist
+	}
+	return d
+}
+
+func (s *Stream) nextAddr(p *PhaseParams) (addr uint64, strided bool) {
+	if s.rng.Float64() < p.StrideFrac {
+		s.streamPtr += cacheLine
+		if s.streamPtr >= s.dataBase+p.DataFootprint {
+			s.streamPtr = s.dataBase
+		}
+		return s.streamPtr, true
+	}
+	return s.dataBase + uint64(s.rng.Int63())%p.DataFootprint, false
+}
+
+// branchOutcome mixes a per-PC static bias (predictable component) with
+// uniform noise weighted by the phase's branch entropy.
+func (s *Stream) branchOutcome(p *PhaseParams, pc uint64) bool {
+	if s.rng.Float64() < p.BranchEntropy {
+		return s.rng.Intn(2) == 0
+	}
+	// Deterministic per-PC bias: most branches strongly taken or strongly
+	// not-taken, as in real loop-dominated code.
+	h := pc * 0x9E3779B97F4A7C15
+	return h&0x8 != 0
+}

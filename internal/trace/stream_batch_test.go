@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestStreamBufferSizeIndependenceProperty: a Stream must produce the same
+// instruction sequence regardless of how the caller sizes its read buffer.
+// The generator batches internally per phase visit, and this pins down
+// that the batching never leaks across the Read API.
+func TestStreamBufferSizeIndependenceProperty(t *testing.T) {
+	f := func(archRaw, seedRaw uint8, chunkRaw uint16) bool {
+		arch := int(archRaw) % len(Archetypes())
+		tr := &Trace{
+			App:       NewApplication(arch, "buf", int64(seedRaw)),
+			Seed:      int64(seedRaw) * 3,
+			NumInstrs: 20_000,
+		}
+		chunk := 1 + int(chunkRaw)%5000
+
+		collect := func(n int) []Instruction {
+			var out []Instruction
+			s := NewStream(tr)
+			buf := make([]Instruction, n)
+			for {
+				k := s.Read(buf)
+				if k == 0 {
+					break
+				}
+				out = append(out, buf[:k]...)
+			}
+			return out
+		}
+		want := collect(8192)
+		got := collect(chunk)
+		if len(got) != len(want) {
+			t.Logf("chunk %d: %d instrs != %d", chunk, len(got), len(want))
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Logf("chunk %d: instr %d differs: %+v != %+v", chunk, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamRestartDeterminism: two independent Streams over one Trace
+// must agree instruction-for-instruction — regeneration from seeds is the
+// system's substitute for storing multi-gigabyte trace files.
+func TestStreamRestartDeterminism(t *testing.T) {
+	tr := &Trace{App: NewApplication(3, "restart", 11), Seed: 17, NumInstrs: 25_000}
+	a := NewStream(tr)
+	b := NewStream(tr)
+	bufA := make([]Instruction, 513)
+	bufB := make([]Instruction, 513)
+	for {
+		ka := a.Read(bufA)
+		kb := b.Read(bufB)
+		if ka != kb {
+			t.Fatalf("read lengths diverge: %d vs %d", ka, kb)
+		}
+		if ka == 0 {
+			return
+		}
+		for i := 0; i < ka; i++ {
+			if bufA[i] != bufB[i] {
+				t.Fatalf("instruction %d differs: %+v vs %+v", i, bufA[i], bufB[i])
+			}
+		}
+	}
+}

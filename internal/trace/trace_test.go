@@ -1,0 +1,287 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func testApp(t *testing.T) *Application {
+	t.Helper()
+	return NewApplication(0, "test-app", 12345)
+}
+
+func testTrace(t *testing.T, n int) *Trace {
+	t.Helper()
+	return &Trace{
+		App: testApp(t), Name: "test-app/t0", Workload: "test-app/in0",
+		Seed: 99, StartPhase: 0, NumInstrs: n,
+	}
+}
+
+func TestPhaseParamsValidate(t *testing.T) {
+	good := PhaseParams{
+		DepDist: 3, LoadFrac: 0.2, StoreFrac: 0.1, BranchFrac: 0.1,
+		DataFootprint: 1024, CodeFootprint: 1024,
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+
+	bad := good
+	bad.LoadFrac = 0.9
+	bad.FPFrac = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("over-unity mix accepted")
+	}
+
+	bad = good
+	bad.DepDist = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("DepDist < 1 accepted")
+	}
+
+	bad = good
+	bad.BranchEntropy = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("entropy > 1 accepted")
+	}
+
+	bad = good
+	bad.DataFootprint = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero footprint accepted")
+	}
+}
+
+func TestOpClassString(t *testing.T) {
+	for c := OpClass(0); c < numOpClasses; c++ {
+		if s := c.String(); s == "" || s[:2] == "op" {
+			t.Errorf("OpClass(%d) has no mnemonic: %q", c, s)
+		}
+	}
+	if s := OpClass(200).String(); s != "op(200)" {
+		t.Errorf("unknown op class: %q", s)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	tr := testTrace(t, 5000)
+	a := make([]Instruction, 5000)
+	b := make([]Instruction, 5000)
+	if n := NewStream(tr).Read(a); n != 5000 {
+		t.Fatalf("Read = %d, want 5000", n)
+	}
+	if n := NewStream(tr).Read(b); n != 5000 {
+		t.Fatalf("Read = %d, want 5000", n)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instruction %d differs between identical streams: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStreamExhaustion(t *testing.T) {
+	tr := testTrace(t, 1000)
+	s := NewStream(tr)
+	buf := make([]Instruction, 300)
+	total := 0
+	for {
+		n := s.Read(buf)
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	if total != 1000 {
+		t.Errorf("total instructions = %d, want 1000", total)
+	}
+	if s.Remaining() != 0 {
+		t.Errorf("Remaining = %d after exhaustion", s.Remaining())
+	}
+	if s.Generated() != 1000 {
+		t.Errorf("Generated = %d, want 1000", s.Generated())
+	}
+}
+
+func TestStreamInstructionMix(t *testing.T) {
+	// A single-phase app with known mix fractions should generate
+	// instructions in roughly those proportions.
+	p := PhaseParams{
+		DepDist: 3, LoadFrac: 0.3, StoreFrac: 0.1, BranchFrac: 0.15,
+		FPFrac: 0.1, LongLatFrac: 0.02,
+		DataFootprint: 1 * mib, CodeFootprint: 16 * kib,
+		StrideFrac: 0.5, BranchEntropy: 0.2,
+	}
+	app := &Application{
+		Name:       "mix",
+		Phases:     []Phase{{Params: p, Length: 100000}},
+		Transition: uniformTransition(1, 1),
+		Seed:       1,
+	}
+	tr := &Trace{App: app, Seed: 2, NumInstrs: 100000}
+	buf := make([]Instruction, 100000)
+	NewStream(tr).Read(buf)
+
+	counts := map[OpClass]int{}
+	for _, in := range buf {
+		counts[in.Op]++
+	}
+	n := float64(len(buf))
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"loads", float64(counts[OpLoad]) / n, 0.3},
+		{"stores", float64(counts[OpStore]) / n, 0.1},
+		{"branches", float64(counts[OpBranch]) / n, 0.15},
+		{"fp", float64(counts[OpFPAdd]+counts[OpFPMul]) / n, 0.1},
+		{"longlat", float64(counts[OpDiv]+counts[OpFPDiv]) / n, 0.02},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 0.03 {
+			t.Errorf("%s fraction = %.3f, want %.3f ±0.03", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestStreamDependencyDistances(t *testing.T) {
+	tr := testTrace(t, 50000)
+	buf := make([]Instruction, 50000)
+	NewStream(tr).Read(buf)
+	var sum, n float64
+	for _, in := range buf {
+		if in.Dep1 < 0 || in.Dep1 > 512 {
+			t.Fatalf("Dep1 = %d outside [0,512]", in.Dep1)
+		}
+		// Strided memory ops and predictable branches carry long
+		// induction-variable deps by design; measure the chain structure
+		// on compute ops only.
+		if in.Dep1 > 0 && in.Op != OpLoad && in.Op != OpStore && in.Op != OpBranch {
+			sum += float64(in.Dep1)
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no dependencies generated")
+	}
+	mean := sum / n
+	if mean < 1 || mean > 32 {
+		t.Errorf("mean dep distance = %.2f, implausible", mean)
+	}
+}
+
+func TestStreamAddressesWithinFootprint(t *testing.T) {
+	tr := testTrace(t, 20000)
+	s := NewStream(tr)
+	buf := make([]Instruction, 20000)
+	s.Read(buf)
+	var maxFoot uint64
+	for _, ph := range tr.App.Phases {
+		if ph.Params.DataFootprint > maxFoot {
+			maxFoot = ph.Params.DataFootprint
+		}
+	}
+	for i, in := range buf {
+		if in.Op == OpLoad || in.Op == OpStore {
+			if in.Addr < s.dataBase || in.Addr >= s.dataBase+maxFoot+cacheLine {
+				t.Fatalf("instr %d: addr %#x outside data footprint", i, in.Addr)
+			}
+		}
+	}
+}
+
+func TestStreamPhaseTransitions(t *testing.T) {
+	tr := testTrace(t, 2_000_000)
+	s := NewStream(tr)
+	buf := make([]Instruction, 10000)
+	seen := map[int]bool{}
+	for s.Read(buf) > 0 {
+		seen[s.Phase()] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("only %d phases visited in 2M instructions; transitions broken", len(seen))
+	}
+}
+
+func TestStreamStartPhaseOutOfRangePanics(t *testing.T) {
+	tr := testTrace(t, 100)
+	tr.StartPhase = 99
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range start phase")
+		}
+	}()
+	NewStream(tr)
+}
+
+func TestNewApplicationJitterDistinctApps(t *testing.T) {
+	a := NewApplication(3, "a", 1)
+	b := NewApplication(3, "b", 2)
+	if a.Phases[0].Params == b.Phases[0].Params {
+		t.Error("two applications from the same archetype have identical parameters; jitter inactive")
+	}
+	for _, app := range []*Application{a, b} {
+		for i, ph := range app.Phases {
+			if err := ph.Params.Validate(); err != nil {
+				t.Errorf("%s phase %d invalid after jitter: %v", app.Name, i, err)
+			}
+		}
+	}
+}
+
+func TestNewApplicationDeterministic(t *testing.T) {
+	a := NewApplication(5, "x", 42)
+	b := NewApplication(5, "x", 42)
+	for i := range a.Phases {
+		if a.Phases[i].Params != b.Phases[i].Params || a.Phases[i].Length != b.Phases[i].Length {
+			t.Fatalf("phase %d differs for identical seeds", i)
+		}
+	}
+}
+
+func TestArchetypeLibraryShape(t *testing.T) {
+	archs := Archetypes()
+	if len(archs) != 42 {
+		t.Fatalf("archetype count = %d, want 42", len(archs))
+	}
+	perCat := map[Category]int{}
+	for _, a := range archs {
+		perCat[a.Category]++
+		if len(a.Phases) == 0 {
+			t.Errorf("archetype %s has no phases", a.Name)
+		}
+	}
+	for cat := Category(0); cat < NumCategories; cat++ {
+		if perCat[cat] != 7 {
+			t.Errorf("category %s has %d archetypes, want 7", cat, perCat[cat])
+		}
+	}
+}
+
+func TestUniformTransitionRowsSum(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		tr := uniformTransition(n, 0.8)
+		for i, row := range tr {
+			var sum float64
+			for _, p := range row {
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Errorf("n=%d row %d sums to %v", n, i, sum)
+			}
+		}
+	}
+}
+
+func BenchmarkStreamGeneration(b *testing.B) {
+	app := NewApplication(0, "bench", 7)
+	buf := make([]Instruction, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := &Trace{App: app, Seed: int64(i), NumInstrs: len(buf)}
+		NewStream(tr).Read(buf)
+	}
+	b.SetBytes(int64(len(buf)))
+}

@@ -1,0 +1,93 @@
+package uarch
+
+// Predictor is a tournament branch direction predictor: a PC-indexed
+// bimodal table captures static biases, a gshare table (PC XOR global
+// history) captures correlated patterns, and a PC-indexed chooser selects
+// between them. This mirrors the Alpha 21264-style predictors of the
+// SkyLake era closely enough for the "Branch Mispredictions" telemetry
+// counter to track phase branch entropy faithfully.
+type Predictor struct {
+	history uint64
+	bimodal []uint8
+	gshare  []uint8
+	chooser []uint8 // ≥2 selects gshare
+}
+
+const (
+	historyBits = 12
+	bimodalBits = 13
+)
+
+// NewPredictor returns a predictor with weakly-not-taken initial state.
+func NewPredictor() *Predictor {
+	p := &Predictor{
+		bimodal: make([]uint8, 1<<bimodalBits),
+		gshare:  make([]uint8, 1<<historyBits),
+		chooser: make([]uint8, 1<<historyBits),
+	}
+	for i := range p.bimodal {
+		p.bimodal[i] = 1
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 1
+	}
+	return p
+}
+
+// PredictAndUpdate predicts the direction for the branch at pc, updates all
+// predictor state with the actual outcome, and reports whether the
+// prediction was wrong.
+func (p *Predictor) PredictAndUpdate(pc uint64, taken bool) (mispredicted bool) {
+	bi := (pc >> 2) & uint64(len(p.bimodal)-1)
+	gi := ((pc >> 2) ^ p.history) & uint64(len(p.gshare)-1)
+	ci := (pc >> 2) & uint64(len(p.chooser)-1)
+
+	bPred := p.bimodal[bi] >= 2
+	gPred := p.gshare[gi] >= 2
+	pred := bPred
+	if p.chooser[ci] >= 2 {
+		pred = gPred
+	}
+
+	// Train the component tables.
+	updateCounter(&p.bimodal[bi], taken)
+	updateCounter(&p.gshare[gi], taken)
+	// Train the chooser only when the components disagree.
+	if bPred != gPred {
+		updateCounter(&p.chooser[ci], gPred == taken)
+	}
+	p.history = ((p.history << 1) | b2u(taken)) & ((1 << historyBits) - 1)
+	return pred != taken
+}
+
+// updateCounter nudges a 2-bit saturating counter toward the outcome.
+func updateCounter(c *uint8, up bool) {
+	if up {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+// Reset restores initial predictor state.
+func (p *Predictor) Reset() {
+	p.history = 0
+	for i := range p.bimodal {
+		p.bimodal[i] = 1
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 1
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 0
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,258 @@
+package uarch
+
+import "fmt"
+
+// CacheConfig describes a set-associative cache (or TLB, with LineBytes set
+// to the page size).
+type CacheConfig struct {
+	SizeBytes int
+	Ways      int
+	LineBytes int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c CacheConfig) Sets() int {
+	if c.Ways <= 0 || c.LineBytes <= 0 {
+		panic(fmt.Sprintf("uarch: invalid cache config %+v", c))
+	}
+	sets := c.SizeBytes / (c.Ways * c.LineBytes)
+	if sets < 1 {
+		sets = 1
+	}
+	// Round down to a power of two for cheap indexing.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	return p
+}
+
+// EvictKind classifies what a cache access displaced.
+type EvictKind uint8
+
+const (
+	EvictNone EvictKind = iota
+	// EvictClean is a "silent" eviction: the line was not dirty, so no
+	// writeback traffic was generated. The paper's counter 2 ("L2 Silent
+	// Evictions") counts these at the L2.
+	EvictClean
+	EvictDirty
+)
+
+type cacheLineState struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint32
+}
+
+// Cache is a set-associative cache with true LRU replacement and
+// write-back, write-allocate semantics.
+type Cache struct {
+	cfg      CacheConfig
+	sets     [][]cacheLineState
+	setMask  uint64
+	lineBits uint
+	tick     uint32
+}
+
+// NewCache builds a cache from its geometry.
+func NewCache(cfg CacheConfig) *Cache {
+	nSets := cfg.Sets()
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]cacheLineState, nSets),
+		setMask: uint64(nSets - 1),
+	}
+	lines := make([]cacheLineState, nSets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i] = lines[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	for b := cfg.LineBytes; b > 1; b >>= 1 {
+		c.lineBits++
+	}
+	return c
+}
+
+// Access looks up addr, allocating on miss. write marks the line dirty.
+// It reports whether the access hit and what kind of line (if any) the
+// allocation evicted.
+func (c *Cache) Access(addr uint64, write bool) (hit bool, evicted EvictKind) {
+	c.tick++
+	lineAddr := addr >> c.lineBits
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> uint(len64(c.setMask))
+
+	victim := 0
+	var victimLRU uint32 = ^uint32(0)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			l.lru = c.tick
+			if write {
+				l.dirty = true
+			}
+			return true, EvictNone
+		}
+		if !l.valid {
+			victim = i
+			victimLRU = 0
+		} else if l.lru < victimLRU {
+			victim = i
+			victimLRU = l.lru
+		}
+	}
+
+	v := &set[victim]
+	if v.valid {
+		if v.dirty {
+			evicted = EvictDirty
+		} else {
+			evicted = EvictClean
+		}
+	}
+	*v = cacheLineState{tag: tag, valid: true, dirty: write, lru: c.tick}
+	return false, evicted
+}
+
+// Reset invalidates the entire cache.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = cacheLineState{}
+		}
+	}
+	c.tick = 0
+}
+
+// len64 returns the number of significant bits in mask (mask is 2^k - 1).
+func len64(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		n++
+		mask >>= 1
+	}
+	return n
+}
+
+// Hierarchy bundles the data-side cache levels and TLB and resolves a load
+// or store to a latency, updating hit/miss/eviction statistics. It also
+// enforces off-chip memory bandwidth: misses to DRAM are serviced at most
+// one line per Config.MemGap cycles, which is what makes streaming
+// workloads equally slow in both cluster configurations (and therefore
+// gateable), as on real hardware.
+type Hierarchy struct {
+	L1D  *Cache
+	L2   *Cache
+	DTLB *Cache
+	cfg  *Config
+
+	memNextFree uint64 // earliest cycle the DRAM channel accepts a new line
+
+	// streams is a small next-line stream-prefetcher table (line
+	// addresses whose successor has been prefetched). Sequential misses
+	// hit here and bypass the MSHRs at near-L2 latency; random misses
+	// take the demand path.
+	streams    [8]uint64
+	streamNext int
+
+	// mshrNext throttles per-cluster demand misses to the steady-state
+	// rate a finite MSHR file sustains (MSHRs per MemLatency cycles).
+	mshrNext [2]uint64
+}
+
+// NewHierarchy builds the data-side hierarchy for cfg.
+func NewHierarchy(cfg *Config) *Hierarchy {
+	h := &Hierarchy{
+		L1D:  NewCache(cfg.L1D),
+		L2:   NewCache(cfg.L2),
+		DTLB: NewCache(cfg.DTLB),
+		cfg:  cfg,
+	}
+	return h
+}
+
+// AccessData performs a data access at cycle now on cluster cl and
+// returns its latency plus the event deltas to record. independent marks
+// accesses whose operands were ready at dispatch: they form the burst of
+// concurrent demand misses that a finite MSHR file throttles, while
+// chain-dependent misses spread out in time on their own.
+func (h *Hierarchy) AccessData(addr uint64, write bool, now uint64, cl uint8, independent bool, ev *Events) int {
+	lat := h.cfg.L1DLatency
+	if write {
+		ev.Stores++
+	} else {
+		ev.Loads++
+		ev.L1DReads++
+	}
+	if tlbHit, _ := h.DTLB.Access(addr, false); !tlbHit {
+		ev.DTLBMisses++
+		lat += 20 // page-walk cost
+	}
+	hit, _ := h.L1D.Access(addr, write)
+	if hit {
+		ev.L1DHits++
+		return lat
+	}
+	ev.L1DMisses++
+	lat = h.cfg.L2Latency
+	l2hit, evict := h.L2.Access(addr, write)
+	switch evict {
+	case EvictClean:
+		ev.L2SilentEvictions++
+	case EvictDirty:
+		ev.L2DirtyEvictions++
+	}
+	if l2hit {
+		ev.L2Hits++
+		return lat
+	}
+	ev.L2Misses++
+	// DRAM: queue behind the channel when misses arrive faster than one
+	// line per MemGap cycles.
+	start := now
+	if h.memNextFree > start {
+		start = h.memNextFree
+	}
+	h.memNextFree = start + uint64(h.cfg.MemGap)
+
+	line := addr >> 6
+	if !h.cfg.DisablePrefetch && h.streamHit(line) {
+		// The stream prefetcher already requested this line: the access
+		// completes at near-L2 latency (or when the DRAM channel delivers
+		// it, whichever is later), without holding an MSHR.
+		ev.PrefetchFills++
+		lat := int(start-now) + h.cfg.L2Latency
+		return lat
+	}
+	// Demand miss: a cluster's finite MSHR file sustains at most MSHRs
+	// outstanding misses, i.e. MSHRs/MemLatency misses per cycle. Phases
+	// whose intrinsic memory parallelism exceeds the gated machine's half-
+	// sized file lose throughput in low-power mode; chain-limited phases
+	// never notice.
+	if h.cfg.MSHRs > 0 && independent {
+		gap := uint64((h.cfg.MemLatency + h.cfg.MSHRs - 1) / h.cfg.MSHRs)
+		if h.mshrNext[cl] > start {
+			start = h.mshrNext[cl]
+		}
+		h.mshrNext[cl] = start + gap
+	}
+	return int(start-now) + h.cfg.MemLatency
+}
+
+// streamHit checks (and trains) the next-line prefetcher: an access to
+// line L hits if L-1 missed recently; either way L is recorded so the
+// successor line is covered.
+func (h *Hierarchy) streamHit(line uint64) bool {
+	hit := false
+	for i, l := range h.streams {
+		if l == line-1 || l == line {
+			h.streams[i] = line
+			hit = l == line-1 || l == line
+			return hit
+		}
+	}
+	h.streams[h.streamNext] = line
+	h.streamNext = (h.streamNext + 1) & 7
+	return false
+}

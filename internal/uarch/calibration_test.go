@@ -1,0 +1,61 @@
+package uarch
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"clustergate/internal/trace"
+)
+
+// TestPhaseCalibrationReport prints every SPEC profile phase's fixed-mode
+// IPC ratio when run with -v; it asserts only that gate phases exceed the
+// SLA ratio on average and perf phases fall below it, the invariant the
+// whole corpus design rests on.
+func TestPhaseCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep skipped in -short mode")
+	}
+	type row struct {
+		bench, kind string
+		idx         int
+		hi, lo      float64
+	}
+	var rows []row
+	for bench, phases := range trace.ProfilePhases() {
+		for kind, list := range map[string][]trace.Phase{"gate": phases[0], "perf": phases[1]} {
+			for i, ph := range list {
+				app := synthApp(ph.Params)
+				hi := runTrace(t, app, ModeHighPerf, 400_000)
+				lo := runTrace(t, app, ModeLowPower, 400_000)
+				rows = append(rows, row{bench, kind, i, hi.IPC(), lo.IPC()})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].bench != rows[j].bench {
+			return rows[i].bench < rows[j].bench
+		}
+		if rows[i].kind != rows[j].kind {
+			return rows[i].kind < rows[j].kind
+		}
+		return rows[i].idx < rows[j].idx
+	})
+	bad := 0
+	for _, r := range rows {
+		ratio := r.lo / r.hi
+		flag := ""
+		if (r.kind == "gate" && ratio < 0.9) || (r.kind == "perf" && ratio >= 0.9) {
+			flag = "  <-- MISCALIBRATED"
+			bad++
+		}
+		t.Logf("%-20s %-5s[%d] hi=%5.2f lo=%5.2f ratio=%.3f%s",
+			r.bench, r.kind, r.idx, r.hi, r.lo, ratio, flag)
+	}
+	if frac := float64(bad) / float64(len(rows)); frac > 0.25 {
+		t.Errorf("%d of %d profile phases (%.0f%%) miscalibrated against the 0.9 SLA",
+			bad, len(rows), 100*frac)
+	} else if bad > 0 {
+		fmt.Printf("calibration: %d of %d phases borderline\n", bad, len(rows))
+	}
+}

@@ -1,0 +1,145 @@
+// Package uarch models the paper's CPU: a scaled Intel SkyLake derivative
+// with two 4-wide out-of-order execution clusters (Figure 2). It provides a
+// cycle-level timing model over synthetic instruction traces, a cache/TLB
+// hierarchy, a branch predictor, and the cluster-gating microcode flow,
+// and exposes the event counts the telemetry subsystem samples.
+//
+// The model is a windowed dataflow scheduler: every instruction is assigned
+// a fetch cycle (front-end width, I-side misses, redirects, ROB occupancy),
+// a ready cycle (producer completion plus inter-cluster forwarding delay),
+// an issue cycle (first cycle with a free slot on its cluster's ports), and
+// a completion cycle (issue plus operation latency, with load latency taken
+// from the simulated cache hierarchy). This reproduces the IPC sensitivity
+// that matters for predictive cluster gating: dependency-bound and
+// memory-latency-bound phases lose nothing at half width, while high-ILP
+// phases need both clusters.
+package uarch
+
+// Mode selects the cluster configuration (Section 3).
+type Mode uint8
+
+const (
+	// ModeHighPerf steers instructions to both clusters: 8-wide issue.
+	ModeHighPerf Mode = iota
+	// ModeLowPower gates Cluster 2 and runs 4-wide on Cluster 1, consuming
+	// 35% less power.
+	ModeLowPower
+)
+
+// String names the mode as in the paper.
+func (m Mode) String() string {
+	if m == ModeLowPower {
+		return "low-power"
+	}
+	return "high-perf"
+}
+
+// Config holds the microarchitectural parameters of the scaled SkyLake
+// core. The zero value is not valid; use DefaultConfig.
+type Config struct {
+	// FetchWidth is instructions fetched/renamed per cycle in
+	// high-performance mode; low-power mode halves it.
+	FetchWidth int
+	// DecodeDepth is the front-end pipeline depth in cycles between fetch
+	// and earliest issue.
+	DecodeDepth int
+	// ClusterIssueWidth is the per-cluster scheduler width.
+	ClusterIssueWidth int
+	// ROBSize bounds instructions in flight in high-performance mode.
+	// ROBSize bounds instructions in flight; it is shared across clusters
+	// and does not shrink when gating.
+	ROBSize int
+	// StoreQueue is the per-cluster store-queue depth.
+	StoreQueue int
+	// LoadPorts and StorePorts are per-cluster MEU ports.
+	LoadPorts, StorePorts int
+	// LoadQueue is the per-cluster limit on loads in flight.
+	LoadQueue int
+	// MSHRs is the per-cluster limit on outstanding demand misses to DRAM.
+	// Prefetched lines bypass it; gating halves the aggregate, which makes
+	// moderate-parallelism random-access latency-bound phases non-gateable
+	// at low IPC — one of the behaviours that defeats naive "low IPC ⇒
+	// gateable" heuristics.
+	MSHRs int
+	// InterClusterDelay is the extra forwarding latency, in cycles, when a
+	// consumer issues on a different cluster than its producer.
+	InterClusterDelay int
+	// MispredictPenalty is the front-end redirect cost after a resolved
+	// branch misprediction.
+	MispredictPenalty int
+
+	// Latencies in cycles.
+	L1DLatency, L2Latency, MemLatency int
+	DivLatency                        int
+	// MemGap is the minimum spacing, in cycles, between DRAM line fills:
+	// the off-chip bandwidth limit shared by both clusters and modes.
+	MemGap int
+	// DisablePrefetch turns off the stream prefetcher (ablation).
+	DisablePrefetch bool
+
+	// Cache geometry.
+	L1D, L1I, L2 CacheConfig
+	UopCache     CacheConfig
+	ITLB, DTLB   CacheConfig
+
+	// Mode-switch microcode (Section 3): entering low-power mode copies up
+	// to MaxRegTransfers live registers from Cluster 2, one µop each.
+	MaxRegTransfers int
+}
+
+// DefaultConfig returns the scaled-SkyLake parameters used throughout the
+// paper's evaluation.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:        8,
+		DecodeDepth:       6,
+		ClusterIssueWidth: 4,
+		ROBSize:           224,
+		StoreQueue:        28,
+		LoadPorts:         2,
+		LoadQueue:         36,
+		MSHRs:             12,
+		StorePorts:        1,
+		InterClusterDelay: 2,
+		MispredictPenalty: 14,
+		L1DLatency:        4,
+		L2Latency:         14,
+		MemLatency:        80,
+		MemGap:            3,
+		DivLatency:        18,
+		L1D:               CacheConfig{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64},
+		L1I:               CacheConfig{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64},
+		L2:                CacheConfig{SizeBytes: 512 << 10, Ways: 8, LineBytes: 64},
+		UopCache:          CacheConfig{SizeBytes: 6 << 10, Ways: 8, LineBytes: 64},
+		ITLB:              CacheConfig{SizeBytes: 128 * 4096, Ways: 4, LineBytes: 4096},
+		DTLB:              CacheConfig{SizeBytes: 64 * 4096, Ways: 4, LineBytes: 4096},
+		MaxRegTransfers:   32,
+	}
+}
+
+// fetchWidth returns the front-end width for the mode.
+func (c *Config) fetchWidth(m Mode) int {
+	if m == ModeLowPower {
+		w := c.FetchWidth / 2
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+	return c.FetchWidth
+}
+
+// robSize returns the in-flight window for the mode; the reorder buffer is
+// a shared front-end resource and does not shrink when gating (the
+// per-cluster load queues do — see Config.LoadQueue).
+func (c *Config) robSize(m Mode) int {
+	return c.ROBSize
+}
+
+// clusters returns the number of active clusters for the mode.
+func clusters(m Mode) int {
+	if m == ModeLowPower {
+		return 1
+	}
+	return 2
+}

@@ -1,0 +1,429 @@
+package uarch
+
+import (
+	"clustergate/internal/trace"
+)
+
+const (
+	// depWindow bounds how far back register dependencies reach; it must
+	// cover trace generation's maximum dependency distance (512).
+	depWindow = 1024
+	// slotWindow is the cycle-ring span for issue-port bookkeeping. Stamped
+	// entries make clearing unnecessary; the window just needs to exceed
+	// the largest fetch-to-issue spread (ROB × memory latency).
+	slotWindow = 1 << 16
+	// fetchBlock is the instruction granularity of I-side cache probes.
+	fetchBlock = 16
+	// sqDrainDelay is how long a store occupies its queue slot after
+	// completing, modelling post-retirement writeback.
+	sqDrainDelay = 4
+	// avgRegTransfers is the typical number of live registers copied when
+	// gating Cluster 2 (worst case is Config.MaxRegTransfers).
+	avgRegTransfers = 24
+)
+
+// cycleSlot tracks per-cycle port usage; the stamp identifies which cycle
+// currently owns the entry, so stale data is discarded without sweeps.
+type cycleSlot struct {
+	stamp  uint64
+	issued [2]uint8
+	loads  [2]uint8
+	stores [2]uint8
+}
+
+// Core is the cycle-level model of the dual-cluster CPU. One Core instance
+// simulates one hardware context; create separate Cores to compare modes on
+// the same trace.
+type Core struct {
+	cfg  Config
+	mode Mode
+
+	hier     *Hierarchy
+	icache   *Cache
+	uopCache *Cache
+	itlb     *Cache
+	bp       *Predictor
+
+	ev Events
+
+	// Timing state.
+	fc          uint64 // current fetch cycle
+	fetchedInFC int    // instructions already fetched in cycle fc
+	redirect    uint64 // earliest fetch cycle after a pending mispredict
+	retireMax   uint64 // highest completion cycle seen (the clock)
+
+	idx          uint64      // global dynamic instruction index
+	comp         []uint64    // completion cycle ring, indexed by idx
+	cluster      []uint8     // cluster assignment ring, indexed by idx
+	slots        []cycleSlot // per-cycle port usage ring
+	steer        uint8       // round-robin steering toggle
+	divFree      [2]uint64   // next cycle each cluster's divider is free
+	sqDrain      [2][]uint64 // per-cluster store-queue drain-cycle rings
+	sqCount      [2]uint64   // per-cluster store counters
+	lqComp       [2][]uint64 // per-cluster load-queue completion rings
+	lqCount      [2]uint64   // per-cluster load counters
+	lastBlock    uint64      // last fetch block probed on the I-side
+	legacyDecode bool        // current block missed the µop cache
+}
+
+// NewCore returns a core in high-performance mode.
+func NewCore(cfg Config) *Core { return NewCoreInMode(cfg, ModeHighPerf) }
+
+// NewCoreInMode returns a core pinned to an initial mode.
+func NewCoreInMode(cfg Config, m Mode) *Core {
+	c := &Core{
+		cfg:      cfg,
+		mode:     m,
+		hier:     NewHierarchy(&cfg),
+		icache:   NewCache(cfg.L1I),
+		uopCache: NewCache(cfg.UopCache),
+		itlb:     NewCache(cfg.ITLB),
+		bp:       NewPredictor(),
+		comp:     make([]uint64, depWindow),
+		cluster:  make([]uint8, depWindow),
+		slots:    make([]cycleSlot, slotWindow),
+	}
+	c.sqDrain[0] = make([]uint64, 64)
+	c.sqDrain[1] = make([]uint64, 64)
+	c.lqComp[0] = make([]uint64, 128)
+	c.lqComp[1] = make([]uint64, 128)
+	c.lastBlock = ^uint64(0)
+	return c
+}
+
+// Mode returns the active cluster configuration.
+func (c *Core) Mode() Mode { return c.mode }
+
+// Cycles returns the core's retirement clock.
+func (c *Core) Cycles() uint64 { return c.retireMax }
+
+// Events returns a snapshot of cumulative event counts. StallCycles is
+// derived at snapshot time as cycles minus busy cycles.
+func (c *Core) Events() Events {
+	ev := c.ev
+	ev.Cycles = c.retireMax
+	if ev.Cycles > ev.BusyCycles {
+		ev.StallCycles = ev.Cycles - ev.BusyCycles
+	}
+	return ev
+}
+
+// SetMode performs the cluster-gating microcode flow (Section 3). Gating
+// Cluster 2 copies live register state to Cluster 1, one µop per register,
+// while execution continues; ungating is nearly free.
+func (c *Core) SetMode(m Mode) {
+	if m == c.mode {
+		return
+	}
+	c.ev.ModeSwitches++
+	if m == ModeLowPower {
+		uops := avgRegTransfers
+		if uops > c.cfg.MaxRegTransfers {
+			uops = c.cfg.MaxRegTransfers
+		}
+		cost := uint64(uops/c.cfg.ClusterIssueWidth + 4)
+		c.ev.RegTransferUops += uint64(uops)
+		c.ev.SwitchCycles += cost
+		c.fc += cost
+	} else {
+		c.ev.SwitchCycles += 2
+		c.fc += 2
+	}
+	c.mode = m
+}
+
+// Execute runs a batch of instructions through the timing model.
+func (c *Core) Execute(batch []trace.Instruction) {
+	for i := range batch {
+		c.step(&batch[i])
+	}
+}
+
+func (c *Core) step(in *trace.Instruction) {
+	cfg := &c.cfg
+	width := cfg.fetchWidth(c.mode)
+	c.probeISide(in.PC)
+	if c.legacyDecode && width > 4 {
+		// µop-cache misses fall back to the legacy decode pipe, which
+		// sustains at most 4 instructions per cycle.
+		width = 4
+	}
+
+	// --- Fetch: width, redirects, ROB occupancy, I-side misses.
+	if c.fetchedInFC >= width {
+		c.fc++
+		c.fetchedInFC = 0
+	}
+	if c.redirect > c.fc {
+		c.fc = c.redirect
+		c.fetchedInFC = 0
+	}
+	// Speculation window: instruction i cannot be fetched until i-ROB
+	// completes; gating halves the effective window.
+	rob := uint64(cfg.robSize(c.mode))
+	if c.idx >= rob {
+		if free := c.comp[(c.idx-rob)&(depWindow-1)]; free > c.fc {
+			c.fc = free
+			c.fetchedInFC = 0
+		}
+	}
+	c.fetchedInFC++
+
+	dispatch := c.fc + uint64(cfg.DecodeDepth)
+
+	// --- Steering and operand readiness.
+	cl := c.steerCluster(in)
+	ready := dispatch
+	depReady := uint64(0)
+	if in.Dep1 > 0 {
+		depReady = c.depReady(uint64(in.Dep1), cl)
+		c.ev.PhysRegRefs++
+	}
+	if in.Dep2 > 0 {
+		if r := c.depReady(uint64(in.Dep2), cl); r > depReady {
+			depReady = r
+		}
+		c.ev.PhysRegRefs++
+	}
+	if depReady > ready {
+		ready = depReady
+		c.ev.UopsStalledOnDep++
+	} else {
+		c.ev.UopsReady++
+	}
+
+	// --- Memory side: latency and store-queue pressure. Bandwidth and
+	// MSHR throttling are keyed on the monotone fetch clock: the shared
+	// channels see the window's aggregate demand stream in order.
+	lat := 1
+	isLoad, isStore := false, false
+	switch in.Op {
+	case trace.OpLoad:
+		isLoad = true
+		lat = c.hier.AccessData(in.Addr, false, c.fc, cl, ready <= dispatch, &c.ev)
+		ready = c.reserveLoadSlot(cl, ready)
+	case trace.OpStore:
+		isStore = true
+		c.hier.AccessData(in.Addr, true, c.fc, cl, false, &c.ev)
+		lat = 1
+		ready = c.reserveStoreSlot(cl, ready)
+	case trace.OpMul:
+		lat = 3
+		c.ev.MulOps++
+	case trace.OpFPAdd, trace.OpFPMul:
+		lat = 4
+		c.ev.FPOps++
+	case trace.OpDiv, trace.OpFPDiv:
+		lat = cfg.DivLatency
+		c.ev.DivOps++
+		if in.Op == trace.OpFPDiv {
+			c.ev.FPOps++
+		}
+		if c.divFree[cl] > ready {
+			ready = c.divFree[cl]
+		}
+	}
+
+	// --- Issue: first cycle ≥ ready with a free port on this cluster.
+	issue := c.findIssueCycle(cl, ready, isLoad, isStore)
+	c.ev.ReadyWaitCycles += issue - ready
+	if cl == 0 {
+		c.ev.IssueC0++
+	} else {
+		c.ev.IssueC1++
+	}
+	if in.Op == trace.OpDiv || in.Op == trace.OpFPDiv {
+		// Non-pipelined divider blocks the cluster's divide port.
+		c.divFree[cl] = issue + uint64(cfg.DivLatency)
+	}
+
+	complete := issue + uint64(lat)
+	c.comp[c.idx&(depWindow-1)] = complete
+	c.cluster[c.idx&(depWindow-1)] = cl
+	if complete > c.retireMax {
+		c.retireMax = complete
+	}
+	if isStore {
+		c.recordStoreDrain(cl, complete)
+	}
+	if isLoad {
+		n := c.lqCount[cl]
+		c.lqComp[cl][n&127] = complete
+		c.lqCount[cl] = n + 1
+	}
+
+	// --- Branch resolution.
+	if in.Op == trace.OpBranch {
+		c.ev.Branches++
+		if in.Taken {
+			c.ev.TakenBranches++
+		}
+		if c.bp.PredictAndUpdate(in.PC, in.Taken) {
+			c.ev.Mispredicts++
+			r := complete + uint64(cfg.MispredictPenalty)
+			if r > c.redirect {
+				// Wrong-path fetch between now and resolution is flushed.
+				flushed := (complete - c.fc) * uint64(width)
+				if flushed > uint64(cfg.ROBSize) {
+					flushed = uint64(cfg.ROBSize)
+				}
+				c.ev.WrongPathUops += flushed
+				c.ev.RedirectCycles += r - c.fc
+				c.redirect = r
+			}
+		}
+	}
+
+	c.ev.Instrs++
+	c.idx++
+}
+
+// probeISide models the micro-op cache, instruction cache, and ITLB once
+// per fetch block, charging front-end bubbles on misses.
+func (c *Core) probeISide(pc uint64) {
+	block := pc / (fetchBlock * 4)
+	if block == c.lastBlock {
+		return
+	}
+	c.lastBlock = block
+
+	var bubble uint64
+	if hit, _ := c.itlb.Access(pc, false); !hit {
+		c.ev.ITLBMisses++
+		bubble += 20
+	}
+	if hit, _ := c.uopCache.Access(pc, false); hit {
+		c.ev.UopCacheHits++
+		c.legacyDecode = false
+	} else {
+		c.ev.UopCacheMisses++
+		c.legacyDecode = true
+		if l1hit, _ := c.icache.Access(pc, false); l1hit {
+			c.ev.L1IHits++
+		} else {
+			c.ev.L1IMisses++
+			if l2hit, _ := c.hier.L2.Access(pc, false); l2hit {
+				bubble += uint64(c.cfg.L2Latency)
+			} else {
+				bubble += uint64(c.cfg.MemLatency) / 2
+			}
+		}
+	}
+	if bubble > 0 {
+		c.fc += bubble
+		c.fetchedInFC = 0
+		c.ev.FetchBubbles += bubble
+	}
+}
+
+// steerCluster picks the execution cluster for an instruction. Short
+// dependency chains follow their producer (avoiding forwarding latency);
+// independent work alternates clusters to balance load. In low-power mode
+// everything runs on Cluster 1 (index 0).
+func (c *Core) steerCluster(in *trace.Instruction) uint8 {
+	if clusters(c.mode) == 1 {
+		return 0
+	}
+	if in.Dep1 > 0 && in.Dep1 <= 3 && uint64(in.Dep1) <= c.idx {
+		return c.cluster[(c.idx-uint64(in.Dep1))&(depWindow-1)]
+	}
+	c.steer ^= 1
+	return c.steer
+}
+
+// depReady returns when the value produced dist instructions ago becomes
+// usable on cluster cl, including the inter-cluster forwarding penalty.
+func (c *Core) depReady(dist uint64, cl uint8) uint64 {
+	if dist > c.idx {
+		return 0
+	}
+	i := (c.idx - dist) & (depWindow - 1)
+	r := c.comp[i]
+	if c.cluster[i] != cl && clusters(c.mode) > 1 {
+		r += uint64(c.cfg.InterClusterDelay)
+		c.ev.CrossForwards++
+	}
+	return r
+}
+
+// findIssueCycle locates the first cycle at or after earliest with free
+// issue bandwidth (and a free load/store port when needed) on cluster cl.
+func (c *Core) findIssueCycle(cl uint8, earliest uint64, isLoad, isStore bool) uint64 {
+	cfg := &c.cfg
+	for t := earliest; ; t++ {
+		s := &c.slots[t&(slotWindow-1)]
+		if s.stamp != t {
+			*s = cycleSlot{stamp: t}
+		}
+		if int(s.issued[cl]) >= cfg.ClusterIssueWidth {
+			continue
+		}
+		if isLoad && int(s.loads[cl]) >= cfg.LoadPorts {
+			continue
+		}
+		if isStore && int(s.stores[cl]) >= cfg.StorePorts {
+			continue
+		}
+		if s.issued[0] == 0 && s.issued[1] == 0 {
+			c.ev.BusyCycles++
+		}
+		s.issued[cl]++
+		if isLoad {
+			s.loads[cl]++
+		}
+		if isStore {
+			s.stores[cl]++
+		}
+		return t
+	}
+}
+
+// reserveStoreSlot delays a store until its cluster's store queue has a
+// free entry and records occupancy telemetry.
+func (c *Core) reserveStoreSlot(cl uint8, ready uint64) uint64 {
+	sq := uint64(c.cfg.StoreQueue)
+	ring := c.sqDrain[cl]
+	n := c.sqCount[cl]
+	if n >= sq {
+		if drain := ring[(n-sq)&63]; drain > ready {
+			c.ev.SQStallCycles += drain - ready
+			ready = drain
+		}
+	}
+	// Occupancy snapshot: how many of the previous SQ stores are still in
+	// flight at this store's ready cycle.
+	occ := uint64(0)
+	scan := sq
+	if n < scan {
+		scan = n
+	}
+	for k := uint64(1); k <= scan; k++ {
+		if ring[(n-k)&63] > ready {
+			occ++
+		}
+	}
+	c.ev.SQOccupancySum += occ
+	return ready
+}
+
+// reserveLoadSlot delays a load until its cluster's load queue has a free
+// entry; gated operation halves the machine's aggregate load queue.
+func (c *Core) reserveLoadSlot(cl uint8, ready uint64) uint64 {
+	lq := uint64(c.cfg.LoadQueue)
+	if lq == 0 || lq > 128 {
+		return ready
+	}
+	n := c.lqCount[cl]
+	if n >= lq {
+		if free := c.lqComp[cl][(n-lq)&127]; free > ready {
+			ready = free
+		}
+	}
+	return ready
+}
+
+func (c *Core) recordStoreDrain(cl uint8, complete uint64) {
+	n := c.sqCount[cl]
+	c.sqDrain[cl][n&63] = complete + sqDrainDelay
+	c.sqCount[cl] = n + 1
+}

@@ -1,0 +1,334 @@
+package uarch
+
+import (
+	"testing"
+
+	"clustergate/internal/trace"
+)
+
+// synthApp builds a single-phase application for controlled IPC tests.
+func synthApp(p trace.PhaseParams) *trace.Application {
+	return &trace.Application{
+		Name:       "synth",
+		Phases:     []trace.Phase{{Params: p, Length: 1 << 30}},
+		Transition: [][]float64{{1}},
+		Seed:       1,
+	}
+}
+
+func runTrace(t *testing.T, app *trace.Application, mode Mode, n int) Events {
+	t.Helper()
+	core := NewCoreInMode(DefaultConfig(), mode)
+	s := trace.NewStream(&trace.Trace{App: app, Seed: 7, NumInstrs: n})
+	buf := make([]trace.Instruction, 4096)
+	for {
+		k := s.Read(buf)
+		if k == 0 {
+			break
+		}
+		core.Execute(buf[:k])
+	}
+	return core.Events()
+}
+
+// serialParams: dependency chains of ~2, tiny footprint — both modes should
+// achieve nearly identical IPC (gateable).
+func serialParams() trace.PhaseParams {
+	return trace.PhaseParams{
+		DepDist: 1.5, LoadFrac: 0.1, StoreFrac: 0.04, BranchFrac: 0.1,
+		DataFootprint: 16 << 10, CodeFootprint: 8 << 10,
+		StrideFrac: 0.2, BranchEntropy: 0.05,
+	}
+}
+
+// ilpParams: wide parallelism, tiny footprint — high-perf mode should be
+// much faster (not gateable).
+func ilpParams() trace.PhaseParams {
+	return trace.PhaseParams{
+		DepDist: 14, LoadFrac: 0.12, StoreFrac: 0.04, BranchFrac: 0.05,
+		FPFrac:        0.3,
+		DataFootprint: 16 << 10, CodeFootprint: 4 << 10,
+		StrideFrac: 0.95, BranchEntropy: 0.02,
+	}
+}
+
+// memParams: random accesses over a huge footprint — memory latency bound
+// in both modes (gateable).
+func memParams() trace.PhaseParams {
+	return trace.PhaseParams{
+		DepDist: 4, LoadFrac: 0.34, StoreFrac: 0.1, BranchFrac: 0.08,
+		DataFootprint: 256 << 20, CodeFootprint: 16 << 10,
+		StrideFrac: 0.1, BranchEntropy: 0.1,
+	}
+}
+
+const testInstrs = 150_000
+
+func TestIPCSerialCodeGateable(t *testing.T) {
+	app := synthApp(serialParams())
+	hi := runTrace(t, app, ModeHighPerf, testInstrs)
+	lo := runTrace(t, app, ModeLowPower, testInstrs)
+	ratio := lo.IPC() / hi.IPC()
+	if ratio < 0.92 {
+		t.Errorf("serial code IPC ratio = %.3f (hi=%.2f lo=%.2f); want ≥0.92",
+			ratio, hi.IPC(), lo.IPC())
+	}
+	if hi.IPC() > 3.2 {
+		t.Errorf("serial code hi IPC = %.2f, implausibly high for short dep chains", hi.IPC())
+	}
+}
+
+func TestIPCHighILPNeedsBothClusters(t *testing.T) {
+	app := synthApp(ilpParams())
+	hi := runTrace(t, app, ModeHighPerf, testInstrs)
+	lo := runTrace(t, app, ModeLowPower, testInstrs)
+	ratio := lo.IPC() / hi.IPC()
+	if ratio > 0.80 {
+		t.Errorf("high-ILP IPC ratio = %.3f (hi=%.2f lo=%.2f); want ≤0.80",
+			ratio, hi.IPC(), lo.IPC())
+	}
+	if hi.IPC() < 4.5 {
+		t.Errorf("high-ILP hi IPC = %.2f, want >4.5 (8-wide machine)", hi.IPC())
+	}
+	if lo.IPC() > 4.0 {
+		t.Errorf("low-power IPC = %.2f exceeds 4-wide limit", lo.IPC())
+	}
+}
+
+func TestIPCMemoryBoundGateable(t *testing.T) {
+	app := synthApp(memParams())
+	hi := runTrace(t, app, ModeHighPerf, testInstrs)
+	lo := runTrace(t, app, ModeLowPower, testInstrs)
+	ratio := lo.IPC() / hi.IPC()
+	if ratio < 0.90 {
+		t.Errorf("memory-bound IPC ratio = %.3f (hi=%.2f lo=%.2f); want ≥0.90",
+			ratio, hi.IPC(), lo.IPC())
+	}
+	if hi.IPC() > 2.5 {
+		t.Errorf("memory-bound hi IPC = %.2f, implausibly high", hi.IPC())
+	}
+	if hi.L2Misses == 0 {
+		t.Error("no L2 misses on a 256MB random footprint")
+	}
+}
+
+func TestEventAccounting(t *testing.T) {
+	app := synthApp(serialParams())
+	ev := runTrace(t, app, ModeHighPerf, 50_000)
+	if ev.Instrs != 50_000 {
+		t.Errorf("Instrs = %d, want 50000", ev.Instrs)
+	}
+	if ev.Loads == 0 || ev.Stores == 0 || ev.Branches == 0 {
+		t.Errorf("missing op events: %+v", ev)
+	}
+	if ev.L1DHits+ev.L1DMisses != ev.L1DReads+ev.Stores {
+		t.Errorf("L1D accounting: hits+misses = %d, reads+stores = %d",
+			ev.L1DHits+ev.L1DMisses, ev.L1DReads+ev.Stores)
+	}
+	if ev.UopsReady+ev.UopsStalledOnDep != ev.Instrs {
+		t.Errorf("ready (%d) + stalled (%d) != instrs (%d)",
+			ev.UopsReady, ev.UopsStalledOnDep, ev.Instrs)
+	}
+	if ev.IssueC0+ev.IssueC1 != ev.Instrs {
+		t.Errorf("issued %d+%d != %d instrs", ev.IssueC0, ev.IssueC1, ev.Instrs)
+	}
+	if ev.StallCycles+ev.BusyCycles != ev.Cycles {
+		t.Errorf("stall (%d) + busy (%d) != cycles (%d)",
+			ev.StallCycles, ev.BusyCycles, ev.Cycles)
+	}
+}
+
+func TestLowPowerUsesSingleCluster(t *testing.T) {
+	app := synthApp(ilpParams())
+	ev := runTrace(t, app, ModeLowPower, 20_000)
+	if ev.IssueC1 != 0 {
+		t.Errorf("low-power mode issued %d µops on cluster 2", ev.IssueC1)
+	}
+	if ev.CrossForwards != 0 {
+		t.Errorf("low-power mode recorded %d cross-cluster forwards", ev.CrossForwards)
+	}
+}
+
+func TestHighPerfUsesBothClusters(t *testing.T) {
+	app := synthApp(ilpParams())
+	ev := runTrace(t, app, ModeHighPerf, 20_000)
+	if ev.IssueC0 == 0 || ev.IssueC1 == 0 {
+		t.Errorf("cluster issue split %d/%d; steering broken", ev.IssueC0, ev.IssueC1)
+	}
+	balance := float64(ev.IssueC0) / float64(ev.IssueC0+ev.IssueC1)
+	if balance < 0.25 || balance > 0.75 {
+		t.Errorf("cluster balance = %.2f, severely skewed", balance)
+	}
+}
+
+func TestModeSwitchCostsAndCounts(t *testing.T) {
+	core := NewCore(DefaultConfig())
+	app := synthApp(serialParams())
+	s := trace.NewStream(&trace.Trace{App: app, Seed: 3, NumInstrs: 30_000})
+	buf := make([]trace.Instruction, 10_000)
+
+	s.Read(buf)
+	core.Execute(buf)
+	core.SetMode(ModeLowPower)
+	ev := core.Events()
+	if ev.ModeSwitches != 1 {
+		t.Fatalf("ModeSwitches = %d, want 1", ev.ModeSwitches)
+	}
+	if ev.RegTransferUops == 0 || ev.RegTransferUops > 32 {
+		t.Errorf("RegTransferUops = %d, want in (0,32]", ev.RegTransferUops)
+	}
+	gateCost := ev.SwitchCycles
+	if gateCost == 0 {
+		t.Error("gating reported zero cycle cost")
+	}
+
+	s.Read(buf)
+	core.Execute(buf)
+	core.SetMode(ModeHighPerf)
+	ev = core.Events()
+	ungateCost := ev.SwitchCycles - gateCost
+	if ungateCost >= gateCost {
+		t.Errorf("ungate cost %d ≥ gate cost %d; ungating should be nearly free",
+			ungateCost, gateCost)
+	}
+
+	// Setting the same mode is a no-op.
+	core.SetMode(ModeHighPerf)
+	if core.Events().ModeSwitches != 2 {
+		t.Error("redundant SetMode counted as a switch")
+	}
+}
+
+func TestModeSwitchOverheadTiny(t *testing.T) {
+	// Paper: worst-case overhead ~0.1% at 10k-instruction granularity.
+	cfg := DefaultConfig()
+	core := NewCore(cfg)
+	app := synthApp(serialParams())
+	s := trace.NewStream(&trace.Trace{App: app, Seed: 5, NumInstrs: 200_000})
+	buf := make([]trace.Instruction, 10_000)
+	for i := 0; ; i++ {
+		k := s.Read(buf)
+		if k == 0 {
+			break
+		}
+		core.Execute(buf[:k])
+		if i%2 == 0 {
+			core.SetMode(ModeLowPower)
+		} else {
+			core.SetMode(ModeHighPerf)
+		}
+	}
+	ev := core.Events()
+	overhead := float64(ev.SwitchCycles) / float64(ev.Cycles)
+	if overhead > 0.005 {
+		t.Errorf("switch overhead = %.4f%% of cycles, want <0.5%%", overhead*100)
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	app := synthApp(ilpParams())
+	a := runTrace(t, app, ModeHighPerf, 30_000)
+	b := runTrace(t, app, ModeHighPerf, 30_000)
+	if a != b {
+		t.Error("identical runs produced different event counts")
+	}
+}
+
+func TestEventsSubAndIPC(t *testing.T) {
+	a := Events{Cycles: 100, Instrs: 250, Loads: 10}
+	b := Events{Cycles: 300, Instrs: 650, Loads: 25}
+	d := b.Sub(a)
+	if d.Cycles != 200 || d.Instrs != 400 || d.Loads != 15 {
+		t.Errorf("Sub = %+v", d)
+	}
+	if ipc := d.IPC(); ipc != 2.0 {
+		t.Errorf("IPC = %v, want 2.0", ipc)
+	}
+	if (Events{}).IPC() != 0 {
+		t.Error("zero-cycle IPC should be 0")
+	}
+}
+
+func TestBranchEntropyDrivesMispredicts(t *testing.T) {
+	low := serialParams()
+	low.BranchEntropy = 0.0
+	high := serialParams()
+	high.BranchEntropy = 0.9
+
+	evLow := runTrace(t, synthApp(low), ModeHighPerf, 60_000)
+	evHigh := runTrace(t, synthApp(high), ModeHighPerf, 60_000)
+	rLow := float64(evLow.Mispredicts) / float64(evLow.Branches)
+	rHigh := float64(evHigh.Mispredicts) / float64(evHigh.Branches)
+	if rHigh < 3*rLow {
+		t.Errorf("mispredict rates: entropy 0 → %.4f, entropy 0.9 → %.4f; predictor insensitive", rLow, rHigh)
+	}
+	if evHigh.WrongPathUops == 0 {
+		t.Error("no wrong-path µops flushed despite heavy misprediction")
+	}
+}
+
+func TestFootprintDrivesCacheMisses(t *testing.T) {
+	small := memParams()
+	small.DataFootprint = 8 << 10
+	big := memParams()
+	big.DataFootprint = 128 << 20
+
+	evSmall := runTrace(t, synthApp(small), ModeHighPerf, 60_000)
+	evBig := runTrace(t, synthApp(big), ModeHighPerf, 60_000)
+	if evSmall.L1DMisses*10 > evSmall.L1DHits {
+		t.Errorf("8KB footprint misses too much: %d misses / %d hits",
+			evSmall.L1DMisses, evSmall.L1DHits)
+	}
+	if evBig.L2Misses < evSmall.L2Misses*10 {
+		t.Errorf("footprint insensitivity: big L2 misses %d vs small %d",
+			evBig.L2Misses, evSmall.L2Misses)
+	}
+}
+
+func TestDeceptiveStreamingPhase(t *testing.T) {
+	// roms_s-style phase: many data-cache misses AND high IPC sensitivity
+	// — the signature that fools expert-counter models (Figure 9).
+	p := trace.PhaseParams{
+		DepDist: 40, LoadFrac: 0.30, StoreFrac: 0.08, BranchFrac: 0.03,
+		FPFrac:        0.40,
+		DataFootprint: 384 << 10, CodeFootprint: 4 << 10,
+		StrideFrac: 0.98, BranchEntropy: 0.02,
+	}
+	// Run long enough to amortise compulsory-miss warmup, as the dataset
+	// pipeline does with explicit cache warming.
+	app := synthApp(p)
+	hi := runTrace(t, app, ModeHighPerf, 600_000)
+	lo := runTrace(t, app, ModeLowPower, 600_000)
+	ratio := lo.IPC() / hi.IPC()
+	if ratio > 0.80 {
+		t.Errorf("deceptive phase ratio = %.3f; should NOT be gateable", ratio)
+	}
+	missRate := float64(hi.L1DMisses) / float64(hi.Loads)
+	if missRate < 0.5 {
+		t.Errorf("deceptive phase L1D miss rate = %.4f; should look memory-bound", missRate)
+	}
+}
+
+func BenchmarkCoreHighPerf(b *testing.B) {
+	app := synthApp(ilpParams())
+	buf := make([]trace.Instruction, 100_000)
+	trace.NewStream(&trace.Trace{App: app, Seed: 1, NumInstrs: len(buf)}).Read(buf)
+	core := NewCore(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Execute(buf)
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkCoreMemoryBound(b *testing.B) {
+	app := synthApp(memParams())
+	buf := make([]trace.Instruction, 100_000)
+	trace.NewStream(&trace.Trace{App: app, Seed: 1, NumInstrs: len(buf)}).Read(buf)
+	core := NewCore(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Execute(buf)
+	}
+	b.SetBytes(int64(len(buf)))
+}

@@ -1,0 +1,72 @@
+package uarch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clustergate/internal/trace"
+)
+
+// TestSimulationDeterministicProperty: simulating the same trace under the
+// same configuration must produce identical event counts every time. The
+// telemetry cache (internal/dataset) memoises simulations on disk keyed by
+// corpus content, which is only sound if this holds exactly.
+func TestSimulationDeterministicProperty(t *testing.T) {
+	f := func(archRaw, seedRaw uint8, low bool) bool {
+		arch := int(archRaw) % len(trace.Archetypes())
+		app := trace.NewApplication(arch, "det", int64(seedRaw))
+		mode := ModeHighPerf
+		if low {
+			mode = ModeLowPower
+		}
+		run := func() Events {
+			core := NewCoreInMode(DefaultConfig(), mode)
+			s := trace.NewStream(&trace.Trace{App: app, Seed: int64(seedRaw) + 7, NumInstrs: 30_000})
+			buf := make([]trace.Instruction, 4096)
+			for {
+				k := s.Read(buf)
+				if k == 0 {
+					break
+				}
+				core.Execute(buf[:k])
+			}
+			return core.Events()
+		}
+		a, b := run(), run()
+		if a != b {
+			t.Logf("arch %d seed %d mode %v: events diverge\n%+v\n%+v", arch, seedRaw, mode, a, b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimulationBatchSizeIndependence: the per-call batch size of
+// Core.Execute is a caller convenience and must not leak into the
+// architecture: feeding the same instructions in different chunkings must
+// yield identical events.
+func TestSimulationBatchSizeIndependence(t *testing.T) {
+	app := trace.NewApplication(4, "batch", 5)
+	run := func(chunk int) Events {
+		core := NewCore(DefaultConfig())
+		s := trace.NewStream(&trace.Trace{App: app, Seed: 9, NumInstrs: 40_000})
+		buf := make([]trace.Instruction, chunk)
+		for {
+			k := s.Read(buf)
+			if k == 0 {
+				break
+			}
+			core.Execute(buf[:k])
+		}
+		return core.Events()
+	}
+	want := run(8192)
+	for _, chunk := range []int{1, 7, 64, 1023, 40_000} {
+		if got := run(chunk); got != want {
+			t.Errorf("chunk %d diverges from chunk 8192:\n%+v\n%+v", chunk, got, want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package uarch
+
+// Events accumulates the architectural and microarchitectural event counts
+// the telemetry subsystem samples. All fields are cumulative; interval
+// deltas are taken with Sub. The fields cover every signal required by the
+// paper's Table 4 (the 12 PF-selected counters) and by the expert counter
+// set of Eyerman et al. used by CHARSTAR.
+type Events struct {
+	Cycles uint64 // retirement-time cycle count
+	Instrs uint64
+
+	// Front end.
+	UopCacheHits   uint64
+	UopCacheMisses uint64
+	L1IHits        uint64
+	L1IMisses      uint64
+	ITLBMisses     uint64
+	FetchBubbles   uint64 // front-end stall cycles from I-side misses
+
+	// Branches.
+	Branches       uint64
+	TakenBranches  uint64
+	Mispredicts    uint64
+	WrongPathUops  uint64 // speculative µops flushed on mispredicts
+	RedirectCycles uint64
+
+	// Data side.
+	Loads             uint64
+	Stores            uint64
+	L1DReads          uint64
+	L1DHits           uint64
+	L1DMisses         uint64
+	L2Hits            uint64
+	L2Misses          uint64
+	L2SilentEvictions uint64
+	L2DirtyEvictions  uint64
+	PrefetchFills     uint64 // L2 misses covered by the stream prefetcher
+	DTLBMisses        uint64
+	SQOccupancySum    uint64 // per-store snapshot of store-queue occupancy
+	SQStallCycles     uint64
+
+	// Execution.
+	StallCycles      uint64 // cycles with no µop issued on any cluster
+	BusyCycles       uint64
+	UopsReady        uint64 // µops whose operands were ready at dispatch
+	UopsStalledOnDep uint64 // µops that waited on a producer after dispatch
+	ReadyWaitCycles  uint64 // total cycles ready µops waited for an issue slot
+	PhysRegRefs      uint64 // source-register reads (physical register file references)
+	IssueC0          uint64 // µops issued on cluster 0
+	IssueC1          uint64 // µops issued on cluster 1
+	CrossForwards    uint64 // values forwarded between clusters
+	FPOps            uint64
+	MulOps           uint64
+	DivOps           uint64
+
+	// Cluster gating (Section 3 microcode flow).
+	ModeSwitches    uint64
+	RegTransferUops uint64
+	SwitchCycles    uint64
+}
+
+// Sub returns the per-field difference e - prev, for interval snapshots.
+func (e Events) Sub(prev Events) Events {
+	return Events{
+		Cycles:            e.Cycles - prev.Cycles,
+		Instrs:            e.Instrs - prev.Instrs,
+		UopCacheHits:      e.UopCacheHits - prev.UopCacheHits,
+		UopCacheMisses:    e.UopCacheMisses - prev.UopCacheMisses,
+		L1IHits:           e.L1IHits - prev.L1IHits,
+		L1IMisses:         e.L1IMisses - prev.L1IMisses,
+		ITLBMisses:        e.ITLBMisses - prev.ITLBMisses,
+		FetchBubbles:      e.FetchBubbles - prev.FetchBubbles,
+		Branches:          e.Branches - prev.Branches,
+		TakenBranches:     e.TakenBranches - prev.TakenBranches,
+		Mispredicts:       e.Mispredicts - prev.Mispredicts,
+		WrongPathUops:     e.WrongPathUops - prev.WrongPathUops,
+		RedirectCycles:    e.RedirectCycles - prev.RedirectCycles,
+		Loads:             e.Loads - prev.Loads,
+		Stores:            e.Stores - prev.Stores,
+		L1DReads:          e.L1DReads - prev.L1DReads,
+		L1DHits:           e.L1DHits - prev.L1DHits,
+		L1DMisses:         e.L1DMisses - prev.L1DMisses,
+		L2Hits:            e.L2Hits - prev.L2Hits,
+		L2Misses:          e.L2Misses - prev.L2Misses,
+		L2SilentEvictions: e.L2SilentEvictions - prev.L2SilentEvictions,
+		L2DirtyEvictions:  e.L2DirtyEvictions - prev.L2DirtyEvictions,
+		PrefetchFills:     e.PrefetchFills - prev.PrefetchFills,
+		DTLBMisses:        e.DTLBMisses - prev.DTLBMisses,
+		SQOccupancySum:    e.SQOccupancySum - prev.SQOccupancySum,
+		SQStallCycles:     e.SQStallCycles - prev.SQStallCycles,
+		StallCycles:       e.StallCycles - prev.StallCycles,
+		BusyCycles:        e.BusyCycles - prev.BusyCycles,
+		UopsReady:         e.UopsReady - prev.UopsReady,
+		UopsStalledOnDep:  e.UopsStalledOnDep - prev.UopsStalledOnDep,
+		ReadyWaitCycles:   e.ReadyWaitCycles - prev.ReadyWaitCycles,
+		PhysRegRefs:       e.PhysRegRefs - prev.PhysRegRefs,
+		IssueC0:           e.IssueC0 - prev.IssueC0,
+		IssueC1:           e.IssueC1 - prev.IssueC1,
+		CrossForwards:     e.CrossForwards - prev.CrossForwards,
+		FPOps:             e.FPOps - prev.FPOps,
+		MulOps:            e.MulOps - prev.MulOps,
+		DivOps:            e.DivOps - prev.DivOps,
+		ModeSwitches:      e.ModeSwitches - prev.ModeSwitches,
+		RegTransferUops:   e.RegTransferUops - prev.RegTransferUops,
+		SwitchCycles:      e.SwitchCycles - prev.SwitchCycles,
+	}
+}
+
+// IPC returns instructions per cycle over the recorded span; 0 when no
+// cycles have elapsed.
+func (e Events) IPC() float64 {
+	if e.Cycles == 0 {
+		return 0
+	}
+	return float64(e.Instrs) / float64(e.Cycles)
+}

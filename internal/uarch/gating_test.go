@@ -1,0 +1,83 @@
+package uarch
+
+import (
+	"testing"
+
+	"clustergate/internal/trace"
+)
+
+// TestGatingPreservesArchitecturalProgress: switching modes mid-trace must
+// retire exactly the same instruction count as fixed-mode execution — the
+// microcode flow moves register state, it never drops work.
+func TestGatingPreservesArchitecturalProgress(t *testing.T) {
+	app := synthApp(serialParams())
+	const n = 120_000
+
+	fixed := NewCore(DefaultConfig())
+	s := trace.NewStream(&trace.Trace{App: app, Seed: 21, NumInstrs: n})
+	buf := make([]trace.Instruction, 10_000)
+	for {
+		k := s.Read(buf)
+		if k == 0 {
+			break
+		}
+		fixed.Execute(buf[:k])
+	}
+
+	adaptive := NewCore(DefaultConfig())
+	s = trace.NewStream(&trace.Trace{App: app, Seed: 21, NumInstrs: n})
+	for i := 0; ; i++ {
+		k := s.Read(buf)
+		if k == 0 {
+			break
+		}
+		adaptive.Execute(buf[:k])
+		if i%3 == 0 {
+			adaptive.SetMode(ModeLowPower)
+		} else {
+			adaptive.SetMode(ModeHighPerf)
+		}
+	}
+
+	if fixed.Events().Instrs != adaptive.Events().Instrs {
+		t.Fatalf("instruction counts diverge: fixed %d vs adaptive %d",
+			fixed.Events().Instrs, adaptive.Events().Instrs)
+	}
+}
+
+// TestAdaptiveCyclesBracketedByFixedModes: an adaptive run's cycle count
+// lies between the all-high and all-low fixed runs (within switch
+// overhead), since every interval executes in one of those two
+// configurations.
+func TestAdaptiveCyclesBracketedByFixedModes(t *testing.T) {
+	app := trace.NewApplication(0, "bracket", 5) // mixed-ILP archetype
+	const n = 200_000
+	run := func(mode Mode, adaptive bool) uint64 {
+		core := NewCoreInMode(DefaultConfig(), mode)
+		s := trace.NewStream(&trace.Trace{App: app, Seed: 9, NumInstrs: n})
+		buf := make([]trace.Instruction, 10_000)
+		for i := 0; ; i++ {
+			k := s.Read(buf)
+			if k == 0 {
+				break
+			}
+			core.Execute(buf[:k])
+			if adaptive {
+				if i%2 == 0 {
+					core.SetMode(ModeLowPower)
+				} else {
+					core.SetMode(ModeHighPerf)
+				}
+			}
+		}
+		return core.Cycles()
+	}
+
+	hi := run(ModeHighPerf, false)
+	lo := run(ModeLowPower, false)
+	ad := run(ModeHighPerf, true)
+	slack := uint64(float64(lo) * 0.05)
+	if ad+slack < hi || ad > lo+slack {
+		t.Errorf("adaptive cycles %d outside [high %d, low %d] bracket", ad, hi, lo)
+	}
+}

@@ -1,0 +1,131 @@
+package uarch
+
+import (
+	"testing"
+
+	"clustergate/internal/trace"
+)
+
+func TestStreamPrefetcherCoversSequentialMisses(t *testing.T) {
+	cfg := DefaultConfig()
+	h := NewHierarchy(&cfg)
+	var ev Events
+	// Sequential line walk over a DRAM-sized region: after the first miss
+	// trains the stream table, subsequent line misses are prefetch fills.
+	base := uint64(0x4000_0000)
+	for i := uint64(0); i < 200; i++ {
+		h.AccessData(base+i*64, false, i*10, 0, true, &ev)
+	}
+	if ev.PrefetchFills < 150 {
+		t.Errorf("prefetch fills = %d of %d sequential misses; stream detection broken",
+			ev.PrefetchFills, ev.L2Misses)
+	}
+}
+
+func TestRandomMissesBypassPrefetcher(t *testing.T) {
+	cfg := DefaultConfig()
+	h := NewHierarchy(&cfg)
+	var ev Events
+	addr := uint64(0x4000_0000)
+	for i := 0; i < 200; i++ {
+		addr = addr*6364136223846793005 + 1442695040888963407 // LCG walk
+		h.AccessData(0x4000_0000+(addr%(1<<30))&^63, false, uint64(i*10), 0, true, &ev)
+	}
+	if ev.PrefetchFills > 10 {
+		t.Errorf("prefetch fills = %d on random misses; false stream hits", ev.PrefetchFills)
+	}
+}
+
+func TestMSHRThrottleLimitsIndependentMisses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemGap = 0 // isolate the MSHR effect from channel bandwidth
+	h := NewHierarchy(&cfg)
+	var ev Events
+	// A burst of independent random misses at the same request time: the
+	// k-th should be delayed by ~k×MemLatency/MSHRs.
+	gap := (cfg.MemLatency + cfg.MSHRs - 1) / cfg.MSHRs
+	var lastLat int
+	for i := 0; i < 24; i++ {
+		addr := uint64(0x5000_0000) + uint64(i)*1_048_576*64
+		lastLat = h.AccessData(addr, false, 0, 0, true, &ev)
+	}
+	wantMin := cfg.MemLatency + 20*gap // 24th miss queues behind ~23 others
+	if lastLat < wantMin {
+		t.Errorf("24th burst miss latency = %d, want ≥%d (MSHR throttling)", lastLat, wantMin)
+	}
+}
+
+func TestMSHRThrottleSkipsChainedMisses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemGap = 0
+	h := NewHierarchy(&cfg)
+	var ev Events
+	// Dependent (chained) misses never queue on the MSHR throttle.
+	for i := 0; i < 24; i++ {
+		addr := uint64(0x5000_0000) + uint64(i)*1_048_576*64
+		lat := h.AccessData(addr, false, uint64(i), 0, false, &ev)
+		if lat > cfg.MemLatency+25 {
+			t.Fatalf("chained miss %d latency = %d; should bypass MSHR throttle", i, lat)
+		}
+	}
+}
+
+func TestPerClusterMSHRIndependence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemGap = 0
+	h := NewHierarchy(&cfg)
+	var ev Events
+	// Saturate cluster 0's MSHRs; cluster 1 must be unaffected.
+	for i := 0; i < 24; i++ {
+		addr := uint64(0x5000_0000) + uint64(i)*1_048_576*64
+		h.AccessData(addr, false, 0, 0, true, &ev)
+	}
+	lat := h.AccessData(0x7000_0000, false, 0, 1, true, &ev)
+	if lat > cfg.MemLatency+25 {
+		t.Errorf("cluster-1 miss latency = %d; MSHR files should be per-cluster", lat)
+	}
+}
+
+func TestDRAMBandwidthSharedAcrossClusters(t *testing.T) {
+	cfg := DefaultConfig()
+	h := NewHierarchy(&cfg)
+	var ev Events
+	// Alternate clusters; the channel gap applies globally.
+	var last int
+	for i := 0; i < 40; i++ {
+		addr := uint64(0x5000_0000) + uint64(i)*1_048_576*64
+		last = h.AccessData(addr, false, 0, uint8(i%2), false, &ev)
+	}
+	if last < cfg.MemLatency+30*cfg.MemGap {
+		t.Errorf("40th miss latency = %d; DRAM channel should serialize across clusters", last)
+	}
+}
+
+func TestProducerSkipInStream(t *testing.T) {
+	// A branch-heavy phase: dependencies must never point at branches or
+	// stores, which produce no register value.
+	p := trace.PhaseParams{
+		DepDist: 2.5, LoadFrac: 0.1, StoreFrac: 0.15, BranchFrac: 0.25,
+		DataFootprint: 64 << 10, CodeFootprint: 8 << 10,
+		StrideFrac: 0.2, BranchEntropy: 0.3,
+	}
+	app := synthApp(p)
+	buf := make([]trace.Instruction, 30_000)
+	trace.NewStream(&trace.Trace{App: app, Seed: 5, NumInstrs: len(buf)}).Read(buf)
+	violations := 0
+	for i, in := range buf {
+		for _, d := range []int32{in.Dep1, in.Dep2} {
+			if d <= 0 || int(d) > i || int(d) > 500 {
+				continue
+			}
+			producer := buf[i-int(d)]
+			if producer.Op == trace.OpBranch || producer.Op == trace.OpStore {
+				violations++
+			}
+		}
+	}
+	// The skip walk is bounded, so a small residue is tolerated.
+	if frac := float64(violations) / float64(len(buf)); frac > 0.02 {
+		t.Errorf("%.2f%% of dependencies point at non-producers", 100*frac)
+	}
+}

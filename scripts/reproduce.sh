@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Regenerates every artifact recorded in EXPERIMENTS.md.
+# Telemetry simulation is cached under .cache/, so reruns are much faster.
+set -eu
+
+echo "== tests =="
+go test ./... 2>&1 | tee test_output.txt
+
+echo "== paper experiments (default scale) =="
+go run ./cmd/paperbench -scale default -exp all -seed 1 2>results/paperbench-default.log \
+    | tee results/paperbench-default.txt
+
+echo "== benchmark harness =="
+go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+echo "== examples =="
+go run ./examples/quickstart   | tee results/example-quickstart.txt
+go run ./examples/datacenter   | tee results/example-datacenter.txt
+go run ./examples/appspecific  | tee results/example-appspecific.txt
+go run ./examples/counterselect | tee results/example-counterselect.txt
+go run ./examples/dvfs         | tee results/example-dvfs.txt
