@@ -8,12 +8,16 @@ package clustergate
 
 import (
 	"os"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"clustergate/internal/core"
+	"clustergate/internal/dataset"
 	"clustergate/internal/experiments"
 	"clustergate/internal/mcu"
+	"clustergate/internal/trace"
 )
 
 var (
@@ -269,4 +273,33 @@ func BenchmarkDVFSComplementarity(b *testing.B) {
 		gain = g
 	}
 	b.ReportMetric(100*gain, "gating-gain-at-vmin-%")
+}
+
+// BenchmarkSimulateCorpusParallel measures the simulation worker pool's
+// speedup: one -workers=1 pass establishes the serial baseline, the timed
+// loop simulates the same corpus on every core, and the ratio lands in
+// the "speedup-x" metric (expect ~3x or better at 4 workers on a 4+ core
+// machine; ~1x on a single-core host). The telemetry is byte-identical at
+// any worker count — see internal/dataset's determinism tests.
+func BenchmarkSimulateCorpusParallel(b *testing.B) {
+	c := trace.BuildHDTR(trace.HDTRConfig{
+		Apps: 16, MeanTracesPerApp: 2, InstrsPerTrace: 120_000, Seed: 5,
+	})
+	cfg := dataset.DefaultConfig()
+
+	cfg.Workers = 1
+	start := time.Now()
+	dataset.SimulateCorpus(c, cfg)
+	serial := time.Since(start)
+
+	cfg.Workers = 0 // all cores
+	b.ResetTimer()
+	start = time.Now()
+	for i := 0; i < b.N; i++ {
+		dataset.SimulateCorpus(c, cfg)
+	}
+	par := time.Since(start) / time.Duration(b.N)
+
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	b.ReportMetric(serial.Seconds()/par.Seconds(), "speedup-x")
 }

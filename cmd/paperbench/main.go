@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperbench [-scale quick|default|full] [-cache DIR] [-seed N] -exp all
+//	paperbench [-scale quick|default|full] [-cache DIR] [-seed N] [-workers N] -exp all
 //	paperbench -exp table3,fig7,fig8
 //
 // Experiments: corpus, table3, table4, fig4, fig5, fig6, fig7, fig8, fig9,
@@ -31,6 +31,7 @@ func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment list")
 	svgDir := flag.String("svg", "", "also render figures as SVG into this directory")
 	verbose := flag.Bool("v", true, "print progress lines")
+	workers := flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = serial); output is identical at any setting")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -45,6 +46,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
 	}
+	scale.Workers = *workers
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {

@@ -23,14 +23,17 @@ func main() {
 	summary := flag.Bool("summary", true, "print corpus composition")
 	dump := flag.String("dump", "", "dump instructions of the named app's first trace")
 	n := flag.Int("n", 20, "instructions to dump")
+	workers := flag.Int("workers", 0, "generation worker pool size (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	var corpus *trace.Corpus
 	switch *corpusFlag {
 	case "hdtr":
-		corpus = trace.BuildHDTR(trace.HDTRConfig{Apps: *apps, InstrsPerTrace: *instrs, Seed: *seed})
+		corpus = trace.BuildHDTR(trace.HDTRConfig{
+			Apps: *apps, InstrsPerTrace: *instrs, Seed: *seed, Workers: *workers,
+		})
 	case "spec":
-		corpus = trace.BuildSPEC(trace.SPECConfig{InstrsPerTrace: *instrs, Seed: *seed})
+		corpus = trace.BuildSPEC(trace.SPECConfig{InstrsPerTrace: *instrs, Seed: *seed, Workers: *workers})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown corpus %q\n", *corpusFlag)
 		os.Exit(2)
@@ -39,9 +42,14 @@ func main() {
 	if *summary {
 		fmt.Printf("corpus %s: %d applications, %d traces\n",
 			corpus.Name, len(corpus.Apps), len(corpus.Traces))
-		for cat, count := range corpus.AppsByCategory() {
-			if *corpusFlag == "hdtr" {
-				fmt.Printf("  %-24s %d apps\n", cat, count)
+		if *corpusFlag == "hdtr" {
+			// Iterate categories in declaration order, not map order, so
+			// the summary is byte-identical run to run.
+			byCat := corpus.AppsByCategory()
+			for cat := trace.Category(0); cat < trace.NumCategories; cat++ {
+				if count := byCat[cat]; count > 0 {
+					fmt.Printf("  %-24s %d apps\n", cat, count)
+				}
 			}
 		}
 		if *corpusFlag == "spec" {

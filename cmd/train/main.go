@@ -25,10 +25,14 @@ func main() {
 	apps := flag.Int("apps", 120, "training corpus applications")
 	psla := flag.Float64("psla", 0.9, "SLA performance threshold")
 	seed := flag.Int64("seed", 1, "seed")
+	workers := flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = serial)")
 	flag.Parse()
 
-	corpus := trace.BuildHDTR(trace.HDTRConfig{Apps: *apps, InstrsPerTrace: 350_000, Seed: *seed})
+	corpus := trace.BuildHDTR(trace.HDTRConfig{
+		Apps: *apps, InstrsPerTrace: 350_000, Seed: *seed, Workers: *workers,
+	})
 	cfg := dataset.DefaultConfig()
+	cfg.Workers = *workers
 	fmt.Fprintf(os.Stderr, "simulating %d traces...\n", len(corpus.Traces))
 	tel := dataset.SimulateCorpus(corpus, cfg)
 

@@ -6,6 +6,7 @@ import (
 
 	"clustergate/internal/dataset"
 	"clustergate/internal/metrics"
+	"clustergate/internal/parallel"
 	"clustergate/internal/power"
 	"clustergate/internal/trace"
 )
@@ -131,6 +132,12 @@ func (s *Summary) MeanBenchmarkPPWGain() float64 {
 // EvaluateOnCorpus deploys the controller on every trace of the corpus and
 // aggregates overall and per-benchmark results. tel must be the corpus's
 // fixed-mode telemetry in trace order (as produced by SimulateCorpus).
+//
+// Per-trace deployments are independent (the controller is read-only
+// during Deploy; all mutable state is trace-local), so they fan out over
+// cfg.Workers workers; the floating-point aggregation then folds the
+// ordered results serially, keeping the summary bit-identical at any
+// worker count.
 func EvaluateOnCorpus(g *GatingController, corpus *trace.Corpus, tel []*dataset.TraceTelemetry,
 	cfg dataset.Config, pm *power.Model) (*Summary, error) {
 	if len(corpus.Traces) != len(tel) {
@@ -140,11 +147,19 @@ func EvaluateOnCorpus(g *GatingController, corpus *trace.Corpus, tel []*dataset.
 	sum := &Summary{Controller: g.Name}
 	byBench := map[string]*BenchResult{}
 
-	for i, tr := range corpus.Traces {
-		r, err := Deploy(g, tr, tel[i], cfg, pm)
+	runs, err := parallel.Map(cfg.Workers, len(corpus.Traces), func(i int) (*DeploymentResult, error) {
+		r, err := Deploy(g, corpus.Traces[i], tel[i], cfg, pm)
 		if err != nil {
-			return nil, fmt.Errorf("core: deploying %s: %w", tr.Name, err)
+			return nil, fmt.Errorf("core: deploying %s: %w", corpus.Traces[i].Name, err)
 		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i, tr := range corpus.Traces {
+		r := runs[i]
 		sum.Overall.fold(r, win)
 		key := tr.App.Benchmark
 		if key == "" {

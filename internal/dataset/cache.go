@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"clustergate/internal/parallel"
 	"clustergate/internal/trace"
 )
 
@@ -59,10 +60,23 @@ func corpusHash(c *trace.Corpus) uint64 {
 	return h.Sum64()
 }
 
+// simFlight collapses concurrent in-process simulations of the same cache
+// key into one: losers block on the winner's simulation and share its
+// telemetry instead of re-simulating (or reading a cache file that is
+// still being written).
+var simFlight parallel.Group[[]*TraceTelemetry]
+
 // SimulateCorpusCached simulates a corpus, memoising the result as a gob
 // file under dir keyed by the corpus name, trace count, and config. A
 // cache hit skips simulation entirely; corruption or mismatch falls back
 // to simulating and rewriting. Pass dir == "" to disable caching.
+//
+// The function is safe for concurrent use, in-process and across
+// processes: concurrent in-process callers of the same key simulate once
+// (single-flight), and the cache file is written to a unique temp file and
+// published atomically with os.Rename, so a reader never observes a torn
+// file. cfg.Workers deliberately stays out of the key — telemetry is
+// worker-count-independent.
 func SimulateCorpusCached(c *trace.Corpus, cfg Config, dir string) ([]*TraceTelemetry, error) {
 	if dir == "" {
 		return SimulateCorpus(c, cfg), nil
@@ -70,6 +84,15 @@ func SimulateCorpusCached(c *trace.Corpus, cfg Config, dir string) ([]*TraceTele
 	key := fmt.Sprintf("%s-%d-%d-%s-%x-v%d", c.Name, len(c.Apps), len(c.Traces), cfg, corpusHash(c), cacheVersion)
 	path := filepath.Join(dir, key+".gob")
 
+	tel, err, _ := simFlight.Do(path, func() ([]*TraceTelemetry, error) {
+		return loadOrSimulate(c, cfg, path, key, dir)
+	})
+	return tel, err
+}
+
+// loadOrSimulate is the single-flighted body: read a valid cache file or
+// simulate and atomically publish one.
+func loadOrSimulate(c *trace.Corpus, cfg Config, path, key, dir string) ([]*TraceTelemetry, error) {
 	if f, err := os.Open(path); err == nil {
 		var cached cacheFile
 		dec := gob.NewDecoder(f)
@@ -84,11 +107,14 @@ func SimulateCorpusCached(c *trace.Corpus, cfg Config, dir string) ([]*TraceTele
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return tel, fmt.Errorf("dataset: cache dir: %w", err)
 	}
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	// A unique temp name per writer keeps concurrent processes from
+	// clobbering each other's half-written files; whichever rename lands
+	// last wins, and both contents are identical by determinism.
+	f, err := os.CreateTemp(dir, key+".tmp-*")
 	if err != nil {
 		return tel, fmt.Errorf("dataset: cache create: %w", err)
 	}
+	tmp := f.Name()
 	enc := gob.NewEncoder(f)
 	err = enc.Encode(cacheFile{Version: cacheVersion, Key: key, Traces: tel})
 	cerr := f.Close()
@@ -100,6 +126,7 @@ func SimulateCorpusCached(c *trace.Corpus, cfg Config, dir string) ([]*TraceTele
 		return tel, fmt.Errorf("dataset: cache write: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return tel, fmt.Errorf("dataset: cache rename: %w", err)
 	}
 	return tel, nil

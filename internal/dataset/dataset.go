@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"clustergate/internal/ml"
+	"clustergate/internal/parallel"
 	"clustergate/internal/telemetry"
 	"clustergate/internal/trace"
 	"clustergate/internal/uarch"
@@ -25,9 +26,15 @@ type Config struct {
 	Warmup int
 	// Core is the simulated CPU configuration.
 	Core uarch.Config
+	// Workers bounds the simulation worker pool: 0 uses every core, 1
+	// forces the serial path. Telemetry is identical at any setting —
+	// traces are independent and carry their own seeds — so Workers never
+	// participates in cache keys.
+	Workers int
 }
 
-// DefaultConfig returns the paper's recording parameters.
+// DefaultConfig returns the paper's recording parameters. Workers defaults
+// to 0 (all cores); corpus simulation is parallel by default.
 func DefaultConfig() Config {
 	return Config{Interval: 10_000, Warmup: 50_000, Core: uarch.DefaultConfig()}
 }
@@ -115,12 +122,14 @@ func recordMode(tr *trace.Trace, cfg Config, mode uarch.Mode) []IntervalRecord {
 	return out
 }
 
-// SimulateCorpus records every trace of a corpus.
+// SimulateCorpus records every trace of a corpus, fanning traces out over
+// cfg.Workers workers (0 = all cores). Each trace carries its own seed and
+// simulates in isolated state, so the result is identical — record for
+// record — at any worker count.
 func SimulateCorpus(c *trace.Corpus, cfg Config) []*TraceTelemetry {
-	out := make([]*TraceTelemetry, len(c.Traces))
-	for i, tr := range c.Traces {
-		out[i] = SimulateTrace(tr, cfg)
-	}
+	out, _ := parallel.Map(cfg.Workers, len(c.Traces), func(i int) (*TraceTelemetry, error) {
+		return SimulateTrace(c.Traces[i], cfg), nil
+	})
 	return out
 }
 

@@ -1,0 +1,130 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"clustergate/internal/trace"
+)
+
+// TestSimulateCorpusWorkerCountInvariant is the parallel engine's hard
+// requirement: telemetry must be identical — record for record, bit for
+// bit — at workers=1 and workers=N.
+func TestSimulateCorpusWorkerCountInvariant(t *testing.T) {
+	c := trace.BuildHDTR(trace.HDTRConfig{
+		Apps: 8, MeanTracesPerApp: 2, InstrsPerTrace: 90_000, Seed: 11,
+	})
+	cfg := testCfg()
+
+	cfg.Workers = 1
+	serial := SimulateCorpus(c, cfg)
+	for _, workers := range []int{2, 4, 7} {
+		cfg.Workers = workers
+		got := SimulateCorpus(c, cfg)
+		if !reflect.DeepEqual(serial, got) {
+			t.Fatalf("telemetry differs between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
+// TestSimulateCorpusCachedConcurrent hammers one cache key from many
+// goroutines: the single-flight guard must collapse them onto one
+// simulation, every caller must get equal telemetry, and the resulting
+// cache file must be valid (not torn).
+func TestSimulateCorpusCachedConcurrent(t *testing.T) {
+	c := trace.BuildHDTR(trace.HDTRConfig{
+		Apps: 4, MeanTracesPerApp: 1, InstrsPerTrace: 60_000, Seed: 21,
+	})
+	cfg := testCfg()
+	dir := t.TempDir()
+
+	const callers = 8
+	results := make([][]*TraceTelemetry, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = SimulateCorpusCached(c, cfg, dir)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("caller %d got different telemetry", i)
+		}
+	}
+
+	// Exactly one published cache file, no leftover temp files.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gobs, tmps := 0, 0
+	for _, e := range entries {
+		switch {
+		case filepath.Ext(e.Name()) == ".gob":
+			gobs++
+		case strings.Contains(e.Name(), ".tmp-"):
+			tmps++
+		}
+	}
+	if gobs != 1 {
+		t.Errorf("cache dir has %d .gob files, want 1", gobs)
+	}
+	if tmps != 0 {
+		t.Errorf("cache dir has %d leftover temp files, want 0", tmps)
+	}
+
+	// The published file must round-trip: a fresh caller reads it back
+	// identically instead of re-simulating garbage.
+	again, err := SimulateCorpusCached(c, cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(results[0], again) {
+		t.Fatal("cache file does not round-trip the simulated telemetry")
+	}
+}
+
+// TestCacheKeyIgnoresWorkers: the same corpus simulated at different
+// worker counts must share one cache entry (telemetry is worker-count
+// independent), so a quick -workers=1 debug run reuses the parallel run's
+// cache.
+func TestCacheKeyIgnoresWorkers(t *testing.T) {
+	c := trace.BuildHDTR(trace.HDTRConfig{
+		Apps: 3, MeanTracesPerApp: 1, InstrsPerTrace: 60_000, Seed: 31,
+	})
+	dir := t.TempDir()
+
+	cfg := testCfg()
+	cfg.Workers = 1
+	if _, err := SimulateCorpusCached(c, cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	if _, err := SimulateCorpusCached(c, cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("cache dir has %d entries %v, want 1 shared entry", len(entries), names)
+	}
+}

@@ -41,6 +41,12 @@ type Scale struct {
 	Fig4Sizes []int
 	// Fig5Counters are the counter counts swept in Figure 5.
 	Fig5Counters []int
+
+	// Workers bounds every worker pool the experiments fan out on —
+	// corpus generation, trace simulation, deployment, and
+	// cross-validation folds. Zero uses every core; 1 forces the serial
+	// paths. Results are bit-identical at any setting.
+	Workers int
 }
 
 // QuickScale is sized for tests and benchmarks: minutes of total work.
@@ -56,7 +62,8 @@ func QuickScale() Scale {
 }
 
 // DefaultScale reproduces the paper's corpus sizes with scaled trace
-// lengths; a full paperbench run takes tens of minutes on one core.
+// lengths; a full paperbench run takes tens of minutes on one core and
+// scales down near-linearly with the worker count.
 func DefaultScale() Scale {
 	return Scale{
 		Name:     "default",
@@ -69,7 +76,7 @@ func DefaultScale() Scale {
 }
 
 // FullScale matches the paper's statistical effort (32 folds); expect
-// hours single-threaded.
+// hours at -workers=1, so run it on all cores (the default).
 func FullScale() Scale {
 	s := DefaultScale()
 	s.Name = "full"
@@ -123,17 +130,20 @@ func NewEnvLogged(scale Scale, cacheDir string, seed int64, log io.Writer) (*Env
 		Spec:  mcu.DefaultSpec(),
 		Seed:  seed,
 	}
+	e.Cfg.Workers = scale.Workers
 
 	e.HDTR = trace.BuildHDTR(trace.HDTRConfig{
 		Apps:             scale.HDTRApps,
 		MeanTracesPerApp: scale.HDTRTracesPerApp,
 		InstrsPerTrace:   scale.HDTRInstrs,
 		Seed:             seed,
+		Workers:          scale.Workers,
 	})
 	e.SPEC = trace.BuildSPEC(trace.SPECConfig{
 		TracesPerWorkload: scale.SPECTracesPerWorkload,
 		InstrsPerTrace:    scale.SPECInstrs,
 		Seed:              seed + 1,
+		Workers:           scale.Workers,
 	})
 
 	var err error

@@ -8,6 +8,7 @@ import (
 	"clustergate/internal/ml"
 	"clustergate/internal/ml/forest"
 	"clustergate/internal/ml/mlp"
+	"clustergate/internal/parallel"
 )
 
 // screenMLP is the large network Section 6.1/6.2 screen with, chosen to
@@ -34,15 +35,22 @@ type Fig4Point struct {
 func Fig4Diversity(e *Env) ([]Fig4Point, error) {
 	lts := e.lowPowerTraces(e.PFColumns)
 	train := e.screenMLP()
-	var out []Fig4Point
-	for _, n := range e.Scale.Fig4Sizes {
-		res, err := e.Screen(train, lts, n, 0.5)
+	sizes := e.Scale.Fig4Sizes
+	out, err := parallel.Map(e.Cfg.Workers, len(sizes), func(i int) (Fig4Point, error) {
+		res, err := e.Screen(train, lts, sizes[i], 0.5)
 		if err != nil {
-			return nil, fmt.Errorf("fig4 size %d: %w", n, err)
+			return Fig4Point{}, fmt.Errorf("fig4 size %d: %w", sizes[i], err)
 		}
-		out = append(out, Fig4Point{TuningApps: n, PGOS: res.PGOS, RSV: res.RSV})
-		e.logf("fig4 apps=%d PGOS=%.3f±%.3f RSV=%.4f±%.4f", n,
-			res.PGOS.Mean, res.PGOS.Std, res.RSV.Mean, res.RSV.Std)
+		return Fig4Point{TuningApps: sizes[i], PGOS: res.PGOS, RSV: res.RSV}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Progress lines are deferred until the sweep completes so the log
+	// stays in sweep order at any worker count.
+	for _, p := range out {
+		e.logf("fig4 apps=%d PGOS=%.3f±%.3f RSV=%.4f±%.4f", p.TuningApps,
+			p.PGOS.Mean, p.PGOS.Std, p.RSV.Mean, p.RSV.Std)
 	}
 	return out, nil
 }
@@ -80,8 +88,8 @@ func Fig5Counters(e *Env) ([]Fig5Point, error) {
 		return nil, err
 	}
 	train := e.screenMLP()
-	var out []Fig5Point
-	for _, r := range e.Scale.Fig5Counters {
+	out, err := parallel.Map(e.Cfg.Workers, len(e.Scale.Fig5Counters), func(i int) (Fig5Point, error) {
+		r := e.Scale.Fig5Counters[i]
 		if r > len(allCols) {
 			r = len(allCols)
 		}
@@ -89,14 +97,19 @@ func Fig5Counters(e *Env) ([]Fig5Point, error) {
 		lts := e.lowPowerTraces(cols)
 		res, err := e.Screen(train, lts, 0, 0.5)
 		if err != nil {
-			return nil, fmt.Errorf("fig5 r=%d: %w", r, err)
+			return Fig5Point{}, fmt.Errorf("fig5 r=%d: %w", r, err)
 		}
 		names := make([]string, len(cols))
 		for i, c := range cols {
 			names[i] = e.CS.Names[c]
 		}
-		out = append(out, Fig5Point{Counters: r, Names: names, PGOS: res.PGOS, RSV: res.RSV})
-		e.logf("fig5 r=%d PGOS=%.3f±%.3f RSV=%.4f", r, res.PGOS.Mean, res.PGOS.Std, res.RSV.Mean)
+		return Fig5Point{Counters: r, Names: names, PGOS: res.PGOS, RSV: res.RSV}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range out {
+		e.logf("fig5 r=%d PGOS=%.3f±%.3f RSV=%.4f", p.Counters, p.PGOS.Mean, p.PGOS.Std, p.RSV.Mean)
 	}
 	return out, nil
 }
@@ -159,22 +172,27 @@ func Fig6Topologies() [][]int {
 func Fig6Screen(e *Env) ([]Fig6Point, error) {
 	lts := e.lowPowerTraces(e.PFColumns)
 	budget := e.Spec.OpsBudget(50_000)
-	var out []Fig6Point
-	for _, hidden := range Fig6Topologies() {
-		h := hidden
+	topologies := Fig6Topologies()
+	out, err := parallel.Map(e.Cfg.Workers, len(topologies), func(i int) (Fig6Point, error) {
+		hidden := topologies[i]
 		train := func(tune *ml.Dataset, seed int64) (Scorer, error) {
-			return mlp.Train(mlp.Config{Hidden: h, Epochs: e.Scale.MLPEpochs, Seed: seed}, tune)
+			return mlp.Train(mlp.Config{Hidden: hidden, Epochs: e.Scale.MLPEpochs, Seed: seed}, tune)
 		}
 		res, err := e.Screen(train, lts, 0, 0.5)
 		if err != nil {
-			return nil, fmt.Errorf("fig6 %v: %w", hidden, err)
+			return Fig6Point{}, fmt.Errorf("fig6 %v: %w", hidden, err)
 		}
 		cost := mcu.MLPCost(len(e.PFColumns), hidden).Ops
-		out = append(out, Fig6Point{
+		return Fig6Point{
 			Hidden: hidden, Ops: cost, FitsBudget: cost <= budget,
 			PGOS: res.PGOS, RSV: res.RSV,
-		})
-		e.logf("fig6 %v ops=%d PGOS=%.3f±%.3f", hidden, cost, res.PGOS.Mean, res.PGOS.Std)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range out {
+		e.logf("fig6 %v ops=%d PGOS=%.3f±%.3f", p.Hidden, p.Ops, p.PGOS.Mean, p.PGOS.Std)
 	}
 	return out, nil
 }
@@ -187,21 +205,23 @@ func Fig6RFScreen(e *Env) ([]Fig6Point, error) {
 	shapes := []struct{ trees, depth int }{
 		{4, 4}, {4, 8}, {8, 4}, {8, 8}, {16, 8}, {8, 12},
 	}
-	var out []Fig6Point
-	for _, sh := range shapes {
-		shape := sh
+	out, err := parallel.Map(e.Cfg.Workers, len(shapes), func(i int) (Fig6Point, error) {
+		shape := shapes[i]
 		train := func(tune *ml.Dataset, seed int64) (Scorer, error) {
 			return forest.Train(forest.Config{NumTrees: shape.trees, MaxDepth: shape.depth, Seed: seed}, tune)
 		}
 		res, err := e.Screen(train, lts, 0, 0.5)
 		if err != nil {
-			return nil, fmt.Errorf("fig6-rf %dx%d: %w", sh.trees, sh.depth, err)
+			return Fig6Point{}, fmt.Errorf("fig6-rf %dx%d: %w", shape.trees, shape.depth, err)
 		}
-		cost := mcu.ForestCost(sh.trees, sh.depth).Ops
-		out = append(out, Fig6Point{
-			Hidden: []int{sh.trees, sh.depth}, Ops: cost, FitsBudget: cost <= budget,
+		cost := mcu.ForestCost(shape.trees, shape.depth).Ops
+		return Fig6Point{
+			Hidden: []int{shape.trees, shape.depth}, Ops: cost, FitsBudget: cost <= budget,
 			PGOS: res.PGOS, RSV: res.RSV,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

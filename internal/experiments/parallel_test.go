@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestEnvWorkerCountInvariant is the end-to-end determinism guarantee:
+// an environment built serially and one built on a 4-worker pool must
+// agree bit for bit — same telemetry, same PF counter selection, and the
+// same Figure 4 series all the way through the parallel fold screens.
+func TestEnvWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worker-count invariance env build skipped in -short mode")
+	}
+	scale := QuickScale()
+	// Statistics are irrelevant here; only equality across pools matters.
+	scale.HDTRApps = 24
+	scale.HDTRTracesPerApp = 1
+	scale.HDTRInstrs = 200_000
+	scale.SPECTracesPerWorkload = 1
+	scale.SPECInstrs = 200_000
+	scale.Folds = 2
+	scale.MLPEpochs = 4
+	scale.Fig4Sizes = []int{2, 8}
+
+	build := func(workers int) (*Env, []Fig4Point) {
+		s := scale
+		s.Workers = workers
+		env, err := NewEnv(s, t.TempDir(), 7)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		pts, err := Fig4Diversity(env)
+		if err != nil {
+			t.Fatalf("workers=%d fig4: %v", workers, err)
+		}
+		return env, pts
+	}
+	serialEnv, serialPts := build(1)
+	parEnv, parPts := build(4)
+
+	if !reflect.DeepEqual(serialEnv.HDTRTel, parEnv.HDTRTel) {
+		t.Error("HDTR telemetry differs between workers=1 and workers=4")
+	}
+	if !reflect.DeepEqual(serialEnv.SPECTel, parEnv.SPECTel) {
+		t.Error("SPEC telemetry differs between workers=1 and workers=4")
+	}
+	if !reflect.DeepEqual(serialEnv.PFColumns, parEnv.PFColumns) {
+		t.Errorf("PF counter selection differs: %v vs %v", serialEnv.PFColumns, parEnv.PFColumns)
+	}
+	if !reflect.DeepEqual(serialPts, parPts) {
+		t.Errorf("Figure 4 series differs:\n  workers=1: %+v\n  workers=4: %+v", serialPts, parPts)
+	}
+}

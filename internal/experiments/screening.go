@@ -8,6 +8,7 @@ import (
 	"clustergate/internal/dataset"
 	"clustergate/internal/metrics"
 	"clustergate/internal/ml"
+	"clustergate/internal/parallel"
 	"clustergate/internal/uarch"
 )
 
@@ -147,23 +148,37 @@ func flattenTraces(lts []*dataset.LabeledTrace) *ml.Dataset {
 // Screen cross-validates a trainer: for each fold, train on up to
 // tuneApps applications and measure PGOS/RSV/FPR on held-out validation
 // applications at the given threshold.
+//
+// Folds are fully determined by their index (split and training seeds
+// derive from e.Seed and the fold number), so they fan out over
+// e.Cfg.Workers workers; the fold statistics are then folded serially in
+// fold order, keeping the result bit-identical at any worker count.
 func (e *Env) Screen(train Trainer, lts []*dataset.LabeledTrace, tuneApps int, thr float64) (ScreenResult, error) {
-	var pgoss, rsvs, fprs []float64
+	type foldResult struct {
+		pgos, rsv, fpr float64
+	}
 	win := e.baseWindow()
-	for f := 0; f < e.Scale.Folds; f++ {
+	folds, err := parallel.Map(e.Cfg.Workers, e.Scale.Folds, func(f int) (foldResult, error) {
 		tuneTr, valTr := splitTraces(lts, 0.2, tuneApps, e.Seed+int64(f)*7919)
 		tune := flattenTraces(tuneTr)
 		if tune.Len() == 0 || len(valTr) == 0 {
-			return ScreenResult{}, fmt.Errorf("experiments: empty fold (tuneApps=%d)", tuneApps)
+			return foldResult{}, fmt.Errorf("experiments: empty fold (tuneApps=%d)", tuneApps)
 		}
 		m, err := train(tune, e.Seed+int64(f))
 		if err != nil {
-			return ScreenResult{}, err
+			return foldResult{}, err
 		}
 		pgos, rsv, fpr := evalOnTraces(m, valTr, thr, win)
-		pgoss = append(pgoss, pgos)
-		rsvs = append(rsvs, rsv)
-		fprs = append(fprs, fpr)
+		return foldResult{pgos: pgos, rsv: rsv, fpr: fpr}, nil
+	})
+	if err != nil {
+		return ScreenResult{}, err
+	}
+	pgoss := make([]float64, len(folds))
+	rsvs := make([]float64, len(folds))
+	fprs := make([]float64, len(folds))
+	for f, fr := range folds {
+		pgoss[f], rsvs[f], fprs[f] = fr.pgos, fr.rsv, fr.fpr
 	}
 	var res ScreenResult
 	res.PGOS.Mean, res.PGOS.Std = metrics.MeanStd(pgoss)

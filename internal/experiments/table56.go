@@ -7,6 +7,7 @@ import (
 
 	"clustergate/internal/core"
 	"clustergate/internal/dataset"
+	"clustergate/internal/parallel"
 	"clustergate/internal/trace"
 )
 
@@ -23,25 +24,31 @@ type Table5Row struct {
 // loosening P_SLA from 0.90 to 0.70 grows PPW (21.9% → 31.4%) while average
 // performance falls only slightly (98.2% → 93.4%) and RSV stays tiny.
 func Table5SLARetune(e *Env) ([]Table5Row, error) {
-	var out []Table5Row
-	for _, psla := range []float64{0.90, 0.80, 0.70} {
+	targets := []float64{0.90, 0.80, 0.70}
+	out, err := parallel.Map(e.Cfg.Workers, len(targets), func(i int) (Table5Row, error) {
+		psla := targets[i]
 		in := e.buildInputs(psla)
 		g, err := core.RetrainSLA(in, psla)
 		if err != nil {
-			return nil, fmt.Errorf("table5 P_SLA=%.2f: %w", psla, err)
+			return Table5Row{}, fmt.Errorf("table5 P_SLA=%.2f: %w", psla, err)
 		}
 		sum, err := core.EvaluateOnCorpus(g, e.SPEC, e.SPECTel, e.Cfg, e.PM)
 		if err != nil {
-			return nil, err
+			return Table5Row{}, err
 		}
-		out = append(out, Table5Row{
+		return Table5Row{
 			PSLA:    psla,
 			RSV:     sum.Overall.RSV,
 			PPWGain: sum.MeanBenchmarkPPWGain(),
 			RelPerf: sum.Overall.RelPerf,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range out {
 		e.logf("table5 P_SLA=%.2f PPW=%.3f RSV=%.4f rel=%.3f",
-			psla, sum.MeanBenchmarkPPWGain(), sum.Overall.RSV, sum.Overall.RelPerf)
+			r.PSLA, r.PPWGain, r.RSV, r.RelPerf)
 	}
 	return out, nil
 }
@@ -92,8 +99,12 @@ func Table6AppSpecific(e *Env, general *core.GatingController, generalSum *core.
 	}
 	sort.Strings(benches)
 
-	var out []Table6Row
-	for _, bench := range benches {
+	// Benchmarks are independent retraining problems, so they fan out;
+	// within a benchmark the leave-one-workload-out folds stay serial
+	// (their sums accumulate in workload order). A nil row marks a
+	// benchmark with no usable fold.
+	rows, err := parallel.Map(e.Cfg.Workers, len(benches), func(bi int) (*Table6Row, error) {
+		bench := benches[bi]
 		tel := byBench[bench]
 		// Group telemetry and traces by workload for leave-one-out.
 		byWL := map[string][]*dataset.TraceTelemetry{}
@@ -106,7 +117,7 @@ func Table6AppSpecific(e *Env, general *core.GatingController, generalSum *core.
 		}
 		sort.Strings(wls)
 
-		row := Table6Row{Benchmark: bench}
+		row := &Table6Row{Benchmark: bench}
 		folds := 0
 		for _, held := range wls {
 			// Train app-specific trees on the other workloads.
@@ -145,15 +156,25 @@ func Table6AppSpecific(e *Env, general *core.GatingController, generalSum *core.
 			folds++
 		}
 		if folds == 0 {
-			continue
+			return nil, nil
 		}
 		row.SpecificPPW /= float64(folds)
 		row.SpecificRSV /= float64(folds)
 		row.GeneralPPW /= float64(folds)
 		row.GeneralRSV /= float64(folds)
-		out = append(out, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Table6Row
+	for _, row := range rows {
+		if row == nil {
+			continue
+		}
+		out = append(out, *row)
 		e.logf("table6 %-20s general=%.3f specific=%.3f (Δ%+.3f)",
-			bench, row.GeneralPPW, row.SpecificPPW, row.Delta())
+			row.Benchmark, row.GeneralPPW, row.SpecificPPW, row.Delta())
 	}
 	// Sort by improvement, as the paper's table does.
 	sort.Slice(out, func(i, j int) bool { return out[i].Delta() > out[j].Delta() })

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"clustergate/internal/dataset"
+	"clustergate/internal/parallel"
 	"clustergate/internal/trace"
 	"clustergate/internal/uarch"
 )
@@ -53,8 +54,8 @@ func UarchAblations(e *Env, tracesPerBenchmark int) ([]UarchAblationRow, error) 
 		}},
 	}
 
-	var out []UarchAblationRow
-	for _, v := range variants {
+	out, err := parallel.Map(e.Cfg.Workers, len(variants), func(i int) (UarchAblationRow, error) {
+		v := variants[i]
 		cfg := e.Cfg
 		v.mutate(&cfg.Core)
 		tel := dataset.SimulateCorpus(sample, cfg)
@@ -71,8 +72,13 @@ func UarchAblations(e *Env, tracesPerBenchmark int) ([]UarchAblationRow, error) 
 		if n > 0 {
 			row.MeanIPCHi = ipcSum / float64(n)
 		}
-		out = append(out, row)
-		e.logf("uarch-ablation %-38s residency=%.3f ipc=%.2f", v.label, row.Residency, row.MeanIPCHi)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range out {
+		e.logf("uarch-ablation %-38s residency=%.3f ipc=%.2f", row.Label, row.Residency, row.MeanIPCHi)
 	}
 	return out, nil
 }

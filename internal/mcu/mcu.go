@@ -13,6 +13,7 @@ package mcu
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"clustergate/internal/ml/forest"
 	"clustergate/internal/ml/linear"
@@ -188,13 +189,15 @@ func SRCHCost(counters, buckets int) Cost {
 }
 
 // Firmware wraps a trained model with its firmware cost and a deployment-
-// time operation meter, modelling inference executing on the MCU.
+// time operation meter, modelling inference executing on the MCU. The
+// meter is atomic so one controller image can serve concurrent trace
+// deployments.
 type Firmware struct {
 	Name  string
 	Model interface{ Score([]float64) float64 }
 	Cost  Cost
 
-	opsExecuted uint64
+	opsExecuted atomic.Uint64
 }
 
 // NewFirmware builds a firmware image for any supported model type,
@@ -226,12 +229,12 @@ func NewFirmware(name string, model interface{ Score([]float64) float64 }, input
 
 // Score runs one inference and meters its operations.
 func (f *Firmware) Score(x []float64) float64 {
-	f.opsExecuted += uint64(f.Cost.Ops)
+	f.opsExecuted.Add(uint64(f.Cost.Ops))
 	return f.Model.Score(x)
 }
 
 // OpsExecuted returns the cumulative operations metered.
-func (f *Firmware) OpsExecuted() uint64 { return f.opsExecuted }
+func (f *Firmware) OpsExecuted() uint64 { return f.opsExecuted.Load() }
 
 // FitsBudget reports whether the firmware can predict at the given
 // granularity on the spec.

@@ -1,0 +1,205 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestMapOrderPreserved is the package's core contract: results land at
+// their index regardless of worker count or completion order.
+func TestMapOrderPreserved(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{1, 2, 4, 16, 64} {
+		out, err := Map(workers, n, func(i int) (int, error) {
+			if i%7 == 0 {
+				time.Sleep(time.Microsecond) // scramble completion order
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != n {
+			t.Fatalf("workers=%d: len = %d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	out, err := Map(8, 0, func(i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: %v %v", out, err)
+	}
+	out, err = Map(8, 1, func(i int) (int, error) { return 42, nil })
+	if err != nil || len(out) != 1 || out[0] != 42 {
+		t.Fatalf("single map: %v %v", out, err)
+	}
+}
+
+// TestForEachLowestError verifies the deterministic error contract: the
+// error returned is the one at the lowest failing index — what a serial
+// loop would return — at every worker count.
+func TestForEachLowestError(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 3, 8, 32} {
+		var calls atomic.Int64
+		err := ForEach(workers, n, func(i int) error {
+			calls.Add(1)
+			if i == 13 || i == 71 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 13" {
+			t.Fatalf("workers=%d: err = %v, want fail at 13", workers, err)
+		}
+		if c := calls.Load(); c < 14 || c > n {
+			t.Fatalf("workers=%d: %d calls, want within [14, %d]", workers, c, n)
+		}
+	}
+}
+
+// TestForEachCancelsAboveError checks that high indices are skipped once a
+// low index fails, bounding wasted work after first error.
+func TestForEachCancelsAboveError(t *testing.T) {
+	const n = 10_000
+	var calls atomic.Int64
+	err := ForEach(4, n, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		time.Sleep(50 * time.Microsecond)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if c := calls.Load(); c > n/10 {
+		t.Fatalf("%d of %d indices ran after early failure; cancellation broken", c, n)
+	}
+}
+
+func TestForEachAllIndicesRunOnSuccess(t *testing.T) {
+	const n = 517
+	seen := make([]atomic.Bool, n)
+	if err := ForEach(9, n, func(i int) error {
+		if seen[i].Swap(true) {
+			return fmt.Errorf("index %d dispatched twice", i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Fatalf("index %d never ran", i)
+		}
+	}
+}
+
+// TestGroupSingleFlight: concurrent callers of one key share one
+// execution.
+func TestGroupSingleFlight(t *testing.T) {
+	var g Group[int]
+	var execs atomic.Int64
+	gate := make(chan struct{})
+	results := make(chan int, 16)
+
+	for i := 0; i < 16; i++ {
+		go func() {
+			v, err, _ := g.Do("key", func() (int, error) {
+				execs.Add(1)
+				<-gate
+				return 99, nil
+			})
+			if err != nil {
+				results <- -1
+				return
+			}
+			results <- v
+		}()
+	}
+	// Let the callers pile up behind the in-flight execution, then release.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	for i := 0; i < 16; i++ {
+		if v := <-results; v != 99 {
+			t.Fatalf("caller %d got %d", i, v)
+		}
+	}
+	if e := execs.Load(); e != 1 {
+		t.Fatalf("fn executed %d times, want 1", e)
+	}
+}
+
+func TestGroupDistinctKeysIndependent(t *testing.T) {
+	var g Group[string]
+	va, _, _ := g.Do("a", func() (string, error) { return "A", nil })
+	vb, _, _ := g.Do("b", func() (string, error) { return "B", nil })
+	if va != "A" || vb != "B" {
+		t.Fatalf("got %q %q", va, vb)
+	}
+}
+
+func TestGroupPropagatesError(t *testing.T) {
+	var g Group[int]
+	sentinel := errors.New("boom")
+	_, err, _ := g.Do("k", func() (int, error) { return 0, sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	// Key forgotten after completion: the next call re-runs.
+	v, err, shared := g.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 || shared {
+		t.Fatalf("retry: v=%d err=%v shared=%v", v, err, shared)
+	}
+}
+
+// TestMapDeterministicAcrossWorkerCounts locks in the byte-identical
+// contract with a float-heavy payload (summation order bugs would show).
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []float64 {
+		out, err := Map(workers, 64, func(i int) (float64, error) {
+			v := 1.0
+			for k := 1; k <= 200; k++ {
+				v += 1.0 / float64(i*200+k)
+			}
+			return v, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, w := range []int{2, 5, 32} {
+		got := run(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: out[%d] = %v != serial %v", w, i, got[i], ref[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package parallel
+
+import "sync"
+
+// Group deduplicates concurrent calls that share a key: the first caller
+// runs fn, later callers with the same key block and receive the first
+// call's result. Entries are forgotten once the call completes, so a
+// subsequent (non-concurrent) call re-runs fn — the caller is expected to
+// have its own durable memoisation (e.g. the on-disk telemetry cache);
+// Group only guards the window where that memoisation is being populated.
+//
+// The zero Group is ready to use.
+type Group[V any] struct {
+	mu sync.Mutex
+	m  map[string]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// Do executes fn under the key, or waits for an in-flight execution of the
+// same key and returns its result. shared reports whether the result came
+// from another caller's execution.
+func (g *Group[V]) Do(key string, fn func() (V, error)) (val V, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall[V])
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall[V]{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

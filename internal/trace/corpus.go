@@ -3,6 +3,8 @@ package trace
 import (
 	"fmt"
 	"math/rand"
+
+	"clustergate/internal/parallel"
 )
 
 // Corpus is a set of applications plus the traces recorded from them.
@@ -48,6 +50,10 @@ type HDTRConfig struct {
 	InstrsPerTrace int
 	// Seed makes corpus generation deterministic.
 	Seed int64
+	// Workers bounds the parallel application-instantiation pool: 0 uses
+	// every core, 1 forces the serial path. The corpus is identical at any
+	// setting — all random draws happen on a serial pre-pass.
+	Workers int
 }
 
 func (c *HDTRConfig) applyDefaults() {
@@ -73,9 +79,30 @@ var table1Share = [NumCategories]float64{
 	CatGames:      57.0 / 593.0,
 }
 
+// appSpec is one planned application: everything corpus generation must
+// draw from the shared RNG before instantiation can fan out to workers.
+type appSpec struct {
+	arch   int
+	name   string
+	seed   int64
+	traces []traceSpec
+}
+
+type traceSpec struct {
+	seed       int64
+	startPhase int
+}
+
 // BuildHDTR generates the high-diversity training corpus. Applications are
 // assigned round-robin to the archetypes of their category, so even small
 // corpora spread across behaviour families the way the paper's did.
+//
+// Generation runs in two passes so it parallelises without changing
+// output: a serial pass makes every draw from the corpus RNG in the
+// original order (application seeds, trace counts, trace seeds, start
+// phases — phase counts come from the archetype, so no application needs
+// to exist yet), then the per-application jitter instantiation, the
+// expensive part, fans out across cfg.Workers workers.
 func BuildHDTR(cfg HDTRConfig) *Corpus {
 	cfg.applyDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x48445452)) // "HDTR"
@@ -86,8 +113,8 @@ func BuildHDTR(cfg HDTRConfig) *Corpus {
 		byCat[a.Category] = append(byCat[a.Category], i)
 	}
 
-	corpus := &Corpus{Name: "hdtr"}
-	appIdx := 0
+	// Pass 1 (serial): consume the RNG exactly as the serial generator did.
+	var specs []appSpec
 	for cat := Category(0); cat < NumCategories; cat++ {
 		n := int(table1Share[cat]*float64(cfg.Apps) + 0.5)
 		if n == 0 && cfg.Apps >= int(NumCategories) {
@@ -95,23 +122,40 @@ func BuildHDTR(cfg HDTRConfig) *Corpus {
 		}
 		for i := 0; i < n; i++ {
 			arch := byCat[cat][i%len(byCat[cat])]
-			name := fmt.Sprintf("%s-app%03d", cat, i)
-			app := NewApplication(arch, name, rng.Int63())
-			corpus.Apps = append(corpus.Apps, app)
-			appIdx++
-
+			spec := appSpec{
+				arch: arch,
+				name: fmt.Sprintf("%s-app%03d", cat, i),
+				seed: rng.Int63(),
+			}
 			// 1..2*mean-1 traces per app, mean cfg.MeanTracesPerApp.
 			nTraces := 1 + rng.Intn(2*cfg.MeanTracesPerApp-1)
+			nPhases := len(Archetypes()[arch].Phases)
 			for t := 0; t < nTraces; t++ {
-				corpus.Traces = append(corpus.Traces, &Trace{
-					App:        app,
-					Name:       fmt.Sprintf("%s/t%02d", name, t),
-					Workload:   fmt.Sprintf("%s/in%d", name, t),
-					Seed:       rng.Int63(),
-					StartPhase: rng.Intn(len(app.Phases)),
-					NumInstrs:  cfg.InstrsPerTrace,
+				spec.traces = append(spec.traces, traceSpec{
+					seed:       rng.Int63(),
+					startPhase: rng.Intn(nPhases),
 				})
 			}
+			specs = append(specs, spec)
+		}
+	}
+
+	// Pass 2 (parallel): instantiate applications from their specs.
+	apps, _ := parallel.Map(cfg.Workers, len(specs), func(i int) (*Application, error) {
+		return NewApplication(specs[i].arch, specs[i].name, specs[i].seed), nil
+	})
+
+	corpus := &Corpus{Name: "hdtr", Apps: apps}
+	for i, spec := range specs {
+		for t, ts := range spec.traces {
+			corpus.Traces = append(corpus.Traces, &Trace{
+				App:        apps[i],
+				Name:       fmt.Sprintf("%s/t%02d", spec.name, t),
+				Workload:   fmt.Sprintf("%s/in%d", spec.name, t),
+				Seed:       ts.seed,
+				StartPhase: ts.startPhase,
+				NumInstrs:  cfg.InstrsPerTrace,
+			})
 		}
 	}
 	return corpus

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBuildHDTRWorkerCountInvariant: the two-pass generator must produce
+// an identical corpus — apps, phases, trace seeds, start phases — at any
+// worker count.
+func TestBuildHDTRWorkerCountInvariant(t *testing.T) {
+	base := HDTRConfig{Apps: 40, MeanTracesPerApp: 3, InstrsPerTrace: 120_000, Seed: 9}
+	ref := func() *Corpus {
+		cfg := base
+		cfg.Workers = 1
+		return BuildHDTR(cfg)
+	}()
+	for _, workers := range []int{2, 4, 9} {
+		cfg := base
+		cfg.Workers = workers
+		if got := BuildHDTR(cfg); !corporaEqual(ref, got) {
+			t.Fatalf("HDTR corpus differs between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
+func TestBuildSPECWorkerCountInvariant(t *testing.T) {
+	base := SPECConfig{TracesPerWorkload: 2, InstrsPerTrace: 120_000, Seed: 9}
+	ref := func() *Corpus {
+		cfg := base
+		cfg.Workers = 1
+		return BuildSPEC(cfg)
+	}()
+	for _, workers := range []int{2, 4, 9} {
+		cfg := base
+		cfg.Workers = workers
+		if got := BuildSPEC(cfg); !corporaEqual(ref, got) {
+			t.Fatalf("SPEC corpus differs between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
+// corporaEqual compares corpora by value. Traces hold app pointers, so a
+// plain DeepEqual of the corpus would compare identity, not content;
+// compare apps by value and traces by value-with-app-name instead.
+func corporaEqual(a, b *Corpus) bool {
+	if a.Name != b.Name || len(a.Apps) != len(b.Apps) || len(a.Traces) != len(b.Traces) {
+		return false
+	}
+	for i := range a.Apps {
+		if !reflect.DeepEqual(*a.Apps[i], *b.Apps[i]) {
+			return false
+		}
+	}
+	for i := range a.Traces {
+		ta, tb := a.Traces[i], b.Traces[i]
+		if ta.App.Name != tb.App.Name || ta.Name != tb.Name || ta.Workload != tb.Workload ||
+			ta.Seed != tb.Seed || ta.StartPhase != tb.StartPhase || ta.NumInstrs != tb.NumInstrs {
+			return false
+		}
+	}
+	return true
+}

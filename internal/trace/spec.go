@@ -3,6 +3,8 @@ package trace
 import (
 	"fmt"
 	"math/rand"
+
+	"clustergate/internal/parallel"
 )
 
 // specProfile describes one SPEC2017-like benchmark: its Table 2 workload
@@ -113,6 +115,10 @@ type SPECConfig struct {
 	InstrsPerTrace int
 	// Seed makes generation deterministic.
 	Seed int64
+	// Workers bounds the parallel workload-instantiation pool: 0 uses
+	// every core, 1 forces the serial path. The corpus is identical at any
+	// setting — all random draws happen on a serial pre-pass.
+	Workers int
 }
 
 func (c *SPECConfig) applyDefaults() {
@@ -127,30 +133,57 @@ func (c *SPECConfig) applyDefaults() {
 // BuildSPEC generates the SPEC2017-like held-out test corpus. One
 // Application is created per (benchmark, input) workload, with small
 // per-workload parameter jitter standing in for input-dependent behaviour.
+//
+// Like BuildHDTR, generation is two-pass: a serial pass performs every
+// shared-RNG draw in the original order (a workload's phase count is
+// fixed by its benchmark profile, so start phases can be drawn before the
+// workload exists), then the jittered workload instantiation fans out
+// across cfg.Workers workers. Output is identical at any worker count.
 func BuildSPEC(cfg SPECConfig) *Corpus {
 	cfg.applyDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x53504543)) // "SPEC"
-	corpus := &Corpus{Name: "spec2017"}
 
-	for _, prof := range specSuite() {
+	profiles := specSuite()
+	type wlSpec struct {
+		prof     int
+		workload int
+		seed     int64
+		traces   []traceSpec
+	}
+	var specs []wlSpec
+	for p, prof := range profiles {
+		nPhases := len(prof.gate) + len(prof.perf)
 		for w := 0; w < prof.workloads; w++ {
-			app := buildSpecApp(prof, w, rng.Int63())
-			corpus.Apps = append(corpus.Apps, app)
-
+			spec := wlSpec{prof: p, workload: w, seed: rng.Int63()}
 			n := cfg.TracesPerWorkload - 1 + rng.Intn(3) // mean ≈ TracesPerWorkload
 			if n < 1 {
 				n = 1
 			}
 			for t := 0; t < n; t++ {
-				corpus.Traces = append(corpus.Traces, &Trace{
-					App:        app,
-					Name:       fmt.Sprintf("%s/sp%02d", app.Name, t),
-					Workload:   app.Name,
-					Seed:       rng.Int63(),
-					StartPhase: rng.Intn(len(app.Phases)),
-					NumInstrs:  cfg.InstrsPerTrace,
+				spec.traces = append(spec.traces, traceSpec{
+					seed:       rng.Int63(),
+					startPhase: rng.Intn(nPhases),
 				})
 			}
+			specs = append(specs, spec)
+		}
+	}
+
+	apps, _ := parallel.Map(cfg.Workers, len(specs), func(i int) (*Application, error) {
+		return buildSpecApp(profiles[specs[i].prof], specs[i].workload, specs[i].seed), nil
+	})
+
+	corpus := &Corpus{Name: "spec2017", Apps: apps}
+	for i, spec := range specs {
+		for t, ts := range spec.traces {
+			corpus.Traces = append(corpus.Traces, &Trace{
+				App:        apps[i],
+				Name:       fmt.Sprintf("%s/sp%02d", apps[i].Name, t),
+				Workload:   apps[i].Name,
+				Seed:       ts.seed,
+				StartPhase: ts.startPhase,
+				NumInstrs:  cfg.InstrsPerTrace,
+			})
 		}
 	}
 	return corpus

@@ -31,8 +31,8 @@ func TestCacheLRUEviction(t *testing.T) {
 	// (set index = lineAddr & 1).
 	c.Access(0*64, false)
 	c.Access(2*64, false)
-	c.Access(0*64, false)      // touch line 0, making line 2 LRU
-	c.Access(4*64, false)      // evicts line 2
+	c.Access(0*64, false) // touch line 0, making line 2 LRU
+	c.Access(4*64, false) // evicts line 2
 	if hit, _ := c.Access(0*64, false); !hit {
 		t.Error("recently used line evicted; LRU broken")
 	}

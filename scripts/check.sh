@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Pre-PR gate: static checks plus race-detector runs of the packages the
+# parallel engine touches. Run from the repository root before sending a
+# change; the full suite is `go test ./...`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go test -race (worker pool packages)"
+go test -race ./internal/parallel/... ./internal/dataset/...
+
+echo "check.sh: all clean"
