@@ -5,10 +5,18 @@
 //
 //	paperbench [-scale quick|default|full] [-cache DIR] [-seed N] [-workers N] -exp all
 //	paperbench -exp table3,fig7,fig8
+//	paperbench -scale quick -exp all -manifest m.json -results r.json
+//	paperbench -cpuprofile cpu.pprof -memprofile mem.pprof -exp fig8
 //
 // Experiments: corpus, table3, table4, fig4, fig5, fig6, fig7, fig8, fig9,
 // fig10, table5, table6, granularity, guardrail, uarch, dvfs, ablations,
 // all.
+//
+// Observability (see README "Observability"): -manifest writes a JSON run
+// manifest (per-experiment spans, counters, run metadata), -results writes
+// machine-readable per-experiment metrics, and -cpuprofile/-memprofile
+// write standard pprof profiles. None of these perturb experiment output:
+// stdout is byte-identical with and without them at any worker count.
 package main
 
 import (
@@ -20,7 +28,9 @@ import (
 	"strings"
 	"time"
 
+	"clustergate/internal/dataset"
 	"clustergate/internal/experiments"
+	"clustergate/internal/obs"
 	"clustergate/internal/report"
 )
 
@@ -30,8 +40,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "master seed")
 	expFlag := flag.String("exp", "all", "comma-separated experiment list")
 	svgDir := flag.String("svg", "", "also render figures as SVG into this directory")
-	verbose := flag.Bool("v", true, "print progress lines")
+	quiet := flag.Bool("q", false, "silence progress and summary lines on stderr")
 	workers := flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = serial); output is identical at any setting")
+	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this file")
+	resultsPath := flag.String("results", "", "write per-experiment results JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -48,6 +62,17 @@ func main() {
 	}
 	scale.Workers = *workers
 
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	run := obs.NewRun(obs.Info{
+		Tool: "paperbench", Args: os.Args[1:],
+		Seed: *seed, Scale: *scaleFlag, Workers: *workers,
+	})
+	obs.SetCurrent(run)
+	results := obs.NewResults("paperbench")
+
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
 		want[strings.TrimSpace(e)] = true
@@ -57,7 +82,7 @@ func main() {
 
 	start := time.Now()
 	var logw *os.File
-	if *verbose {
+	if !*quiet {
 		logw = os.Stderr
 	}
 	env, err := experiments.NewEnvLogged(scale, *cacheDir, *seed, logw)
@@ -66,201 +91,360 @@ func main() {
 	}
 	w := os.Stdout
 
+	// runExp wraps one experiment with a span and a timed results entry.
+	// It must never write to w itself: experiment text output has to stay
+	// byte-identical whether or not observability files are requested.
+	runExp := func(name string, f func() (map[string]float64, error)) {
+		sp := obs.Start("exp/" + name)
+		t0 := time.Now()
+		metrics, err := f()
+		sp.End()
+		if err != nil {
+			fatal(err)
+		}
+		results.Add(name, time.Since(t0).Seconds(), metrics)
+	}
+
 	if sel("corpus") {
-		experiments.PrintCorpus(w, env)
-		fmt.Fprintln(w)
+		runExp("corpus", func() (map[string]float64, error) {
+			experiments.PrintCorpus(w, env)
+			fmt.Fprintln(w)
+			return nil, nil
+		})
 	}
 	if sel("table3") {
-		budget := experiments.Table3Budget(env.Spec)
-		models, err := experiments.Table3Models(env)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintTable3(w, budget, models)
-		fmt.Fprintln(w)
+		runExp("table3", func() (map[string]float64, error) {
+			budget := experiments.Table3Budget(env.Spec)
+			models, err := experiments.Table3Models(env)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintTable3(w, budget, models)
+			fmt.Fprintln(w)
+			m := map[string]float64{}
+			for i, r := range models {
+				m[fmt.Sprintf("pgos.%02d", i)] = r.PGOS.Mean
+				m[fmt.Sprintf("ops.%02d", i)] = float64(r.Cost.Ops)
+			}
+			return m, nil
+		})
 	}
 	if sel("table4") {
-		experiments.PrintTable4(w, env)
-		fmt.Fprintln(w)
+		runExp("table4", func() (map[string]float64, error) {
+			experiments.PrintTable4(w, env)
+			fmt.Fprintln(w)
+			return nil, nil
+		})
 	}
 	if sel("fig4") {
-		pts, err := experiments.Fig4Diversity(env)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintFig4(w, pts)
-		fmt.Fprintln(w)
+		runExp("fig4", func() (map[string]float64, error) {
+			pts, err := experiments.Fig4Diversity(env)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintFig4(w, pts)
+			fmt.Fprintln(w)
+			m := map[string]float64{}
+			for _, p := range pts {
+				m[fmt.Sprintf("pgos.apps%d", p.TuningApps)] = p.PGOS.Mean
+				m[fmt.Sprintf("rsv.apps%d", p.TuningApps)] = p.RSV.Mean
+			}
+			return m, nil
+		})
 	}
 	if sel("fig5") {
-		pts, err := experiments.Fig5Counters(env)
-		if err != nil {
-			fatal(err)
-		}
-		expert, err := experiments.Fig5Expert(env)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintFig5(w, pts, expert)
-		fmt.Fprintln(w)
+		runExp("fig5", func() (map[string]float64, error) {
+			pts, err := experiments.Fig5Counters(env)
+			if err != nil {
+				return nil, err
+			}
+			expert, err := experiments.Fig5Expert(env)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintFig5(w, pts, expert)
+			fmt.Fprintln(w)
+			m := map[string]float64{
+				"pgos.expert": expert.PGOS.Mean,
+				"rsv.expert":  expert.RSV.Mean,
+			}
+			for _, p := range pts {
+				m[fmt.Sprintf("pgos.r%d", p.Counters)] = p.PGOS.Mean
+				m[fmt.Sprintf("rsv.r%d", p.Counters)] = p.RSV.Mean
+			}
+			return m, nil
+		})
 	}
 	if sel("fig6") {
-		pts, err := experiments.Fig6Screen(env)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintFig6(w, "Figure 6: MLP hyperparameter screen (* fits 50k budget)", pts)
-		best := experiments.BestByScreen(pts)
-		fmt.Fprintf(w, "  selected topology: %v\n", best.Hidden)
-		rfs, err := experiments.Fig6RFScreen(env)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintFig6(w, "Figure 6 (RF analogue): forest screen (* fits 40k budget)", rfs)
-		fmt.Fprintln(w)
+		runExp("fig6", func() (map[string]float64, error) {
+			pts, err := experiments.Fig6Screen(env)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintFig6(w, "Figure 6: MLP hyperparameter screen (* fits 50k budget)", pts)
+			best := experiments.BestByScreen(pts)
+			fmt.Fprintf(w, "  selected topology: %v\n", best.Hidden)
+			rfs, err := experiments.Fig6RFScreen(env)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintFig6(w, "Figure 6 (RF analogue): forest screen (* fits 40k budget)", rfs)
+			fmt.Fprintln(w)
+			return map[string]float64{
+				"pgos.best": best.PGOS.Mean,
+				"rsv.best":  best.RSV.Mean,
+				"ops.best":  float64(best.Ops),
+			}, nil
+		})
 	}
 	if sel("fig7") {
-		rows, mean := experiments.Fig7Oracle(env)
-		experiments.PrintFig7(w, rows, mean)
-		fmt.Fprintln(w)
-		if *svgDir != "" {
-			if err := writeFig7SVG(*svgDir, rows); err != nil {
-				fatal(err)
+		runExp("fig7", func() (map[string]float64, error) {
+			rows, mean := experiments.Fig7Oracle(env)
+			experiments.PrintFig7(w, rows, mean)
+			fmt.Fprintln(w)
+			if *svgDir != "" {
+				if err := writeFig7SVG(*svgDir, rows); err != nil {
+					return nil, err
+				}
 			}
-		}
+			return map[string]float64{"mean_residency": mean}, nil
+		})
 	}
 
 	var fig8Rows []experiments.Fig8Row
 	if sel("fig8") || sel("fig9") || sel("table6") {
-		gs, err := experiments.BuildFig8Controllers(env)
-		if err != nil {
-			fatal(err)
-		}
-		fig8Rows, err = experiments.Fig8Evaluate(env, gs)
-		if err != nil {
-			fatal(err)
-		}
+		runExp("fig8-deploy", func() (map[string]float64, error) {
+			gs, err := experiments.BuildFig8Controllers(env)
+			if err != nil {
+				return nil, err
+			}
+			fig8Rows, err = experiments.Fig8Evaluate(env, gs)
+			if err != nil {
+				return nil, err
+			}
+			m := map[string]float64{}
+			for _, r := range fig8Rows {
+				m["ppw."+r.Model] = r.Summary.MeanBenchmarkPPWGain()
+				m["rsv."+r.Model] = r.Summary.Overall.RSV
+				m["pgos."+r.Model] = r.Summary.Overall.Confusion.PGOS()
+				m["residency."+r.Model] = r.Summary.Overall.Residency
+			}
+			return m, nil
+		})
 	}
 	if sel("fig8") {
-		experiments.PrintFig8(w, fig8Rows)
-		fmt.Fprintln(w)
-		if *svgDir != "" {
-			if err := writeFig8SVG(*svgDir, fig8Rows); err != nil {
-				fatal(err)
+		runExp("fig8", func() (map[string]float64, error) {
+			experiments.PrintFig8(w, fig8Rows)
+			fmt.Fprintln(w)
+			if *svgDir != "" {
+				if err := writeFig8SVG(*svgDir, fig8Rows); err != nil {
+					return nil, err
+				}
 			}
-		}
+			return nil, nil
+		})
 	}
 	if sel("fig9") {
-		var charstar, bestRF *experiments.Fig8Row
-		for i := range fig8Rows {
-			switch fig8Rows[i].Model {
-			case "charstar":
-				charstar = &fig8Rows[i]
-			case "best-rf":
-				bestRF = &fig8Rows[i]
+		runExp("fig9", func() (map[string]float64, error) {
+			var charstar, bestRF *experiments.Fig8Row
+			for i := range fig8Rows {
+				switch fig8Rows[i].Model {
+				case "charstar":
+					charstar = &fig8Rows[i]
+				case "best-rf":
+					bestRF = &fig8Rows[i]
+				}
 			}
-		}
-		if charstar != nil && bestRF != nil {
-			experiments.PrintFig9(w, experiments.Fig9PerBenchmark(charstar.Summary, bestRF.Summary))
-			fmt.Fprintln(w)
-		}
+			if charstar != nil && bestRF != nil {
+				experiments.PrintFig9(w, experiments.Fig9PerBenchmark(charstar.Summary, bestRF.Summary))
+				fmt.Fprintln(w)
+			}
+			return nil, nil
+		})
 	}
 	if sel("fig10") {
-		steps, err := experiments.Fig10Ablation(env)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintFig10(w, steps)
-		fmt.Fprintln(w)
+		runExp("fig10", func() (map[string]float64, error) {
+			steps, err := experiments.Fig10Ablation(env)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintFig10(w, steps)
+			fmt.Fprintln(w)
+			m := map[string]float64{}
+			for i, s := range steps {
+				m[fmt.Sprintf("rsv.step%d", i)] = s.RSV
+				m[fmt.Sprintf("ppw.step%d", i)] = s.PPW
+			}
+			return m, nil
+		})
 	}
 	if sel("table5") {
-		rows, err := experiments.Table5SLARetune(env)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintTable5(w, rows)
-		fmt.Fprintln(w)
+		runExp("table5", func() (map[string]float64, error) {
+			rows, err := experiments.Table5SLARetune(env)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintTable5(w, rows)
+			fmt.Fprintln(w)
+			m := map[string]float64{}
+			for _, r := range rows {
+				key := fmt.Sprintf("psla%02.0f", 100*r.PSLA)
+				m["ppw."+key] = r.PPWGain
+				m["rsv."+key] = r.RSV
+				m["relperf."+key] = r.RelPerf
+			}
+			return m, nil
+		})
 	}
 	if sel("table6") {
-		var bestRF *experiments.Fig8Row
-		for i := range fig8Rows {
-			if fig8Rows[i].Model == "best-rf" {
-				bestRF = &fig8Rows[i]
+		runExp("table6", func() (map[string]float64, error) {
+			var bestRF *experiments.Fig8Row
+			for i := range fig8Rows {
+				if fig8Rows[i].Model == "best-rf" {
+					bestRF = &fig8Rows[i]
+				}
 			}
-		}
-		if bestRF == nil {
-			fatal(fmt.Errorf("table6 requires fig8's best-rf run"))
-		}
-		general, err := experiments.BuildGeneralBestRF(env)
-		if err != nil {
-			fatal(err)
-		}
-		rows, err := experiments.Table6AppSpecific(env, general, bestRF.Summary)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintTable6(w, rows)
-		fmt.Fprintln(w)
+			if bestRF == nil {
+				return nil, fmt.Errorf("table6 requires fig8's best-rf run")
+			}
+			general, err := experiments.BuildGeneralBestRF(env)
+			if err != nil {
+				return nil, err
+			}
+			rows, err := experiments.Table6AppSpecific(env, general, bestRF.Summary)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintTable6(w, rows)
+			fmt.Fprintln(w)
+			m := map[string]float64{}
+			for _, r := range rows {
+				m["delta."+r.Benchmark] = r.Delta()
+			}
+			return m, nil
+		})
 	}
 	if sel("granularity") {
-		pts, err := experiments.GranularitySweep(env)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintGranularity(w, pts)
-		fmt.Fprintln(w)
+		runExp("granularity", func() (map[string]float64, error) {
+			pts, err := experiments.GranularitySweep(env)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintGranularity(w, pts)
+			fmt.Fprintln(w)
+			m := map[string]float64{}
+			for _, p := range pts {
+				key := fmt.Sprintf("g%dk", p.Granularity/1000)
+				m["ppw."+key] = p.PPW
+				m["rsv."+key] = p.RSV
+			}
+			return m, nil
+		})
 	}
 	if sel("guardrail") {
-		g, err := experiments.BuildGeneralBestRF(env)
-		if err != nil {
-			fatal(err)
-		}
-		r, err := experiments.GuardrailStudy(env, g)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintGuardrail(w, r)
-		fmt.Fprintln(w)
+		runExp("guardrail", func() (map[string]float64, error) {
+			g, err := experiments.BuildGeneralBestRF(env)
+			if err != nil {
+				return nil, err
+			}
+			r, err := experiments.GuardrailStudy(env, g)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintGuardrail(w, r)
+			fmt.Fprintln(w)
+			return map[string]float64{
+				"ppw.bare":      r.BarePPW,
+				"ppw.guarded":   r.GuardedPPW,
+				"rsv.bare":      r.BareRSV,
+				"worst.bare":    r.BareWorst,
+				"worst.guarded": r.GuardedWorst,
+				"trips":         float64(r.Trips),
+			}, nil
+		})
 	}
 	if sel("uarch") {
-		rows, err := experiments.UarchAblations(env, 2)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintUarchAblations(w, rows)
-		fmt.Fprintln(w)
+		runExp("uarch", func() (map[string]float64, error) {
+			rows, err := experiments.UarchAblations(env, 2)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintUarchAblations(w, rows)
+			fmt.Fprintln(w)
+			return nil, nil
+		})
 	}
 	if sel("dvfs") {
-		rows, err := experiments.DVFSSweep(5)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintDVFS(w, rows)
-		fmt.Fprintln(w)
+		runExp("dvfs", func() (map[string]float64, error) {
+			rows, err := experiments.DVFSSweep(5)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintDVFS(w, rows)
+			fmt.Fprintln(w)
+			return nil, nil
+		})
 	}
 	if sel("ablations") {
-		rows, err := experiments.Ablations(env)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.PrintAblations(w, rows)
+		runExp("ablations", func() (map[string]float64, error) {
+			rows, err := experiments.Ablations(env)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintAblations(w, rows)
 
-		pred, react, err := experiments.ReactiveAblation(env)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(w, "  predict t+2: PGOS %.1f%% RSV %.2f%% | reactive t: PGOS %.1f%% RSV %.2f%%\n",
-			100*pred.PGOS.Mean, 100*pred.RSV.Mean, 100*react.PGOS.Mean, 100*react.RSV.Mean)
+			pred, react, err := experiments.ReactiveAblation(env)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(w, "  predict t+2: PGOS %.1f%% RSV %.2f%% | reactive t: PGOS %.1f%% RSV %.2f%%\n",
+				100*pred.PGOS.Mean, 100*pred.RSV.Mean, 100*react.PGOS.Mean, 100*react.RSV.Mean)
 
-		norm, raw, err := experiments.NormalizationAblation(env)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(w, "  normalized: PGOS %.1f%% RSV %.2f%% | raw counts: PGOS %.1f%% RSV %.2f%%\n",
-			100*norm.PGOS.Mean, 100*norm.RSV.Mean, 100*raw.PGOS.Mean, 100*raw.RSV.Mean)
-		fmt.Fprintln(w)
+			norm, raw, err := experiments.NormalizationAblation(env)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(w, "  normalized: PGOS %.1f%% RSV %.2f%% | raw counts: PGOS %.1f%% RSV %.2f%%\n",
+				100*norm.PGOS.Mean, 100*norm.RSV.Mean, 100*raw.PGOS.Mean, 100*raw.RSV.Mean)
+			fmt.Fprintln(w)
+			m := map[string]float64{
+				"pgos.predict":    pred.PGOS.Mean,
+				"rsv.predict":     pred.RSV.Mean,
+				"pgos.reactive":   react.PGOS.Mean,
+				"rsv.reactive":    react.RSV.Mean,
+				"pgos.normalized": norm.PGOS.Mean,
+				"pgos.raw":        raw.PGOS.Mean,
+			}
+			for _, r := range rows {
+				m["ppw."+r.Label] = r.PPWGain
+				m["rsv."+r.Label] = r.RSV
+			}
+			return m, nil
+		})
 	}
 
-	fmt.Fprintf(os.Stderr, "# total %.1fs\n", time.Since(start).Seconds())
+	if !*quiet {
+		cs := dataset.ReadCacheStats()
+		fmt.Fprintf(os.Stderr, "# cache: %d hits, %d misses, %d collapses (%.1f MB read, %.1f MB written)\n",
+			cs.Hits, cs.Misses, cs.Collapses,
+			float64(cs.BytesRead)/1e6, float64(cs.BytesWritten)/1e6)
+		fmt.Fprintf(os.Stderr, "# total %.1fs\n", time.Since(start).Seconds())
+	}
+
+	manifest := run.Finish()
+	if *manifestPath != "" {
+		if err := manifest.WriteFile(*manifestPath); err != nil {
+			fatal(err)
+		}
+	}
+	if *resultsPath != "" {
+		if err := results.WriteFile(*resultsPath); err != nil {
+			fatal(err)
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		fatal(err)
+	}
 }
 
 // writeFig7SVG renders the residency profile as a bar chart.

@@ -4,6 +4,7 @@
 //
 //	tracegen -corpus hdtr -apps 100 -summary
 //	tracegen -corpus spec -dump 620.omnetpp_s/wl00 -n 20
+//	tracegen -corpus hdtr -manifest m.json -results r.json
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"os"
 	"strings"
 
+	"clustergate/internal/obs"
 	"clustergate/internal/trace"
 )
 
@@ -24,8 +26,22 @@ func main() {
 	dump := flag.String("dump", "", "dump instructions of the named app's first trace")
 	n := flag.Int("n", 20, "instructions to dump")
 	workers := flag.Int("workers", 0, "generation worker pool size (0 = all cores, 1 = serial)")
+	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this file")
+	resultsPath := flag.String("results", "", "write corpus-composition JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	run := obs.NewRun(obs.Info{
+		Tool: "tracegen", Args: os.Args[1:], Seed: *seed, Workers: *workers,
+	})
+	obs.SetCurrent(run)
+
+	sp := obs.Start("build/" + *corpusFlag)
 	var corpus *trace.Corpus
 	switch *corpusFlag {
 	case "hdtr":
@@ -38,6 +54,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown corpus %q\n", *corpusFlag)
 		os.Exit(2)
 	}
+	sp.End()
+
+	if *manifestPath != "" {
+		if err := run.Finish().WriteFile(*manifestPath); err != nil {
+			fatal(err)
+		}
+	}
+	if *resultsPath != "" {
+		totalInstrs := 0
+		for _, tr := range corpus.Traces {
+			totalInstrs += tr.NumInstrs
+		}
+		results := obs.NewResults("tracegen")
+		results.Add(corpus.Name, 0, map[string]float64{
+			"apps":   float64(len(corpus.Apps)),
+			"traces": float64(len(corpus.Traces)),
+			"instrs": float64(totalInstrs),
+		})
+		if err := results.WriteFile(*resultsPath); err != nil {
+			fatal(err)
+		}
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	if *summary {
 		fmt.Printf("corpus %s: %d applications, %d traces\n",
@@ -82,4 +125,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no trace found for app prefix %q\n", *dump)
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
 }

@@ -6,6 +6,7 @@
 //	train -model best-rf -apps 200
 //	train -model charstar
 //	train -model best-mlp -psla 0.8
+//	train -model best-rf -manifest m.json -results r.json -cpuprofile cpu.pprof
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"clustergate/internal/core"
 	"clustergate/internal/dataset"
 	"clustergate/internal/mcu"
+	"clustergate/internal/obs"
 	"clustergate/internal/telemetry"
 	"clustergate/internal/trace"
 )
@@ -26,15 +28,32 @@ func main() {
 	psla := flag.Float64("psla", 0.9, "SLA performance threshold")
 	seed := flag.Int64("seed", 1, "seed")
 	workers := flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = serial)")
+	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this file")
+	resultsPath := flag.String("results", "", "write controller-characteristics JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	run := obs.NewRun(obs.Info{
+		Tool: "train", Args: os.Args[1:], Seed: *seed, Workers: *workers,
+	})
+	obs.SetCurrent(run)
+
+	sp := obs.Start("build-corpus")
 	corpus := trace.BuildHDTR(trace.HDTRConfig{
 		Apps: *apps, InstrsPerTrace: 350_000, Seed: *seed, Workers: *workers,
 	})
+	sp.End()
 	cfg := dataset.DefaultConfig()
 	cfg.Workers = *workers
 	fmt.Fprintf(os.Stderr, "simulating %d traces...\n", len(corpus.Traces))
+	sp = obs.Start("simulate-telemetry")
 	tel := dataset.SimulateCorpus(corpus, cfg)
+	sp.End()
 
 	cs := telemetry.NewStandardCounterSet()
 	cols, err := core.ColumnsByName(cs, telemetry.Table4Names())
@@ -47,6 +66,7 @@ func main() {
 		Spec: mcu.DefaultSpec(), Seed: *seed,
 	}
 
+	sp = obs.Start("train/" + *model)
 	var g *core.GatingController
 	switch *model {
 	case "best-rf":
@@ -60,8 +80,9 @@ func main() {
 	case "srch-coarse":
 		g, err = core.BuildSRCH(in, core.SRCHCoarseGranularity)
 	default:
-		fatal(fmt.Errorf("unknown model %q", *model))
+		err = fmt.Errorf("unknown model %q", *model)
 	}
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -73,6 +94,30 @@ func main() {
 	fmt.Printf("budget at gran.:   %d ops\n", in.Spec.OpsBudget(g.Granularity))
 	fmt.Printf("thresholds:        high-perf %.2f, low-power %.2f\n", g.ThresholdHigh, g.ThresholdLow)
 	fmt.Printf("counters:          %d\n", len(g.Columns))
+
+	if *manifestPath != "" {
+		if err := run.Finish().WriteFile(*manifestPath); err != nil {
+			fatal(err)
+		}
+	}
+	if *resultsPath != "" {
+		results := obs.NewResults("train")
+		results.Add(g.Name, 0, map[string]float64{
+			"psla":           g.SLA.PSLA,
+			"ops_per_pred":   float64(g.OpsPerPrediction),
+			"granularity":    float64(g.Granularity),
+			"budget":         float64(in.Spec.OpsBudget(g.Granularity)),
+			"threshold_high": g.ThresholdHigh,
+			"threshold_low":  g.ThresholdLow,
+			"counters":       float64(len(g.Columns)),
+		})
+		if err := results.WriteFile(*resultsPath); err != nil {
+			fatal(err)
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

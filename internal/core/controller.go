@@ -16,6 +16,7 @@ import (
 	"clustergate/internal/dataset"
 	"clustergate/internal/mcu"
 	"clustergate/internal/metrics"
+	"clustergate/internal/obs"
 	"clustergate/internal/power"
 	"clustergate/internal/telemetry"
 	"clustergate/internal/trace"
@@ -178,6 +179,13 @@ func (r *DeploymentResult) Eval(win metrics.SLAWindow) metrics.Eval {
 	return metrics.Evaluate(r.Pred, r.Truth, win)
 }
 
+// Deployment observability: closed-loop trace deployments completed and
+// individual gating predictions issued, for run manifests.
+var (
+	deploysDone = obs.NewCounter("core.deployments")
+	predsIssued = obs.NewCounter("core.predictions")
+)
+
 // Deploy runs the controller closed-loop over one trace. ref must be the
 // fixed-mode telemetry of the same trace (it provides ground-truth labels
 // and the always-high reference for power accounting).
@@ -271,6 +279,8 @@ func Deploy(g *GatingController, tr *trace.Trace, ref *dataset.TraceTelemetry,
 	if totalIntervals > 0 {
 		res.LowResidency = float64(lowIntervals) / float64(totalIntervals)
 	}
+	deploysDone.Inc()
+	predsIssued.Add(int64(len(res.Pred)))
 	return res, nil
 }
 

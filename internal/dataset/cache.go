@@ -9,9 +9,42 @@ import (
 	"os"
 	"path/filepath"
 
+	"clustergate/internal/obs"
 	"clustergate/internal/parallel"
 	"clustergate/internal/trace"
 )
+
+// Cache observability: hits read a valid file, misses simulate and write
+// one, collapses are concurrent in-process callers that shared another
+// caller's simulation instead of reading or simulating themselves. Byte
+// counters record cache I/O volume. All land in run manifests under the
+// "dataset.cache.*" keys.
+var (
+	cacheHits         = obs.NewCounter("dataset.cache.hits")
+	cacheMisses       = obs.NewCounter("dataset.cache.misses")
+	cacheCollapses    = obs.NewCounter("dataset.cache.collapses")
+	cacheBytesRead    = obs.NewCounter("dataset.cache.bytes_read")
+	cacheBytesWritten = obs.NewCounter("dataset.cache.bytes_written")
+)
+
+// CacheStats is a point-in-time reading of the telemetry-cache counters.
+type CacheStats struct {
+	Hits, Misses, Collapses int64
+	BytesRead, BytesWritten int64
+}
+
+// ReadCacheStats reports the process-wide telemetry-cache activity, used
+// by paperbench's end-of-run cache report (cold and warm runs are
+// otherwise indistinguishable in logs).
+func ReadCacheStats() CacheStats {
+	return CacheStats{
+		Hits:         cacheHits.Value(),
+		Misses:       cacheMisses.Value(),
+		Collapses:    cacheCollapses.Value(),
+		BytesRead:    cacheBytesRead.Value(),
+		BytesWritten: cacheBytesWritten.Value(),
+	}
+}
 
 // cacheVersion invalidates cached telemetry when the recording format or
 // simulator behaviour changes incompatibly.
@@ -84,9 +117,12 @@ func SimulateCorpusCached(c *trace.Corpus, cfg Config, dir string) ([]*TraceTele
 	key := fmt.Sprintf("%s-%d-%d-%s-%x-v%d", c.Name, len(c.Apps), len(c.Traces), cfg, corpusHash(c), cacheVersion)
 	path := filepath.Join(dir, key+".gob")
 
-	tel, err, _ := simFlight.Do(path, func() ([]*TraceTelemetry, error) {
+	tel, err, shared := simFlight.Do(path, func() ([]*TraceTelemetry, error) {
 		return loadOrSimulate(c, cfg, path, key, dir)
 	})
+	if shared {
+		cacheCollapses.Inc()
+	}
 	return tel, err
 }
 
@@ -99,9 +135,14 @@ func loadOrSimulate(c *trace.Corpus, cfg Config, path, key, dir string) ([]*Trac
 		err := dec.Decode(&cached)
 		f.Close()
 		if err == nil && cached.Version == cacheVersion && cached.Key == key {
+			cacheHits.Inc()
+			if fi, err := os.Stat(path); err == nil {
+				cacheBytesRead.Add(fi.Size())
+			}
 			return cached.Traces, nil
 		}
 	}
+	cacheMisses.Inc()
 
 	tel := SimulateCorpus(c, cfg)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -128,6 +169,9 @@ func loadOrSimulate(c *trace.Corpus, cfg Config, path, key, dir string) ([]*Trac
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return tel, fmt.Errorf("dataset: cache rename: %w", err)
+	}
+	if fi, err := os.Stat(path); err == nil {
+		cacheBytesWritten.Add(fi.Size())
 	}
 	return tel, nil
 }

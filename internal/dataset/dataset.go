@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"clustergate/internal/ml"
+	"clustergate/internal/obs"
 	"clustergate/internal/parallel"
 	"clustergate/internal/telemetry"
 	"clustergate/internal/trace"
@@ -67,6 +68,13 @@ func (tt *TraceTelemetry) Intervals() int {
 	return n
 }
 
+// Recording observability: traces simulated end to end and telemetry
+// intervals captured (both modes), for run manifests.
+var (
+	tracesSimulated   = obs.NewCounter("dataset.traces_simulated")
+	intervalsRecorded = obs.NewCounter("dataset.intervals_recorded")
+)
+
 // SimulateTrace records one trace in both cluster configurations.
 func SimulateTrace(tr *trace.Trace, cfg Config) *TraceTelemetry {
 	tt := &TraceTelemetry{
@@ -78,6 +86,8 @@ func SimulateTrace(tr *trace.Trace, cfg Config) *TraceTelemetry {
 	}
 	tt.HighPerf = recordMode(tr, cfg, uarch.ModeHighPerf)
 	tt.LowPower = recordMode(tr, cfg, uarch.ModeLowPower)
+	tracesSimulated.Inc()
+	intervalsRecorded.Add(int64(len(tt.HighPerf) + len(tt.LowPower)))
 	return tt
 }
 

@@ -8,6 +8,7 @@ import (
 	"clustergate/internal/dataset"
 	"clustergate/internal/ml"
 	"clustergate/internal/ml/forest"
+	"clustergate/internal/obs"
 	"clustergate/internal/uarch"
 )
 
@@ -27,6 +28,7 @@ type AblationRow struct {
 //   - raw counter counts instead of per-cycle normalisation;
 //   - fixed 0.5 threshold instead of RSV-calibrated sensitivity.
 func Ablations(e *Env) ([]AblationRow, error) {
+	defer obs.Start("ablations.matrix").End()
 	var out []AblationRow
 
 	record := func(label string, g *core.GatingController) error {
@@ -83,6 +85,7 @@ func Ablations(e *Env) ([]AblationRow, error) {
 // accuracy would a reactive oracle-timing model have, i.e. the headroom
 // the two-interval pipeline delay costs).
 func ReactiveAblation(e *Env) (predict, react ScreenResult, err error) {
+	defer obs.Start("ablations.reactive").End()
 	cols := e.PFColumns
 	train := e.rfTrainer()
 
@@ -114,6 +117,7 @@ func ReactiveAblation(e *Env) (predict, react ScreenResult, err error) {
 // counts on the screening task (Section 4.1 reports normalisation improves
 // accuracy).
 func NormalizationAblation(e *Env) (normalized, raw ScreenResult, err error) {
+	defer obs.Start("ablations.normalization").End()
 	train := e.rfTrainer()
 	normalized, err = e.Screen(train, e.lowPowerTraces(e.PFColumns), 0, 0.5)
 	if err != nil {

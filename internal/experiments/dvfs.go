@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"clustergate/internal/obs"
 	"clustergate/internal/power"
 	"clustergate/internal/trace"
 	"clustergate/internal/uarch"
@@ -54,6 +55,7 @@ func dvfsMix(apps int) (hi, lo []uarch.Events) {
 
 // DVFSSweep computes the complementarity table across the default curve.
 func DVFSSweep(apps int) ([]DVFSRow, error) {
+	defer obs.Start("dvfs.sweep").End()
 	model := power.DefaultModel()
 	hi, lo := dvfsMix(apps)
 

@@ -17,6 +17,7 @@ import (
 	"clustergate/internal/counters"
 	"clustergate/internal/dataset"
 	"clustergate/internal/mcu"
+	"clustergate/internal/obs"
 	"clustergate/internal/power"
 	"clustergate/internal/telemetry"
 	"clustergate/internal/trace"
@@ -121,6 +122,8 @@ func NewEnv(scale Scale, cacheDir string, seed int64) (*Env, error) {
 // NewEnvLogged is NewEnv with progress lines written to log during the
 // (potentially long) corpus simulation.
 func NewEnvLogged(scale Scale, cacheDir string, seed int64, log io.Writer) (*Env, error) {
+	envSpan := obs.Start("env")
+	defer envSpan.End()
 	e := &Env{
 		Log:   log,
 		Scale: scale,
@@ -132,6 +135,7 @@ func NewEnvLogged(scale Scale, cacheDir string, seed int64, log io.Writer) (*Env
 	}
 	e.Cfg.Workers = scale.Workers
 
+	buildSpan := obs.Start("env/build-corpora")
 	e.HDTR = trace.BuildHDTR(trace.HDTRConfig{
 		Apps:             scale.HDTRApps,
 		MeanTracesPerApp: scale.HDTRTracesPerApp,
@@ -145,24 +149,32 @@ func NewEnvLogged(scale Scale, cacheDir string, seed int64, log io.Writer) (*Env
 		Seed:              seed + 1,
 		Workers:           scale.Workers,
 	})
+	buildSpan.End()
 
 	var err error
 	start := time.Now()
+	simSpan := obs.Start("env/hdtr-telemetry")
 	e.HDTRTel, err = dataset.SimulateCorpusCached(e.HDTR, e.Cfg, cacheDir)
+	simSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: HDTR telemetry: %w", err)
 	}
 	e.logf("HDTR telemetry: %d traces in %.1fs", len(e.HDTRTel), time.Since(start).Seconds())
 
 	start = time.Now()
+	simSpan = obs.Start("env/spec-telemetry")
 	e.SPECTel, err = dataset.SimulateCorpusCached(e.SPEC, e.Cfg, cacheDir)
+	simSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: SPEC telemetry: %w", err)
 	}
 	e.logf("SPEC telemetry: %d traces in %.1fs", len(e.SPECTel), time.Since(start).Seconds())
 
 	start = time.Now()
-	if err := e.selectCounters(); err != nil {
+	selSpan := obs.Start("env/select-counters")
+	err = e.selectCounters()
+	selSpan.End()
+	if err != nil {
 		return nil, err
 	}
 	e.logf("PF counter selection in %.1fs: %v", time.Since(start).Seconds(), e.PFNames)

@@ -7,6 +7,7 @@ import (
 
 	"clustergate/internal/core"
 	"clustergate/internal/dataset"
+	"clustergate/internal/obs"
 	"clustergate/internal/trace"
 )
 
@@ -30,6 +31,7 @@ type Fig10Step struct {
 // ladder isolates the three mitigation techniques (data, counters,
 // topology) rather than the calibration itself.
 func Fig10Ablation(e *Env) ([]Fig10Step, error) {
+	defer obs.Start("fig10.blindspot-ablation").End()
 	var steps []Fig10Step
 
 	eval := func(label string, g *core.GatingController) error {

@@ -8,6 +8,7 @@ import (
 	"clustergate/internal/ml"
 	"clustergate/internal/ml/forest"
 	"clustergate/internal/ml/mlp"
+	"clustergate/internal/obs"
 	"clustergate/internal/parallel"
 )
 
@@ -33,6 +34,7 @@ type Fig4Point struct {
 // paper's result: PGOS std halves and RSV falls ~2.5× as applications
 // scale from 20 to 440.
 func Fig4Diversity(e *Env) ([]Fig4Point, error) {
+	defer obs.Start("fig4.diversity-sweep").End()
 	lts := e.lowPowerTraces(e.PFColumns)
 	train := e.screenMLP()
 	sizes := e.Scale.Fig4Sizes
@@ -77,6 +79,7 @@ type Fig5Point struct {
 // against PGOS and RSV at a fixed 80% tuning set. The paper's result: ≥8
 // counters are needed for consistently high PGOS; 12 minimise RSV.
 func Fig5Counters(e *Env) ([]Fig5Point, error) {
+	defer obs.Start("fig5.counter-sweep").End()
 	maxR := 0
 	for _, r := range e.Scale.Fig5Counters {
 		if r > maxR {
@@ -170,6 +173,7 @@ func Fig6Topologies() [][]int {
 // highest-PGOS topology among low-variance, budget-fitting candidates —
 // lands on 3-layer networks; the paper picks 8/8/4.
 func Fig6Screen(e *Env) ([]Fig6Point, error) {
+	defer obs.Start("fig6.mlp-screen").End()
 	lts := e.lowPowerTraces(e.PFColumns)
 	budget := e.Spec.OpsBudget(50_000)
 	topologies := Fig6Topologies()
@@ -200,6 +204,7 @@ func Fig6Screen(e *Env) ([]Fig6Point, error) {
 // Fig6RFScreen runs the same protocol over random-forest shapes; the paper
 // selects 8 trees of depth 8.
 func Fig6RFScreen(e *Env) ([]Fig6Point, error) {
+	defer obs.Start("fig6.rf-screen").End()
 	lts := e.lowPowerTraces(e.PFColumns)
 	budget := e.Spec.OpsBudget(40_000)
 	shapes := []struct{ trees, depth int }{

@@ -8,6 +8,7 @@ import (
 
 	"clustergate/internal/core"
 	"clustergate/internal/dataset"
+	"clustergate/internal/obs"
 )
 
 // Fig7Row is one benchmark's ideal low-power residency.
@@ -20,6 +21,7 @@ type Fig7Row struct {
 // benchmark would ideally spend in low-power mode under the 90% SLA
 // (paper: 45.7% on average).
 func Fig7Oracle(e *Env) ([]Fig7Row, float64) {
+	defer obs.Start("fig7.oracle-residency").End()
 	sla := dataset.SLA{PSLA: 0.9}
 	groups := dataset.ByBenchmark(e.SPECTel)
 	var rows []Fig7Row
@@ -54,6 +56,7 @@ type Fig8Row struct {
 // BuildFig8Controllers trains the four model families of Section 7 plus
 // the coarse SRCH variant, all on HDTR telemetry.
 func BuildFig8Controllers(e *Env) ([]*core.GatingController, error) {
+	defer obs.Start("fig8.build-controllers").End()
 	in := e.buildInputs(0.9)
 	var out []*core.GatingController
 
@@ -111,6 +114,7 @@ func (e *Env) buildInputs(psla float64) core.BuildInputs {
 
 // Fig8Evaluate deploys every controller on the SPEC test corpus.
 func Fig8Evaluate(e *Env, gs []*core.GatingController) ([]Fig8Row, error) {
+	defer obs.Start("fig8.evaluate").End()
 	var out []Fig8Row
 	for _, g := range gs {
 		sum, err := core.EvaluateOnCorpus(g, e.SPEC, e.SPECTel, e.Cfg, e.PM)
@@ -211,5 +215,6 @@ func BuildInputsForEnv(e *Env, psla float64) core.BuildInputs {
 
 // BuildGeneralBestRF trains the general-purpose Best RF controller.
 func BuildGeneralBestRF(e *Env) (*core.GatingController, error) {
+	defer obs.Start("build.general-best-rf").End()
 	return core.BuildBestRF(e.buildInputs(0.9))
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"clustergate/internal/core"
+	"clustergate/internal/obs"
 )
 
 // GranularityPoint is one adaptation interval of the granularity sweep.
@@ -23,6 +24,7 @@ type GranularityPoint struct {
 // intervals below the 40k budget line assume CHARSTAR-style dedicated
 // inference hardware and are marked as not budget-feasible.
 func GranularitySweep(e *Env) ([]GranularityPoint, error) {
+	defer obs.Start("granularity.sweep").End()
 	var out []GranularityPoint
 	for _, g := range []int{10_000, 20_000, 40_000, 60_000, 100_000} {
 		in := e.buildInputs(0.9)

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"clustergate/internal/core"
+	"clustergate/internal/obs"
 )
 
 // GuardrailResult compares a controller deployed bare against the same
@@ -24,6 +25,7 @@ type GuardrailResult struct {
 // GuardrailStudy deploys a controller with and without the guardrail on
 // the test corpus.
 func GuardrailStudy(e *Env, g *core.GatingController) (*GuardrailResult, error) {
+	defer obs.Start("guardrail.study").End()
 	res := &GuardrailResult{Model: g.Name, BareWorst: 1, GuardedWorst: 1}
 
 	bare, err := core.EvaluateOnCorpus(g, e.SPEC, e.SPECTel, e.Cfg, e.PM)

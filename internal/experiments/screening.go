@@ -8,9 +8,15 @@ import (
 	"clustergate/internal/dataset"
 	"clustergate/internal/metrics"
 	"clustergate/internal/ml"
+	"clustergate/internal/obs"
 	"clustergate/internal/parallel"
 	"clustergate/internal/uarch"
 )
+
+// Cross-validation observability: folds trained and evaluated across all
+// screens, for run manifests. Screens open leaf spans (Screen is called
+// from sweep workers, so spans must not perturb sequential nesting).
+var foldsExecuted = obs.NewCounter("experiments.folds")
 
 // Scorer is any trained point model.
 type Scorer interface{ Score([]float64) float64 }
@@ -157,8 +163,11 @@ func (e *Env) Screen(train Trainer, lts []*dataset.LabeledTrace, tuneApps int, t
 	type foldResult struct {
 		pgos, rsv, fpr float64
 	}
+	sp := obs.StartLeaf("screen")
+	defer sp.End()
 	win := e.baseWindow()
 	folds, err := parallel.Map(e.Cfg.Workers, e.Scale.Folds, func(f int) (foldResult, error) {
+		defer foldsExecuted.Inc()
 		tuneTr, valTr := splitTraces(lts, 0.2, tuneApps, e.Seed+int64(f)*7919)
 		tune := flattenTraces(tuneTr)
 		if tune.Len() == 0 || len(valTr) == 0 {

@@ -11,6 +11,7 @@ import (
 	"clustergate/internal/ml/linear"
 	"clustergate/internal/ml/mlp"
 	"clustergate/internal/ml/svm"
+	"clustergate/internal/obs"
 )
 
 // Table3BudgetRow is one line of Table 3's left half.
@@ -44,6 +45,7 @@ type Table3ModelRow struct {
 // telemetry with the 12 PF counters (8 expert counters for the CHARSTAR-
 // style MLP, per the paper).
 func Table3Models(e *Env) ([]Table3ModelRow, error) {
+	defer obs.Start("table3.model-costs").End()
 	nPF := len(e.PFColumns)
 	pfTraces := e.lowPowerTraces(e.PFColumns)
 	expertTraces := e.lowPowerTraces(e.ExpertColumns)

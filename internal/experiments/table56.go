@@ -7,6 +7,7 @@ import (
 
 	"clustergate/internal/core"
 	"clustergate/internal/dataset"
+	"clustergate/internal/obs"
 	"clustergate/internal/parallel"
 	"clustergate/internal/trace"
 )
@@ -24,6 +25,7 @@ type Table5Row struct {
 // loosening P_SLA from 0.90 to 0.70 grows PPW (21.9% → 31.4%) while average
 // performance falls only slightly (98.2% → 93.4%) and RSV stays tiny.
 func Table5SLARetune(e *Env) ([]Table5Row, error) {
+	defer obs.Start("table5.sla-retune").End()
 	targets := []float64{0.90, 0.80, 0.70}
 	out, err := parallel.Map(e.Cfg.Workers, len(targets), func(i int) (Table5Row, error) {
 		psla := targets[i]
@@ -81,6 +83,7 @@ func (r Table6Row) Delta() float64 { return r.SpecificPPW - r.GeneralPPW }
 // evaluate leave-one-workload-out. The paper's shape: PPW improves for
 // most (8 of 11) applications, by up to ~8.5%.
 func Table6AppSpecific(e *Env, general *core.GatingController, generalSum *core.Summary) ([]Table6Row, error) {
+	defer obs.Start("table6.app-specific").End()
 	const minWorkloads = 5
 
 	// Headroom screen: per-benchmark PGOS of the general controller.

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"clustergate/internal/dataset"
+	"clustergate/internal/obs"
 	"clustergate/internal/parallel"
 	"clustergate/internal/trace"
 	"clustergate/internal/uarch"
@@ -25,6 +26,7 @@ type UarchAblationRow struct {
 // (the window-bound trap family stops being mode-sensitive), and with
 // doubled DRAM bandwidth.
 func UarchAblations(e *Env, tracesPerBenchmark int) ([]UarchAblationRow, error) {
+	defer obs.Start("uarch.ablations").End()
 	// Sample the corpus: a few traces per benchmark.
 	counts := map[string]int{}
 	sample := &trace.Corpus{Name: "ablate"}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGaugeBasics(t *testing.T) {
+	c := NewCounter("test.basic.counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if NewCounter("test.basic.counter") != c {
+		t.Fatal("NewCounter with the same name returned a different instance")
+	}
+	if got := CounterValue("test.basic.counter"); got != 5 {
+		t.Fatalf("CounterValue = %d, want 5", got)
+	}
+	if got := CounterValue("test.never.registered"); got != 0 {
+		t.Fatalf("unknown counter = %d, want 0", got)
+	}
+
+	g := NewGauge("test.basic.gauge")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Inc()
+	if got := g.Peak(); got != 2 {
+		t.Fatalf("gauge peak = %d, want 2", got)
+	}
+	snap := Snapshot()
+	if snap["test.basic.counter"] != 5 || snap["test.basic.gauge.peak"] != 2 {
+		t.Fatalf("snapshot = %v, want counter 5 and gauge peak 2", snap)
+	}
+}
+
+// TestNilSafety locks the disabled-path contract: every method on a nil
+// counter, span, run, or results collector is a no-op.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 || c.Name() != "" {
+		t.Fatal("nil counter is not inert")
+	}
+	var g *Gauge
+	g.Inc()
+	g.Dec()
+	if g.Peak() != 0 {
+		t.Fatal("nil gauge is not inert")
+	}
+	var r *Run
+	sp := r.Start("x")
+	if sp != nil {
+		t.Fatal("nil run returned a live span")
+	}
+	sp.End()
+	r.StartLeaf("y").End()
+	if r.Finish() != nil {
+		t.Fatal("nil run produced a manifest")
+	}
+	var rs *Results
+	rs.Add("a", 1, nil)
+	SetCurrent(nil)
+	Start("no-run").End()
+	StartLeaf("no-run").End()
+}
+
+// TestConcurrentSpansAndCounters exercises the layer the way the worker
+// pool does — many goroutines bumping shared counters and opening leaf
+// spans while sequential spans nest around them — and is expected to run
+// under -race (scripts/check.sh does).
+func TestConcurrentSpansAndCounters(t *testing.T) {
+	run := NewRun(Info{Tool: "obs-test", Seed: 9})
+	c := NewCounter("test.concurrent.counter")
+	g := NewGauge("test.concurrent.gauge")
+	outer := run.Start("outer")
+
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g.Inc()
+				sp := run.StartLeaf("leaf")
+				c.Inc()
+				sp.End()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	outer.End()
+	m := run.Finish()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if p := g.Peak(); p < 1 || p > workers {
+		t.Fatalf("gauge peak = %d, want 1..%d", p, workers)
+	}
+	if len(m.Spans) != 1 || m.Spans[0].Name != "outer" {
+		t.Fatalf("manifest roots = %+v, want single outer span", m.Spans)
+	}
+	if got := len(m.Spans[0].Children); got != workers*perWorker {
+		t.Fatalf("outer has %d children, want %d", got, workers*perWorker)
+	}
+	if m.Counters["test.concurrent.counter"] != workers*perWorker {
+		t.Fatalf("manifest counter delta = %d, want %d",
+			m.Counters["test.concurrent.counter"], workers*perWorker)
+	}
+}
+
+// TestSpanNesting checks the sequential Start/End stack: children attach
+// to the innermost open span, and leaves never become current.
+func TestSpanNesting(t *testing.T) {
+	run := NewRun(Info{Tool: "nest"})
+	a := run.Start("a")
+	b := run.Start("b")
+	run.StartLeaf("b-leaf").End()
+	c := run.Start("c") // nests under b, after the leaf
+	c.End()
+	b.End()
+	d := run.Start("d") // back under a
+	d.End()
+	a.End()
+	m := run.Finish()
+
+	if len(m.Spans) != 1 || m.Spans[0].Name != "a" {
+		t.Fatalf("roots = %+v, want [a]", m.Spans)
+	}
+	got := []string{}
+	for _, s := range m.Spans[0].Children {
+		got = append(got, s.Name)
+	}
+	if len(got) != 2 || got[0] != "b" || got[1] != "d" {
+		t.Fatalf("a's children = %v, want [b d]", got)
+	}
+	bRec := m.Spans[0].Children[0]
+	if len(bRec.Children) != 2 || bRec.Children[0].Name != "b-leaf" || bRec.Children[1].Name != "c" {
+		t.Fatalf("b's children = %+v, want [b-leaf c]", bRec.Children)
+	}
+	for _, s := range []*SpanRecord{m.Spans[0], bRec, bRec.Children[1]} {
+		if s.WallMS < 0 {
+			t.Fatalf("span %s has negative duration %f", s.Name, s.WallMS)
+		}
+	}
+}
+
+// TestManifestRoundTrip locks the manifest schema: marshal → unmarshal →
+// marshal must reproduce the same bytes, and the metadata fields must
+// survive the trip.
+func TestManifestRoundTrip(t *testing.T) {
+	run := NewRun(Info{
+		Tool: "paperbench", Args: []string{"-scale", "quick"},
+		Seed: 42, Scale: "quick", Workers: 4,
+	})
+	NewCounter("test.roundtrip.counter").Add(7)
+	s := run.Start("env")
+	run.StartLeaf("env/hdtr").End()
+	s.End()
+	m := run.Finish()
+
+	b1, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatalf("manifest does not parse back: %v", err)
+	}
+	b2, err := json.MarshalIndent(&back, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("round trip changed the manifest:\n%s\nvs\n%s", b1, b2)
+	}
+	if back.Tool != "paperbench" || back.Seed != 42 || back.Scale != "quick" ||
+		back.Workers != 4 || back.GoVersion == "" || back.GOMAXPROCS < 1 {
+		t.Fatalf("metadata lost in round trip: %+v", back)
+	}
+	if back.WallSeconds < 0 || back.End.Before(back.Start) {
+		t.Fatalf("timing inconsistent: %+v", back)
+	}
+	if back.Counters["test.roundtrip.counter"] < 7 {
+		t.Fatalf("counter delta = %d, want >= 7", back.Counters["test.roundtrip.counter"])
+	}
+}
+
+func TestResultsRoundTrip(t *testing.T) {
+	rs := NewResults("paperbench")
+	rs.Add("fig7", 1.25, map[string]float64{"mean_residency": 0.457})
+	rs.Add("table3", 0.5, nil)
+	snap := rs.Snapshot()
+	b1, err := json.Marshal(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ResultsFile
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatalf("results do not parse back: %v", err)
+	}
+	if back.Tool != "paperbench" || len(back.Results) != 2 {
+		t.Fatalf("results = %+v", back)
+	}
+	if back.Results[0].Name != "fig7" || back.Results[0].Metrics["mean_residency"] != 0.457 {
+		t.Fatalf("entry 0 = %+v", back.Results[0])
+	}
+}
+
+// TestManifestWriteFile checks the on-disk form parses as JSON.
+func TestManifestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	run := NewRun(Info{Tool: "t"})
+	run.Start("only").End()
+	path := dir + "/m.json"
+	if err := run.Finish().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("written manifest is not valid JSON: %v", err)
+	}
+	if len(m.Spans) != 1 || m.Spans[0].Name != "only" {
+		t.Fatalf("spans = %+v", m.Spans)
+	}
+}

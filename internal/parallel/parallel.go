@@ -21,6 +21,17 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"clustergate/internal/obs"
+)
+
+// Pool observability: every task executed (serial or pooled) bumps
+// tasksExecuted, and inflight tracks how many tasks are running at once —
+// its peak lands in run manifests as "parallel.inflight.peak", the
+// measured (not configured) parallelism of a run.
+var (
+	tasksExecuted = obs.NewCounter("parallel.tasks")
+	inflight      = obs.NewGauge("parallel.inflight")
 )
 
 // Workers resolves a worker-count knob: n > 0 selects exactly n workers,
@@ -48,7 +59,11 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			inflight.Inc()
+			err := fn(i)
+			inflight.Dec()
+			tasksExecuted.Inc()
+			if err != nil {
 				return err
 			}
 		}
@@ -73,7 +88,11 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i >= bound.Load() || i >= int64(n) {
 					return
 				}
-				if err := fn(int(i)); err != nil {
+				inflight.Inc()
+				err := fn(int(i))
+				inflight.Dec()
+				tasksExecuted.Inc()
+				if err != nil {
 					// Record the lowest failing index. Indices below it were
 					// dispatched before it (dispatch is monotone), so they all
 					// still run; if one of them also fails, it takes over.

@@ -1,7 +1,17 @@
 package uarch
 
 import (
+	"clustergate/internal/obs"
 	"clustergate/internal/trace"
+)
+
+// Simulation throughput observability: instructions executed and
+// retirement cycles advanced, summed over every Core in the process. One
+// atomic add per Execute batch (typically 10k instructions), so the cost
+// is invisible next to the timing model itself.
+var (
+	instrsSimulated = obs.NewCounter("uarch.instructions")
+	cyclesSimulated = obs.NewCounter("uarch.cycles")
 )
 
 const (
@@ -134,9 +144,12 @@ func (c *Core) SetMode(m Mode) {
 
 // Execute runs a batch of instructions through the timing model.
 func (c *Core) Execute(batch []trace.Instruction) {
+	before := c.retireMax
 	for i := range batch {
 		c.step(&batch[i])
 	}
+	instrsSimulated.Add(int64(len(batch)))
+	cyclesSimulated.Add(int64(c.retireMax - before))
 }
 
 func (c *Core) step(in *trace.Instruction) {

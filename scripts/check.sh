@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Pre-PR gate: static checks plus race-detector runs of the packages the
-# parallel engine touches. Run from the repository root before sending a
-# change; the full suite is `go test ./...`.
+# Pre-PR gate: static checks, race-detector runs of the packages the
+# parallel engine and observability layer touch, and a timed quick-scale
+# paperbench run whose manifest seeds the performance trajectory. Run
+# from the repository root before sending a change; the full suite is
+# `go test ./...`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,7 +18,15 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go test -race (worker pool packages)"
-go test -race ./internal/parallel/... ./internal/dataset/...
+echo "== go test -race (worker pool + observability packages)"
+go test -race ./internal/parallel/... ./internal/dataset/... ./internal/obs/...
+
+echo "== paperbench quick benchmark (BENCH_paperbench.json)"
+go run ./cmd/paperbench -scale quick -exp all -seed 1 -q \
+    -manifest BENCH_paperbench.json -results BENCH_paperbench_results.json \
+    > /dev/null
+
+echo "== validate emitted JSON"
+go run scripts/validate-json.go BENCH_paperbench.json BENCH_paperbench_results.json
 
 echo "check.sh: all clean"

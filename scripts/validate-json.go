@@ -1,0 +1,44 @@
+//go:build ignore
+
+// validate-json checks that each argument parses as a JSON document.
+// Used by check.sh to gate the run manifests and results files emitted
+// by the observability layer; run it as
+//
+//	go run scripts/validate-json.go FILE...
+//
+// It exits nonzero on the first unreadable or malformed file and prints
+// the top-level key count of each valid object as a sanity signal.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: validate-json FILE...")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "validate-json:", err)
+			os.Exit(1)
+		}
+		var doc any
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "validate-json: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		switch v := doc.(type) {
+		case map[string]any:
+			fmt.Printf("%s: valid JSON object, %d top-level keys\n", path, len(v))
+		case []any:
+			fmt.Printf("%s: valid JSON array, %d elements\n", path, len(v))
+		default:
+			fmt.Printf("%s: valid JSON\n", path)
+		}
+	}
+}
