@@ -6,494 +6,51 @@
 //	paperbench [-scale quick|default|full] [-cache DIR] [-seed N] [-workers N] -exp all
 //	paperbench -exp table3,fig7,fig8
 //	paperbench -scale quick -exp all -manifest m.json -results r.json
+//	paperbench -checkpoint ckpt/ -exp all
 //	paperbench -cpuprofile cpu.pprof -memprofile mem.pprof -exp fig8
 //
 // Experiments: corpus, table3, table4, fig4, fig5, fig6, fig7, fig8, fig9,
-// fig10, table5, table6, granularity, guardrail, uarch, dvfs, ablations,
-// all.
+// fig10, table5, table6, granularity, guardrail, faults, uarch, dvfs,
+// ablations, all.
 //
 // Observability (see README "Observability"): -manifest writes a JSON run
 // manifest (per-experiment spans, counters, run metadata), -results writes
 // machine-readable per-experiment metrics, and -cpuprofile/-memprofile
 // write standard pprof profiles. None of these perturb experiment output:
 // stdout is byte-identical with and without them at any worker count.
+//
+// Robustness (see README "Robustness"): -checkpoint DIR persists each
+// completed experiment's output and metrics atomically under DIR. A run
+// killed mid-sweep and rerun with the same flags replays the completed
+// experiments verbatim and computes only the rest, producing stdout
+// byte-identical to an uninterrupted run.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"path/filepath"
-	"strings"
-	"time"
-
-	"clustergate/internal/dataset"
-	"clustergate/internal/experiments"
-	"clustergate/internal/obs"
-	"clustergate/internal/report"
 )
 
 func main() {
-	scaleFlag := flag.String("scale", "default", "experiment scale: quick, default, or full")
-	cacheDir := flag.String("cache", ".cache", "telemetry cache directory ('' disables)")
-	seed := flag.Int64("seed", 1, "master seed")
-	expFlag := flag.String("exp", "all", "comma-separated experiment list")
-	svgDir := flag.String("svg", "", "also render figures as SVG into this directory")
-	quiet := flag.Bool("q", false, "silence progress and summary lines on stderr")
-	workers := flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = serial); output is identical at any setting")
-	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this file")
-	resultsPath := flag.String("results", "", "write per-experiment results JSON to this file")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	var opts benchOpts
+	flag.StringVar(&opts.scaleName, "scale", "default", "experiment scale: quick, default, or full")
+	flag.StringVar(&opts.cacheDir, "cache", ".cache", "telemetry cache directory ('' disables)")
+	flag.Int64Var(&opts.seed, "seed", 1, "master seed")
+	flag.StringVar(&opts.exps, "exp", "all", "comma-separated experiment list")
+	flag.StringVar(&opts.svgDir, "svg", "", "also render figures as SVG into this directory")
+	flag.BoolVar(&opts.quiet, "q", false, "silence progress and summary lines on stderr")
+	flag.IntVar(&opts.workers, "workers", 0, "worker pool size (0 = all cores, 1 = serial); output is identical at any setting")
+	flag.StringVar(&opts.manifestPath, "manifest", "", "write a JSON run manifest to this file")
+	flag.StringVar(&opts.resultsPath, "results", "", "write per-experiment results JSON to this file")
+	flag.StringVar(&opts.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.StringVar(&opts.memProfile, "memprofile", "", "write a pprof heap profile to this file")
+	flag.StringVar(&opts.checkpointDir, "checkpoint", "", "persist completed experiments under this directory and resume from it")
 	flag.Parse()
+	opts.args = os.Args[1:]
 
-	var scale experiments.Scale
-	switch *scaleFlag {
-	case "quick":
-		scale = experiments.QuickScale()
-	case "default":
-		scale = experiments.DefaultScale()
-	case "full":
-		scale = experiments.FullScale()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+	if err := run(opts, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
 	}
-	scale.Workers = *workers
-
-	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
-	if err != nil {
-		fatal(err)
-	}
-	run := obs.NewRun(obs.Info{
-		Tool: "paperbench", Args: os.Args[1:],
-		Seed: *seed, Scale: *scaleFlag, Workers: *workers,
-	})
-	obs.SetCurrent(run)
-	results := obs.NewResults("paperbench")
-
-	want := map[string]bool{}
-	for _, e := range strings.Split(*expFlag, ",") {
-		want[strings.TrimSpace(e)] = true
-	}
-	all := want["all"]
-	sel := func(name string) bool { return all || want[name] }
-
-	start := time.Now()
-	var logw *os.File
-	if !*quiet {
-		logw = os.Stderr
-	}
-	env, err := experiments.NewEnvLogged(scale, *cacheDir, *seed, logw)
-	if err != nil {
-		fatal(err)
-	}
-	w := os.Stdout
-
-	// runExp wraps one experiment with a span and a timed results entry.
-	// It must never write to w itself: experiment text output has to stay
-	// byte-identical whether or not observability files are requested.
-	runExp := func(name string, f func() (map[string]float64, error)) {
-		sp := obs.Start("exp/" + name)
-		t0 := time.Now()
-		metrics, err := f()
-		sp.End()
-		if err != nil {
-			fatal(err)
-		}
-		results.Add(name, time.Since(t0).Seconds(), metrics)
-	}
-
-	if sel("corpus") {
-		runExp("corpus", func() (map[string]float64, error) {
-			experiments.PrintCorpus(w, env)
-			fmt.Fprintln(w)
-			return nil, nil
-		})
-	}
-	if sel("table3") {
-		runExp("table3", func() (map[string]float64, error) {
-			budget := experiments.Table3Budget(env.Spec)
-			models, err := experiments.Table3Models(env)
-			if err != nil {
-				return nil, err
-			}
-			experiments.PrintTable3(w, budget, models)
-			fmt.Fprintln(w)
-			m := map[string]float64{}
-			for i, r := range models {
-				m[fmt.Sprintf("pgos.%02d", i)] = r.PGOS.Mean
-				m[fmt.Sprintf("ops.%02d", i)] = float64(r.Cost.Ops)
-			}
-			return m, nil
-		})
-	}
-	if sel("table4") {
-		runExp("table4", func() (map[string]float64, error) {
-			experiments.PrintTable4(w, env)
-			fmt.Fprintln(w)
-			return nil, nil
-		})
-	}
-	if sel("fig4") {
-		runExp("fig4", func() (map[string]float64, error) {
-			pts, err := experiments.Fig4Diversity(env)
-			if err != nil {
-				return nil, err
-			}
-			experiments.PrintFig4(w, pts)
-			fmt.Fprintln(w)
-			m := map[string]float64{}
-			for _, p := range pts {
-				m[fmt.Sprintf("pgos.apps%d", p.TuningApps)] = p.PGOS.Mean
-				m[fmt.Sprintf("rsv.apps%d", p.TuningApps)] = p.RSV.Mean
-			}
-			return m, nil
-		})
-	}
-	if sel("fig5") {
-		runExp("fig5", func() (map[string]float64, error) {
-			pts, err := experiments.Fig5Counters(env)
-			if err != nil {
-				return nil, err
-			}
-			expert, err := experiments.Fig5Expert(env)
-			if err != nil {
-				return nil, err
-			}
-			experiments.PrintFig5(w, pts, expert)
-			fmt.Fprintln(w)
-			m := map[string]float64{
-				"pgos.expert": expert.PGOS.Mean,
-				"rsv.expert":  expert.RSV.Mean,
-			}
-			for _, p := range pts {
-				m[fmt.Sprintf("pgos.r%d", p.Counters)] = p.PGOS.Mean
-				m[fmt.Sprintf("rsv.r%d", p.Counters)] = p.RSV.Mean
-			}
-			return m, nil
-		})
-	}
-	if sel("fig6") {
-		runExp("fig6", func() (map[string]float64, error) {
-			pts, err := experiments.Fig6Screen(env)
-			if err != nil {
-				return nil, err
-			}
-			experiments.PrintFig6(w, "Figure 6: MLP hyperparameter screen (* fits 50k budget)", pts)
-			best := experiments.BestByScreen(pts)
-			fmt.Fprintf(w, "  selected topology: %v\n", best.Hidden)
-			rfs, err := experiments.Fig6RFScreen(env)
-			if err != nil {
-				return nil, err
-			}
-			experiments.PrintFig6(w, "Figure 6 (RF analogue): forest screen (* fits 40k budget)", rfs)
-			fmt.Fprintln(w)
-			return map[string]float64{
-				"pgos.best": best.PGOS.Mean,
-				"rsv.best":  best.RSV.Mean,
-				"ops.best":  float64(best.Ops),
-			}, nil
-		})
-	}
-	if sel("fig7") {
-		runExp("fig7", func() (map[string]float64, error) {
-			rows, mean := experiments.Fig7Oracle(env)
-			experiments.PrintFig7(w, rows, mean)
-			fmt.Fprintln(w)
-			if *svgDir != "" {
-				if err := writeFig7SVG(*svgDir, rows); err != nil {
-					return nil, err
-				}
-			}
-			return map[string]float64{"mean_residency": mean}, nil
-		})
-	}
-
-	var fig8Rows []experiments.Fig8Row
-	if sel("fig8") || sel("fig9") || sel("table6") {
-		runExp("fig8-deploy", func() (map[string]float64, error) {
-			gs, err := experiments.BuildFig8Controllers(env)
-			if err != nil {
-				return nil, err
-			}
-			fig8Rows, err = experiments.Fig8Evaluate(env, gs)
-			if err != nil {
-				return nil, err
-			}
-			m := map[string]float64{}
-			for _, r := range fig8Rows {
-				m["ppw."+r.Model] = r.Summary.MeanBenchmarkPPWGain()
-				m["rsv."+r.Model] = r.Summary.Overall.RSV
-				m["pgos."+r.Model] = r.Summary.Overall.Confusion.PGOS()
-				m["residency."+r.Model] = r.Summary.Overall.Residency
-			}
-			return m, nil
-		})
-	}
-	if sel("fig8") {
-		runExp("fig8", func() (map[string]float64, error) {
-			experiments.PrintFig8(w, fig8Rows)
-			fmt.Fprintln(w)
-			if *svgDir != "" {
-				if err := writeFig8SVG(*svgDir, fig8Rows); err != nil {
-					return nil, err
-				}
-			}
-			return nil, nil
-		})
-	}
-	if sel("fig9") {
-		runExp("fig9", func() (map[string]float64, error) {
-			var charstar, bestRF *experiments.Fig8Row
-			for i := range fig8Rows {
-				switch fig8Rows[i].Model {
-				case "charstar":
-					charstar = &fig8Rows[i]
-				case "best-rf":
-					bestRF = &fig8Rows[i]
-				}
-			}
-			if charstar != nil && bestRF != nil {
-				experiments.PrintFig9(w, experiments.Fig9PerBenchmark(charstar.Summary, bestRF.Summary))
-				fmt.Fprintln(w)
-			}
-			return nil, nil
-		})
-	}
-	if sel("fig10") {
-		runExp("fig10", func() (map[string]float64, error) {
-			steps, err := experiments.Fig10Ablation(env)
-			if err != nil {
-				return nil, err
-			}
-			experiments.PrintFig10(w, steps)
-			fmt.Fprintln(w)
-			m := map[string]float64{}
-			for i, s := range steps {
-				m[fmt.Sprintf("rsv.step%d", i)] = s.RSV
-				m[fmt.Sprintf("ppw.step%d", i)] = s.PPW
-			}
-			return m, nil
-		})
-	}
-	if sel("table5") {
-		runExp("table5", func() (map[string]float64, error) {
-			rows, err := experiments.Table5SLARetune(env)
-			if err != nil {
-				return nil, err
-			}
-			experiments.PrintTable5(w, rows)
-			fmt.Fprintln(w)
-			m := map[string]float64{}
-			for _, r := range rows {
-				key := fmt.Sprintf("psla%02.0f", 100*r.PSLA)
-				m["ppw."+key] = r.PPWGain
-				m["rsv."+key] = r.RSV
-				m["relperf."+key] = r.RelPerf
-			}
-			return m, nil
-		})
-	}
-	if sel("table6") {
-		runExp("table6", func() (map[string]float64, error) {
-			var bestRF *experiments.Fig8Row
-			for i := range fig8Rows {
-				if fig8Rows[i].Model == "best-rf" {
-					bestRF = &fig8Rows[i]
-				}
-			}
-			if bestRF == nil {
-				return nil, fmt.Errorf("table6 requires fig8's best-rf run")
-			}
-			general, err := experiments.BuildGeneralBestRF(env)
-			if err != nil {
-				return nil, err
-			}
-			rows, err := experiments.Table6AppSpecific(env, general, bestRF.Summary)
-			if err != nil {
-				return nil, err
-			}
-			experiments.PrintTable6(w, rows)
-			fmt.Fprintln(w)
-			m := map[string]float64{}
-			for _, r := range rows {
-				m["delta."+r.Benchmark] = r.Delta()
-			}
-			return m, nil
-		})
-	}
-	if sel("granularity") {
-		runExp("granularity", func() (map[string]float64, error) {
-			pts, err := experiments.GranularitySweep(env)
-			if err != nil {
-				return nil, err
-			}
-			experiments.PrintGranularity(w, pts)
-			fmt.Fprintln(w)
-			m := map[string]float64{}
-			for _, p := range pts {
-				key := fmt.Sprintf("g%dk", p.Granularity/1000)
-				m["ppw."+key] = p.PPW
-				m["rsv."+key] = p.RSV
-			}
-			return m, nil
-		})
-	}
-	if sel("guardrail") {
-		runExp("guardrail", func() (map[string]float64, error) {
-			g, err := experiments.BuildGeneralBestRF(env)
-			if err != nil {
-				return nil, err
-			}
-			r, err := experiments.GuardrailStudy(env, g)
-			if err != nil {
-				return nil, err
-			}
-			experiments.PrintGuardrail(w, r)
-			fmt.Fprintln(w)
-			return map[string]float64{
-				"ppw.bare":      r.BarePPW,
-				"ppw.guarded":   r.GuardedPPW,
-				"rsv.bare":      r.BareRSV,
-				"worst.bare":    r.BareWorst,
-				"worst.guarded": r.GuardedWorst,
-				"trips":         float64(r.Trips),
-			}, nil
-		})
-	}
-	if sel("uarch") {
-		runExp("uarch", func() (map[string]float64, error) {
-			rows, err := experiments.UarchAblations(env, 2)
-			if err != nil {
-				return nil, err
-			}
-			experiments.PrintUarchAblations(w, rows)
-			fmt.Fprintln(w)
-			return nil, nil
-		})
-	}
-	if sel("dvfs") {
-		runExp("dvfs", func() (map[string]float64, error) {
-			rows, err := experiments.DVFSSweep(5)
-			if err != nil {
-				return nil, err
-			}
-			experiments.PrintDVFS(w, rows)
-			fmt.Fprintln(w)
-			return nil, nil
-		})
-	}
-	if sel("ablations") {
-		runExp("ablations", func() (map[string]float64, error) {
-			rows, err := experiments.Ablations(env)
-			if err != nil {
-				return nil, err
-			}
-			experiments.PrintAblations(w, rows)
-
-			pred, react, err := experiments.ReactiveAblation(env)
-			if err != nil {
-				return nil, err
-			}
-			fmt.Fprintf(w, "  predict t+2: PGOS %.1f%% RSV %.2f%% | reactive t: PGOS %.1f%% RSV %.2f%%\n",
-				100*pred.PGOS.Mean, 100*pred.RSV.Mean, 100*react.PGOS.Mean, 100*react.RSV.Mean)
-
-			norm, raw, err := experiments.NormalizationAblation(env)
-			if err != nil {
-				return nil, err
-			}
-			fmt.Fprintf(w, "  normalized: PGOS %.1f%% RSV %.2f%% | raw counts: PGOS %.1f%% RSV %.2f%%\n",
-				100*norm.PGOS.Mean, 100*norm.RSV.Mean, 100*raw.PGOS.Mean, 100*raw.RSV.Mean)
-			fmt.Fprintln(w)
-			m := map[string]float64{
-				"pgos.predict":    pred.PGOS.Mean,
-				"rsv.predict":     pred.RSV.Mean,
-				"pgos.reactive":   react.PGOS.Mean,
-				"rsv.reactive":    react.RSV.Mean,
-				"pgos.normalized": norm.PGOS.Mean,
-				"pgos.raw":        raw.PGOS.Mean,
-			}
-			for _, r := range rows {
-				m["ppw."+r.Label] = r.PPWGain
-				m["rsv."+r.Label] = r.RSV
-			}
-			return m, nil
-		})
-	}
-
-	if !*quiet {
-		cs := dataset.ReadCacheStats()
-		fmt.Fprintf(os.Stderr, "# cache: %d hits, %d misses, %d collapses (%.1f MB read, %.1f MB written)\n",
-			cs.Hits, cs.Misses, cs.Collapses,
-			float64(cs.BytesRead)/1e6, float64(cs.BytesWritten)/1e6)
-		fmt.Fprintf(os.Stderr, "# total %.1fs\n", time.Since(start).Seconds())
-	}
-
-	manifest := run.Finish()
-	if *manifestPath != "" {
-		if err := manifest.WriteFile(*manifestPath); err != nil {
-			fatal(err)
-		}
-	}
-	if *resultsPath != "" {
-		if err := results.WriteFile(*resultsPath); err != nil {
-			fatal(err)
-		}
-	}
-	if err := stopProfiles(); err != nil {
-		fatal(err)
-	}
-}
-
-// writeFig7SVG renders the residency profile as a bar chart.
-func writeFig7SVG(dir string, rows []experiments.Fig7Row) error {
-	labels := make([]string, len(rows))
-	values := make([]float64, len(rows))
-	for i, r := range rows {
-		labels[i] = r.Benchmark
-		values[i] = r.Residency
-	}
-	c := &report.BarChart{
-		Title:  "Figure 7: ideal low-power residency (P_SLA = 0.90)",
-		Labels: labels, Values: values, Percent: true,
-	}
-	return writeSVG(dir, "fig7-residency.svg", c.WriteSVG)
-}
-
-// writeFig8SVG renders the model comparison as a PPW-vs-RSV scatter.
-func writeFig8SVG(dir string, rows []experiments.Fig8Row) error {
-	c := &report.ScatterChart{
-		Title:  "Figure 8: PPW gain vs SLA violations",
-		XLabel: "RSV (%)", YLabel: "PPW gain (%)",
-	}
-	for _, r := range rows {
-		c.Points = append(c.Points, report.ScatterPoint{
-			Label: r.Model,
-			X:     100 * r.Summary.Overall.RSV,
-			Y:     100 * r.Summary.MeanBenchmarkPPWGain(),
-		})
-	}
-	return writeSVG(dir, "fig8-models.svg", c.WriteSVG)
-}
-
-func writeSVG(dir, name string, render func(io.Writer) error) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	f, err := os.Create(filepath.Join(dir, name))
-	if err != nil {
-		return err
-	}
-	if err := render(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "paperbench:", err)
-	os.Exit(1)
 }

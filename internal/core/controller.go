@@ -16,7 +16,6 @@ import (
 	"clustergate/internal/dataset"
 	"clustergate/internal/mcu"
 	"clustergate/internal/metrics"
-	"clustergate/internal/obs"
 	"clustergate/internal/power"
 	"clustergate/internal/telemetry"
 	"clustergate/internal/trace"
@@ -145,6 +144,14 @@ type DeploymentResult struct {
 	// Pred[t] is the configuration the controller chose for prediction
 	// window t; Truth[t] is the SLA-optimal configuration.
 	Pred, Truth []int
+	// Eff[t] is the configuration actually applied during prediction
+	// window t after any guardrail override; without a guardrail it
+	// equals Pred. SLA violations of the *system* are measured on Eff,
+	// violations of the *model* on Pred.
+	Eff []int
+	// InjectedFaults counts fault events injected into this deployment
+	// (zero without an injector).
+	InjectedFaults int64
 	// Adaptive accumulates the adaptive run; Reference the always-high
 	// fixed-mode run of the same instructions.
 	Adaptive, Reference power.Span
@@ -179,109 +186,24 @@ func (r *DeploymentResult) Eval(win metrics.SLAWindow) metrics.Eval {
 	return metrics.Evaluate(r.Pred, r.Truth, win)
 }
 
-// Deployment observability: closed-loop trace deployments completed and
-// individual gating predictions issued, for run manifests.
-var (
-	deploysDone = obs.NewCounter("core.deployments")
-	predsIssued = obs.NewCounter("core.predictions")
-)
+// EffectiveEval computes the same metrics on the configurations actually
+// applied (after guardrail overrides): the system's SLA exposure rather
+// than the model's.
+func (r *DeploymentResult) EffectiveEval(win metrics.SLAWindow) metrics.Eval {
+	return metrics.Evaluate(r.Eff, r.Truth, win)
+}
 
 // Deploy runs the controller closed-loop over one trace. ref must be the
 // fixed-mode telemetry of the same trace (it provides ground-truth labels
-// and the always-high reference for power accounting).
+// and the always-high reference for power accounting). It is the bare
+// path of DeployWithOptions: no guardrail, no fault injection.
 func Deploy(g *GatingController, tr *trace.Trace, ref *dataset.TraceTelemetry,
 	cfg dataset.Config, pm *power.Model) (*DeploymentResult, error) {
-	if tr.Name != ref.TraceName {
-		return nil, fmt.Errorf("core: trace %q does not match telemetry %q", tr.Name, ref.TraceName)
+	r, err := DeployWithOptions(g, tr, ref, cfg, pm, DeployOptions{})
+	if err != nil {
+		return nil, err
 	}
-	k := g.Granularity / g.Interval
-	if k <= 0 {
-		return nil, fmt.Errorf("core: invalid granularity/interval %d/%d", g.Granularity, g.Interval)
-	}
-
-	core := uarch.NewCoreInMode(cfg.Core, uarch.ModeHighPerf)
-	s := trace.NewStream(tr)
-	buf := make([]trace.Instruction, g.Interval)
-
-	// Warmup without recording, as during dataset generation.
-	for done := 0; done < cfg.Warmup; {
-		n := cfg.Warmup - done
-		if n > len(buf) {
-			n = len(buf)
-		}
-		kk := s.Read(buf[:n])
-		if kk == 0 {
-			break
-		}
-		core.Execute(buf[:kk])
-		done += kk
-	}
-
-	res := &DeploymentResult{}
-	rng := newDeployRNG(tr.Seed)
-	nWindows := ref.Intervals() / k
-
-	var window [][]float64
-	prev := core.Events()
-	lowIntervals, totalIntervals := 0, 0
-	// pending[w] is the mode decided for window w (two windows ahead).
-	pending := make(map[int]uarch.Mode)
-
-	for w := 0; w < nWindows; w++ {
-		// Apply the decision made two windows ago (Figure 3 pipeline).
-		if m, ok := pending[w]; ok {
-			if m != core.Mode() {
-				res.Switches++
-			}
-			core.SetMode(m)
-			delete(pending, w)
-		}
-
-		window = window[:0]
-		for i := 0; i < k; i++ {
-			kk := s.Read(buf)
-			if kk == 0 {
-				break
-			}
-			core.Execute(buf[:kk])
-			cur := core.Events()
-			delta := cur.Sub(prev)
-			prev = cur
-			window = append(window, telemetry.ExtractBase(delta))
-			res.Adaptive.Add(pm, telemetry.BaseToEvents(window[len(window)-1]), core.Mode())
-			if core.Mode() == uarch.ModeLowPower {
-				lowIntervals++
-			}
-			totalIntervals++
-		}
-		if len(window) < k {
-			break
-		}
-
-		// Predict for window w+2 from window w's telemetry.
-		if w+2 < nWindows {
-			agg, per := g.windowVectors(window, rng)
-			pred := g.decide(core.Mode(), agg, per)
-			res.Pred = append(res.Pred, pred)
-			res.Truth = append(res.Truth, windowTruth(ref, w+2, k, g.SLA))
-			if pred == 1 {
-				pending[w+2] = uarch.ModeLowPower
-			} else {
-				pending[w+2] = uarch.ModeHighPerf
-			}
-		}
-	}
-
-	// Reference span: the recorded always-high run.
-	for i := 0; i < totalIntervals && i < len(ref.HighPerf); i++ {
-		res.Reference.Add(pm, telemetry.BaseToEvents(ref.HighPerf[i].Base), uarch.ModeHighPerf)
-	}
-	if totalIntervals > 0 {
-		res.LowResidency = float64(lowIntervals) / float64(totalIntervals)
-	}
-	deploysDone.Inc()
-	predsIssued.Add(int64(len(res.Pred)))
-	return res, nil
+	return &r.DeploymentResult, nil
 }
 
 // newDeployRNG seeds the deployment-time telemetry-noise stream.

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+
+	"clustergate/internal/dataset"
+	"clustergate/internal/fault"
+	"clustergate/internal/obs"
+	"clustergate/internal/power"
+	"clustergate/internal/telemetry"
+	"clustergate/internal/trace"
+	"clustergate/internal/uarch"
+)
+
+// DeployOptions harden a closed-loop deployment. The zero value reproduces
+// the bare Deploy path exactly.
+type DeployOptions struct {
+	// Guardrail enables the SLA guardrail watchdog: implausible telemetry
+	// and sustained gated-degradation streaks force the safe dual-cluster
+	// (high-performance) mode until the backoff expires. Nil disables it.
+	Guardrail *Guardrail
+	// Injector schedules deterministic faults into the deployment: the
+	// per-trace view is derived from the trace's own seed, so schedules
+	// are identical at any worker count. Nil injects nothing.
+	Injector *fault.Injector
+}
+
+// Deployment observability: closed-loop trace deployments completed and
+// individual gating predictions issued, for run manifests.
+var (
+	deploysDone = obs.NewCounter("core.deployments")
+	predsIssued = obs.NewCounter("core.predictions")
+)
+
+// DeployWithOptions is the hardened deployment engine behind Deploy and
+// DeployGuarded: it runs the controller closed-loop over one trace with
+// optional fault injection and the optional guardrail watchdog layered
+// over the model's decisions.
+//
+// Fault semantics mirror real silicon: telemetry faults corrupt only what
+// the controller *observes* (execution and power accounting always use
+// the true event stream); a dropped snapshot leaves the controller
+// holding its previous decision; prediction faults hijack the model's
+// output after it is computed. Pred records the model/fault pipeline's
+// decisions (so PGOS/RSV measure the predictor), while Eff records the
+// configuration actually applied after guardrail overrides (so effective
+// SLA violations measure the system).
+func DeployWithOptions(g *GatingController, tr *trace.Trace, ref *dataset.TraceTelemetry,
+	cfg dataset.Config, pm *power.Model, opts DeployOptions) (*GuardedDeploymentResult, error) {
+	if tr.Name != ref.TraceName {
+		return nil, fmt.Errorf("core: trace %q does not match telemetry %q", tr.Name, ref.TraceName)
+	}
+	k := g.Granularity / g.Interval
+	if k <= 0 {
+		return nil, fmt.Errorf("core: invalid granularity/interval %d/%d", g.Granularity, g.Interval)
+	}
+
+	var state *guardrailState
+	if opts.Guardrail != nil {
+		gr := *opts.Guardrail
+		gr.defaults()
+		state = &guardrailState{cfg: gr}
+	}
+	ti := opts.Injector.ForTrace(tr.Seed)
+
+	core := uarch.NewCoreInMode(cfg.Core, uarch.ModeHighPerf)
+	s := trace.NewStream(tr)
+	buf := make([]trace.Instruction, g.Interval)
+
+	// Warmup without recording, as during dataset generation.
+	for done := 0; done < cfg.Warmup; {
+		n := cfg.Warmup - done
+		if n > len(buf) {
+			n = len(buf)
+		}
+		kk := s.Read(buf[:n])
+		if kk == 0 {
+			break
+		}
+		core.Execute(buf[:kk])
+		done += kk
+	}
+
+	res := &GuardedDeploymentResult{}
+	rng := newDeployRNG(tr.Seed)
+	nWindows := ref.Intervals() / k
+
+	// applied[w] is the configuration actually in effect during window w
+	// (1 = gated), or -1 for windows the trace never reached.
+	applied := make([]int8, nWindows)
+	for i := range applied {
+		applied[i] = -1
+	}
+
+	var window [][]float64
+	prev := core.Events()
+	var prevTrue, prevObserved []float64
+	lowIntervals, totalIntervals := 0, 0
+	// pending[w] is the mode decided for window w (two windows ahead).
+	pending := make(map[int]uarch.Mode)
+	prevPred := 0
+	gidx := 0 // global interval index, the fault schedule's clock
+
+	for w := 0; w < nWindows; w++ {
+		// Apply the decision made two windows ago (Figure 3 pipeline),
+		// overridden to the safe mode while the guardrail backoff holds.
+		if m, ok := pending[w]; ok {
+			if state != nil && state.backoff > 0 {
+				m = uarch.ModeHighPerf
+			}
+			if m != core.Mode() {
+				res.Switches++
+			}
+			core.SetMode(m)
+			delete(pending, w)
+		}
+		if core.Mode() == uarch.ModeLowPower {
+			applied[w] = 1
+		} else {
+			applied[w] = 0
+		}
+
+		window = window[:0]
+		windowDropped := false
+		for i := 0; i < k; i++ {
+			kk := s.Read(buf)
+			if kk == 0 {
+				break
+			}
+			core.Execute(buf[:kk])
+			cur := core.Events()
+			delta := cur.Sub(prev)
+			prev = cur
+			trueBase := telemetry.ExtractBase(delta)
+			observed := trueBase
+			if ti != nil {
+				o, _, dropped := ti.Telemetry(gidx, trueBase, prevTrue)
+				observed = o
+				if dropped {
+					windowDropped = true
+				}
+			}
+			window = append(window, observed)
+			// Power accounting always follows true execution: faults
+			// corrupt the telemetry fabric, not the pipeline.
+			res.Adaptive.Add(pm, telemetry.BaseToEvents(trueBase), core.Mode())
+			gated := core.Mode() == uarch.ModeLowPower
+			if gated {
+				lowIntervals++
+			}
+			if state != nil {
+				state.observeInterval(observed, prevObserved, gated)
+				state.tick()
+			}
+			prevTrue = trueBase
+			prevObserved = observed
+			totalIntervals++
+			gidx++
+		}
+		if len(window) < k {
+			break
+		}
+
+		// Predict for window w+2 from window w's observed telemetry.
+		if w+2 < nWindows {
+			agg, per := g.windowVectors(window, rng)
+			pred := g.decide(core.Mode(), agg, per)
+			if ti != nil {
+				if windowDropped {
+					// No fresh snapshot arrived: the controller cannot
+					// form a new prediction and holds its last decision.
+					pred = prevPred
+				}
+				pred, _ = ti.Prediction(w, pred, prevPred)
+			}
+			res.Pred = append(res.Pred, pred)
+			res.Truth = append(res.Truth, windowTruth(ref, w+2, k, g.SLA))
+			prevPred = pred
+			if pred == 1 {
+				pending[w+2] = uarch.ModeLowPower
+			} else {
+				pending[w+2] = uarch.ModeHighPerf
+			}
+		}
+	}
+
+	// Reference span: the recorded always-high run.
+	for i := 0; i < totalIntervals && i < len(ref.HighPerf); i++ {
+		res.Reference.Add(pm, telemetry.BaseToEvents(ref.HighPerf[i].Base), uarch.ModeHighPerf)
+	}
+	if totalIntervals > 0 {
+		res.LowResidency = float64(lowIntervals) / float64(totalIntervals)
+	}
+
+	// Eff: the configuration the system actually ran during each
+	// prediction's target window; decisions whose window the trace never
+	// reached fall back to the decision itself.
+	res.Eff = make([]int, len(res.Pred))
+	for idx := range res.Pred {
+		if w := idx + 2; w < nWindows && applied[w] >= 0 {
+			res.Eff[idx] = int(applied[w])
+		} else {
+			res.Eff[idx] = res.Pred[idx]
+		}
+	}
+
+	if state != nil {
+		res.GuardrailTrips = state.trips
+	}
+	res.InjectedFaults = ti.Injected()
+	deploysDone.Inc()
+	predsIssued.Add(int64(len(res.Pred)))
+	return res, nil
+}

@@ -1,25 +1,34 @@
 package core
 
 import (
-	"fmt"
-
 	"clustergate/internal/dataset"
+	"clustergate/internal/obs"
 	"clustergate/internal/power"
 	"clustergate/internal/telemetry"
 	"clustergate/internal/trace"
-	"clustergate/internal/uarch"
 )
 
 // Guardrail is the fail-safe mechanism Section 3.1 reserves for the final
 // CPU design: a reactive hardware monitor, independent of the ML models,
-// that forces the core back to high-performance mode when gated execution
-// shows signs of degradation, and holds it there for a backoff period.
+// that forces the core back to the safe dual-cluster (high-performance)
+// mode when gated execution shows signs of degradation, and holds it
+// there for a backoff period.
 //
-// Because the guardrail only observes gated execution, it cannot know true
-// high-performance IPC; it uses the model-side signal the paper hints at —
-// sustained issue-bandwidth saturation while gated (the cluster is issuing
-// at its full width and accumulating ready-µop backlog, so the second
-// cluster would very likely help).
+// The watchdog distrusts the adaptation model on two signals:
+//
+//   - Misprediction streaks. The guardrail only observes gated execution,
+//     so it cannot know true high-performance IPC; it uses the model-side
+//     proxy the paper hints at — sustained issue-bandwidth saturation
+//     while gated (the cluster is issuing at its full width and
+//     accumulating ready-µop backlog, so the second cluster would very
+//     likely help). TripIntervals consecutive saturated intervals trip it.
+//   - Implausible telemetry. When the counter stream itself is corrupt —
+//     dropped snapshots, frozen counters, glitched readings that break
+//     physical invariants (telemetry.ImplausibleBase) — the model's
+//     inputs cannot be trusted, so gating is suspended the same way.
+//
+// Every trip increments the core.guardrail.trips counter, so run
+// manifests record how often the fallback path was exercised.
 type Guardrail struct {
 	// SaturationThreshold is the fraction of gated-interval cycles that
 	// were busy above which the interval counts as saturated. Zero selects
@@ -29,8 +38,8 @@ type Guardrail struct {
 	// above which a saturated interval is treated as degraded. Zero
 	// selects 0.5 cycles/instruction.
 	ReadyWaitPerInstr float64
-	// TripIntervals is how many consecutive degraded intervals trip the
-	// guardrail. Zero selects 2.
+	// TripIntervals is how many consecutive degraded (or implausible)
+	// intervals trip the guardrail. Zero selects 2.
 	TripIntervals int
 	// BackoffIntervals is how long gating stays forbidden after a trip.
 	// Zero selects 8.
@@ -63,15 +72,29 @@ func (gr *Guardrail) defaults() {
 	}
 }
 
-// guardrailState tracks the monitor across intervals.
+// guardrailTrips counts every guardrail trip process-wide, for run
+// manifests (the ISSUE's guardrail/trips counter).
+var guardrailTrips = obs.NewCounter("core.guardrail.trips")
+
+// guardrailState tracks the watchdog across intervals.
 type guardrailState struct {
-	cfg      Guardrail
-	degraded int // consecutive degraded gated intervals
-	backoff  int // intervals remaining in forced high-perf
-	trips    int
+	cfg         Guardrail
+	degraded    int // consecutive degraded gated intervals
+	implausible int // consecutive implausible telemetry intervals
+	backoff     int // intervals remaining in forced high-perf
+	trips       int
 }
 
-// observe inspects one gated interval's events and updates the trip state.
+// trip forces the safe mode for the backoff period and records the event.
+func (s *guardrailState) trip() {
+	s.backoff = s.cfg.BackoffIntervals
+	s.degraded = 0
+	s.trips++
+	guardrailTrips.Inc()
+}
+
+// observe inspects one gated interval's events and updates the
+// misprediction-streak (saturation) trip state.
 func (s *guardrailState) observe(base []float64) {
 	ev := telemetry.BaseToEvents(base)
 	if ev.Cycles == 0 || ev.Instrs == 0 {
@@ -82,12 +105,30 @@ func (s *guardrailState) observe(base []float64) {
 	if busyFrac >= s.cfg.SaturationThreshold && readyWait >= s.cfg.ReadyWaitPerInstr {
 		s.degraded++
 		if s.degraded >= s.cfg.TripIntervals {
-			s.backoff = s.cfg.BackoffIntervals
-			s.degraded = 0
-			s.trips++
+			s.trip()
 		}
 	} else {
 		s.degraded = 0
+	}
+}
+
+// observeInterval is the per-interval watchdog: it first screens the
+// observed telemetry for plausibility (in any mode — a model fed garbage
+// must not be allowed to gate), then, while gated, applies the saturation
+// misprediction proxy to it.
+func (s *guardrailState) observeInterval(observed, prevObserved []float64, gated bool) {
+	if reason := telemetry.ImplausibleBase(observed, prevObserved); reason != "" {
+		s.implausible++
+		s.degraded = 0
+		if s.implausible >= s.cfg.TripIntervals {
+			s.trip()
+			s.implausible = 0
+		}
+		return
+	}
+	s.implausible = 0
+	if gated {
+		s.observe(observed)
 	}
 }
 
@@ -108,103 +149,12 @@ type GuardedDeploymentResult struct {
 }
 
 // DeployGuarded runs the controller closed-loop with the fail-safe
-// guardrail layered over the model's decisions: whenever the guardrail has
-// tripped, low-power decisions are overridden to high-performance until
-// the backoff expires. Predictions are still recorded as the model made
-// them, so PGOS/RSV measure the model while PPW measures the guarded
-// system.
+// guardrail layered over the model's decisions: whenever the guardrail
+// has tripped, low-power decisions are overridden to high-performance
+// until the backoff expires. Predictions are still recorded as the model
+// made them, so PGOS/RSV measure the model while PPW — and the Eff
+// sequence — measure the guarded system.
 func DeployGuarded(g *GatingController, gr Guardrail, tr *trace.Trace,
 	ref *dataset.TraceTelemetry, cfg dataset.Config, pm *power.Model) (*GuardedDeploymentResult, error) {
-	gr.defaults()
-	if tr.Name != ref.TraceName {
-		return nil, fmt.Errorf("core: trace %q does not match telemetry %q", tr.Name, ref.TraceName)
-	}
-	k := g.Granularity / g.Interval
-	if k <= 0 {
-		return nil, fmt.Errorf("core: invalid granularity/interval %d/%d", g.Granularity, g.Interval)
-	}
-
-	core := uarch.NewCoreInMode(cfg.Core, uarch.ModeHighPerf)
-	s := trace.NewStream(tr)
-	buf := make([]trace.Instruction, g.Interval)
-	for done := 0; done < cfg.Warmup; {
-		n := cfg.Warmup - done
-		if n > len(buf) {
-			n = len(buf)
-		}
-		kk := s.Read(buf[:n])
-		if kk == 0 {
-			break
-		}
-		core.Execute(buf[:kk])
-		done += kk
-	}
-
-	res := &GuardedDeploymentResult{}
-	rng := newDeployRNG(tr.Seed)
-	nWindows := ref.Intervals() / k
-	state := guardrailState{cfg: gr}
-
-	var window [][]float64
-	prev := core.Events()
-	lowIntervals, totalIntervals := 0, 0
-	pending := make(map[int]uarch.Mode)
-
-	for w := 0; w < nWindows; w++ {
-		if m, ok := pending[w]; ok {
-			if state.backoff > 0 {
-				m = uarch.ModeHighPerf
-			}
-			if m != core.Mode() {
-				res.Switches++
-			}
-			core.SetMode(m)
-			delete(pending, w)
-		}
-
-		window = window[:0]
-		for i := 0; i < k; i++ {
-			kk := s.Read(buf)
-			if kk == 0 {
-				break
-			}
-			core.Execute(buf[:kk])
-			cur := core.Events()
-			delta := cur.Sub(prev)
-			prev = cur
-			base := telemetry.ExtractBase(delta)
-			window = append(window, base)
-			res.Adaptive.Add(pm, telemetry.BaseToEvents(base), core.Mode())
-			if core.Mode() == uarch.ModeLowPower {
-				lowIntervals++
-				state.observe(base)
-			}
-			state.tick()
-			totalIntervals++
-		}
-		if len(window) < k {
-			break
-		}
-
-		if w+2 < nWindows {
-			agg, per := g.windowVectors(window, rng)
-			pred := g.decide(core.Mode(), agg, per)
-			res.Pred = append(res.Pred, pred)
-			res.Truth = append(res.Truth, windowTruth(ref, w+2, k, g.SLA))
-			if pred == 1 {
-				pending[w+2] = uarch.ModeLowPower
-			} else {
-				pending[w+2] = uarch.ModeHighPerf
-			}
-		}
-	}
-
-	for i := 0; i < totalIntervals && i < len(ref.HighPerf); i++ {
-		res.Reference.Add(pm, telemetry.BaseToEvents(ref.HighPerf[i].Base), uarch.ModeHighPerf)
-	}
-	if totalIntervals > 0 {
-		res.LowResidency = float64(lowIntervals) / float64(totalIntervals)
-	}
-	res.GuardrailTrips = state.trips
-	return res, nil
+	return DeployWithOptions(g, tr, ref, cfg, pm, DeployOptions{Guardrail: &gr})
 }

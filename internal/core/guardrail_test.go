@@ -60,6 +60,59 @@ func TestGuardrailResetsOnHealthyInterval(t *testing.T) {
 	}
 }
 
+// TestGuardrailTripsWithinSLAWindow proves the watchdog's reaction
+// latency: a sustained misprediction streak (saturated gated execution)
+// trips the guardrail within far fewer intervals than one SLA measurement
+// window, so the fallback engages before a single window's majority of
+// decisions can go wrong.
+func TestGuardrailTripsWithinSLAWindow(t *testing.T) {
+	gr := DefaultGuardrail()
+	s := guardrailState{cfg: gr}
+	slaIntervals := SLAWindowInstrs / 10_000 // intervals per SLA window
+	tripped := -1
+	var prev []float64
+	for i := 0; i < slaIntervals; i++ {
+		b := degradedBase()
+		b[0] += float64(i) // keep consecutive vectors distinct (not frozen)
+		s.observeInterval(b, prev, true)
+		prev = b
+		if s.backoff > 0 {
+			tripped = i + 1
+			break
+		}
+	}
+	if tripped < 0 {
+		t.Fatalf("sustained misprediction streak never tripped within one SLA window (%d intervals)", slaIntervals)
+	}
+	if tripped > slaIntervals/2 {
+		t.Errorf("tripped after %d intervals; want within half an SLA window (%d)", tripped, slaIntervals/2)
+	}
+}
+
+// TestGuardrailTripsOnImplausibleTelemetry proves the plausibility path:
+// frozen (identical consecutive) telemetry trips the watchdog even when
+// the core is not gated, and a clean interval resets the streak.
+func TestGuardrailTripsOnImplausibleTelemetry(t *testing.T) {
+	s := guardrailState{cfg: DefaultGuardrail()}
+	frozen := healthyBase()
+	s.observeInterval(frozen, nil, false) // first read: nothing to compare
+	s.observeInterval(frozen, frozen, false)
+	s.observeInterval(frozen, frozen, false)
+	if s.trips != 1 {
+		t.Fatalf("trips = %d after sustained frozen telemetry, want 1", s.trips)
+	}
+
+	s2 := guardrailState{cfg: DefaultGuardrail()}
+	s2.observeInterval(frozen, frozen, false)
+	healthy := healthyBase()
+	healthy[0]++
+	s2.observeInterval(healthy, frozen, false)
+	s2.observeInterval(frozen, healthy, false)
+	if s2.trips != 0 {
+		t.Fatalf("non-consecutive implausibility tripped the guardrail (%d trips)", s2.trips)
+	}
+}
+
 func TestDeployGuardedNeverWorseOnViolations(t *testing.T) {
 	e := env(t)
 	// An always-gate controller is the worst case the guardrail exists

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CheckpointEntry is one completed experiment's persisted outcome: the
+// exact bytes it wrote to stdout plus its machine-readable metrics. Seed
+// and Scale guard against replaying results into a differently-configured
+// run.
+type CheckpointEntry struct {
+	Name    string             `json:"name"`
+	Seed    int64              `json:"seed"`
+	Scale   string             `json:"scale"`
+	Output  string             `json:"output"`
+	Seconds float64            `json:"seconds"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Checkpoint is a crash-safe store of completed experiments, keyed by
+// experiment name, backing paperbench's -checkpoint flag. Each Save
+// rewrites the whole store atomically (temp file + rename), so a run
+// killed at any instant leaves either the previous consistent store or
+// the new one — never a torn file. A resumed run replays checkpointed
+// stdout verbatim and re-runs only what is missing, which is what makes
+// the resumed output byte-identical to an uninterrupted run.
+//
+// A nil *Checkpoint is a valid no-op store (checkpointing disabled), so
+// callers never branch on enablement.
+type Checkpoint struct {
+	path    string
+	seed    int64
+	scale   string
+	entries map[string]CheckpointEntry
+}
+
+// OpenCheckpoint opens (or starts) the store at dir for a run with the
+// given seed and scale. Entries recorded under a different seed or scale
+// are ignored — they describe a different run and must not be replayed
+// into this one.
+func OpenCheckpoint(dir string, seed int64, scale string) (*Checkpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: checkpoint dir: %w", err)
+	}
+	c := &Checkpoint{
+		path:    filepath.Join(dir, "checkpoint.json"),
+		seed:    seed,
+		scale:   scale,
+		entries: map[string]CheckpointEntry{},
+	}
+	b, err := os.ReadFile(c.path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reading checkpoint: %w", err)
+	}
+	var all []CheckpointEntry
+	if err := json.Unmarshal(b, &all); err != nil {
+		return nil, fmt.Errorf("experiments: corrupt checkpoint %s: %w", c.path, err)
+	}
+	for _, e := range all {
+		if e.Seed == seed && e.Scale == scale {
+			c.entries[e.Name] = e
+		}
+	}
+	return c, nil
+}
+
+// Load returns the checkpointed entry for an experiment, if present.
+func (c *Checkpoint) Load(name string) (CheckpointEntry, bool) {
+	if c == nil {
+		return CheckpointEntry{}, false
+	}
+	e, ok := c.entries[name]
+	return e, ok
+}
+
+// Has reports whether every named experiment is checkpointed.
+func (c *Checkpoint) Has(names ...string) bool {
+	if c == nil {
+		return false
+	}
+	for _, n := range names {
+		if _, ok := c.entries[n]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Save records a completed experiment and persists the store atomically.
+func (c *Checkpoint) Save(e CheckpointEntry) error {
+	if c == nil {
+		return nil
+	}
+	e.Seed, e.Scale = c.seed, c.scale
+	c.entries[e.Name] = e
+	all := make([]CheckpointEntry, 0, len(c.entries))
+	for _, entry := range c.entries {
+		all = append(all, entry)
+	}
+	// Stable order keeps the file diffable across saves.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].Name < all[j-1].Name; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	b, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("experiments: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("experiments: committing checkpoint: %w", err)
+	}
+	return nil
+}

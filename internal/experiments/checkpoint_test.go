@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCheckpoint(dir, 7, "quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Has("fig7") {
+		t.Fatal("empty store claims fig7")
+	}
+	e := CheckpointEntry{Name: "fig7", Output: "row one\nrow two\n",
+		Seconds: 1.5, Metrics: map[string]float64{"mean": 0.42}}
+	if err := c.Save(e); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with the same identity: the entry replays.
+	c2, err := OpenCheckpoint(dir, 7, "quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Load("fig7")
+	if !ok || got.Output != e.Output || got.Metrics["mean"] != 0.42 {
+		t.Fatalf("round trip lost the entry: %+v ok=%v", got, ok)
+	}
+	if !c2.Has("fig7") || c2.Has("fig7", "fig8") {
+		t.Fatal("Has misreports")
+	}
+
+	// A different seed or scale must ignore the entry.
+	for _, open := range []func() (*Checkpoint, error){
+		func() (*Checkpoint, error) { return OpenCheckpoint(dir, 8, "quick") },
+		func() (*Checkpoint, error) { return OpenCheckpoint(dir, 7, "full") },
+	} {
+		cx, err := open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cx.Has("fig7") {
+			t.Fatal("entry replayed across seed/scale mismatch")
+		}
+	}
+}
+
+// TestCheckpointAtomicity asserts Save never leaves a torn store: the
+// persisted file parses after every save, and a leftover temp file from a
+// simulated crash is invisible to readers.
+func TestCheckpointAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCheckpoint(dir, 1, "quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if err := c.Save(CheckpointEntry{Name: name, Output: name + "\n"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenCheckpoint(dir, 1, "quick"); err != nil {
+			t.Fatalf("store unreadable after saving %q: %v", name, err)
+		}
+	}
+	// Simulate a crash mid-write: a stray temp file must not perturb reads.
+	tmp := filepath.Join(dir, "checkpoint.json.tmp")
+	if err := os.WriteFile(tmp, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCheckpoint(dir, 1, "quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Has("a", "b", "c") {
+		t.Fatal("entries lost after simulated crash")
+	}
+}
+
+// TestCheckpointNil asserts the nil store is a usable no-op.
+func TestCheckpointNil(t *testing.T) {
+	var c *Checkpoint
+	if err := c.Save(CheckpointEntry{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load("x"); ok || c.Has("x") {
+		t.Fatal("nil store claims entries")
+	}
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"clustergate/internal/core"
+	"clustergate/internal/fault"
+	"clustergate/internal/mcu"
+	"clustergate/internal/obs"
+	"clustergate/internal/parallel"
+)
+
+// FaultClassResult compares one fault class's effective SLA exposure with
+// the guardrail off versus on, under the *identical* deterministic fault
+// schedule (the schedule is a pure function of plan seed and trace seed,
+// so both arms see the same injected stream).
+type FaultClassResult struct {
+	Class fault.Class
+	// RSVOff and RSVOn are the corpus rate of violated SLA windows
+	// measured on the configurations actually applied (DeploymentResult.
+	// Eff): guardrail off (bare model under faults) vs guardrail on.
+	RSVOff, RSVOn float64
+	// Windows is the SLA-window count behind each rate.
+	Windows int
+	// Trips is the total guardrail trips across the guarded corpus run.
+	Trips int
+	// Injected counts fault events injected into the guarded run's
+	// deployments plus task-level faults absorbed by retries.
+	Injected int64
+	// TaskFaults is how many worker-pool tasks failed transiently and were
+	// recovered by retry during the two corpus runs.
+	TaskFaults int64
+}
+
+// FaultStudyResult is the exp/faults report.
+type FaultStudyResult struct {
+	Model    string
+	Classes  []FaultClassResult
+	Watchdog mcu.Cost
+}
+
+// DefaultFaultPlans returns the per-class fault plans the faults
+// experiment sweeps. Each plan stresses exactly one fault class (plus a
+// background of transient task failures to exercise the retry path) with
+// rates tuned so that at quick scale every class produces measurable SLA
+// exposure on the bare controller. Telemetry rules schedule over
+// 10k-instruction interval indices, prediction rules over
+// prediction-window indices.
+func DefaultFaultPlans(seed int64) []fault.Plan {
+	taskNoise := fault.Rule{Class: fault.TaskFail, Rate: 0.25}
+	return []fault.Plan{
+		{Seed: seed, Rules: []fault.Rule{
+			{Class: fault.TelemetryDrop, Rate: 0.03, Burst: 30}, taskNoise}},
+		{Seed: seed, Rules: []fault.Rule{
+			{Class: fault.CounterFreeze, Rate: 0.03, Burst: 30}, taskNoise}},
+		{Seed: seed, Rules: []fault.Rule{
+			{Class: fault.CounterGlitch, Rate: 0.03, Burst: 30}, taskNoise}},
+		{Seed: seed, Rules: []fault.Rule{
+			{Class: fault.PredictionPin, Rate: 0.10, Burst: 6, Pin: 1}, taskNoise}},
+	}
+}
+
+// FaultStudy deploys the controller over the test corpus under each fault
+// plan twice — guardrail off and guardrail on — and reports the effective
+// SLA-violation rate of each arm. It demonstrates the robustness claim:
+// under every fault class the guardrail's forced fallback to the safe
+// dual-cluster mode strictly reduces the SLA exposure of the *system*
+// (measured on applied configurations), at the firmware cost of the
+// watchdog's monitor pass.
+func FaultStudy(e *Env, g *core.GatingController) (*FaultStudyResult, error) {
+	defer obs.Start("faults.study").End()
+	res := &FaultStudyResult{Model: g.Name, Watchdog: mcu.WatchdogCost(6)}
+	for _, plan := range DefaultFaultPlans(e.Seed) {
+		inj, err := fault.NewInjector(plan)
+		if err != nil {
+			return nil, err
+		}
+		cr := FaultClassResult{Class: primaryClass(plan)}
+
+		bare, err := deployCorpusFaulted(e, g, inj, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s bare: %w", cr.Class, err)
+		}
+		gr := core.DefaultGuardrail()
+		guarded, err := deployCorpusFaulted(e, g, inj, &gr)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s guarded: %w", cr.Class, err)
+		}
+
+		cr.RSVOff = bare.rsv()
+		cr.RSVOn = guarded.rsv()
+		cr.Windows = guarded.windows
+		cr.Trips = guarded.trips
+		cr.Injected = guarded.injected + guarded.taskFaults
+		cr.TaskFaults = bare.taskFaults + guarded.taskFaults
+		res.Classes = append(res.Classes, cr)
+	}
+	return res, nil
+}
+
+// primaryClass returns the first non-TaskFail class of a plan (its subject).
+func primaryClass(p fault.Plan) fault.Class {
+	for _, r := range p.Rules {
+		if r.Class != fault.TaskFail {
+			return r.Class
+		}
+	}
+	return fault.TaskFail
+}
+
+// corpusEffRSV accumulates effective-configuration SLA windows over a
+// corpus run.
+type corpusEffRSV struct {
+	windows, violations int
+	trips               int
+	injected            int64
+	taskFaults          int64
+}
+
+func (c *corpusEffRSV) rsv() float64 {
+	if c.windows == 0 {
+		return 0
+	}
+	return float64(c.violations) / float64(c.windows)
+}
+
+// deployCorpusFaulted deploys the controller on every SPEC trace under the
+// injector, with (gr non-nil) or without the guardrail, and folds the
+// effective SLA-window statistics. The fan-out runs with retries so the
+// plan's injected transient task failures are absorbed; because every
+// deployment is a pure function of its trace index, the retried runs — and
+// therefore the folded statistics — are identical at any worker count.
+func deployCorpusFaulted(e *Env, g *core.GatingController, inj *fault.Injector,
+	gr *core.Guardrail) (*corpusEffRSV, error) {
+	opts := core.DeployOptions{Guardrail: gr, Injector: inj}
+	var mu sync.Mutex
+	attempts := make(map[int]int)
+	var taskFaults atomic.Int64
+	runs, err := parallel.MapOpt(len(e.SPEC.Traces),
+		parallel.Options{Workers: e.Scale.Workers, Retries: 2},
+		func(i int) (*core.GuardedDeploymentResult, error) {
+			mu.Lock()
+			attempt := attempts[i]
+			attempts[i]++
+			mu.Unlock()
+			if err := inj.FailTask(i, attempt); err != nil {
+				taskFaults.Add(1)
+				return nil, err
+			}
+			return core.DeployWithOptions(g, e.SPEC.Traces[i], e.SPECTel[i], e.Cfg, e.PM, opts)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &corpusEffRSV{taskFaults: taskFaults.Load()}
+	w := g.Window().W
+	for _, r := range runs {
+		out.trips += r.GuardrailTrips
+		out.injected += r.InjectedFaults
+		// Window accounting mirrors core.BenchResult.fold, applied to the
+		// effective (actually-applied) configurations: full windows with a
+		// majority of false-positive gates are violations; partial tails are
+		// skipped unless the whole trace is shorter than one window.
+		for start := 0; start+w <= len(r.Eff); start += w {
+			fp := 0
+			for i := start; i < start+w; i++ {
+				if r.Eff[i] == 1 && r.Truth[i] == 0 {
+					fp++
+				}
+			}
+			out.windows++
+			if float64(fp)/float64(w) > 0.5 {
+				out.violations++
+			}
+		}
+		if len(r.Eff) > 0 && len(r.Eff) < w {
+			fp := 0
+			for i := range r.Eff {
+				if r.Eff[i] == 1 && r.Truth[i] == 0 {
+					fp++
+				}
+			}
+			out.windows++
+			if float64(fp)/float64(len(r.Eff)) > 0.5 {
+				out.violations++
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrintFaultStudy renders the study.
+func PrintFaultStudy(w io.Writer, r *FaultStudyResult) {
+	fmt.Fprintf(w, "Fault-injection study (%s): effective SLA violations, guardrail off vs on\n", r.Model)
+	fmt.Fprintf(w, "  %-16s %9s %9s %7s %9s %7s\n",
+		"fault class", "RSV off", "RSV on", "trips", "injected", "tasks")
+	for _, c := range r.Classes {
+		fmt.Fprintf(w, "  %-16s %8.2f%% %8.2f%% %7d %9d %7d\n",
+			c.Class, 100*c.RSVOff, 100*c.RSVOn, c.Trips, c.Injected, c.TaskFaults)
+	}
+	fmt.Fprintf(w, "  watchdog firmware: %s per interval\n", r.Watchdog)
+}

@@ -1,0 +1,348 @@
+// Package fault is the repo's deterministic fault-injection subsystem: it
+// synthesises the degraded conditions the paper's guardrail mechanism
+// exists to survive — telemetry dropouts, frozen or glitched counters,
+// stuck or stale controller predictions, and transient worker-pool task
+// failures — on a seed-derived schedule that is reproducible down to the
+// interval.
+//
+// Determinism is the package's contract, matching internal/parallel: every
+// injection decision is a pure function of (plan seed, trace seed, rule
+// index, interval index) computed with a stateless splitmix64 hash, never
+// of shared RNG state or scheduling order. Two runs with the same plan and
+// corpus inject byte-identical fault schedules at any worker count, which
+// is what lets the exp/faults experiment compare guardrail-on against
+// guardrail-off under *identical* fault streams.
+//
+// A Plan is JSON-configurable (see ParsePlan/LoadPlan) and compiles into
+// an Injector; per-trace views (ForTrace) are handed to the deployment
+// loop in internal/core, while task-level faults (FailTask) wrap worker
+// pool tasks in internal/parallel fan-outs. All query methods are nil-safe
+// no-ops so instrumented code never branches on enablement, mirroring
+// internal/obs.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"clustergate/internal/obs"
+)
+
+// Class identifies one injected failure mode.
+type Class string
+
+// The supported fault classes. Telemetry classes corrupt the counter
+// stream the controller observes (execution itself is unaffected, as on
+// real silicon where the core keeps running while its telemetry fabric
+// misbehaves); prediction classes hijack the adaptation model's output;
+// TaskFail injects transient errors into worker-pool tasks.
+const (
+	// TelemetryDrop models a lost telemetry snapshot: the interval reads
+	// all-zero and the controller cannot form a new prediction from it.
+	TelemetryDrop Class = "telemetry-drop"
+	// CounterFreeze models stuck counters: for the whole burst the
+	// controller re-reads the last unfaulted snapshot verbatim.
+	CounterFreeze Class = "counter-freeze"
+	// CounterGlitch models electrically glitched counters: a seed-chosen
+	// subset of signals is scaled by Factor, producing physically
+	// inconsistent readings (e.g. more busy cycles than cycles).
+	CounterGlitch Class = "counter-glitch"
+	// PredictionPin models a stuck adaptation model: predictions are
+	// pinned at Pin (1 = always gate, the paper's blindspot worst case).
+	PredictionPin Class = "prediction-pin"
+	// PredictionStale models a wedged inference pipeline: the controller
+	// repeats its previous decision instead of computing a new one.
+	PredictionStale Class = "prediction-stale"
+	// TaskFail injects a transient error into a worker-pool task's first
+	// attempt; retries (parallel.Options.Retries) recover it.
+	TaskFail Class = "task-fail"
+)
+
+// Classes lists every supported class in a stable order.
+func Classes() []Class {
+	return []Class{TelemetryDrop, CounterFreeze, CounterGlitch,
+		PredictionPin, PredictionStale, TaskFail}
+}
+
+// Rule schedules one fault class. A burst of Burst consecutive indices
+// starts at any index with probability Rate; overlapping bursts merge.
+// Telemetry classes are scheduled over interval indices, prediction
+// classes over prediction-window indices, and TaskFail over task indices.
+type Rule struct {
+	Class Class   `json:"class"`
+	Rate  float64 `json:"rate"`
+	// Burst is the fault duration in indices; zero selects 1.
+	Burst int `json:"burst,omitempty"`
+	// Factor is the CounterGlitch scale multiplier; zero selects 1000.
+	Factor float64 `json:"factor,omitempty"`
+	// Pin is the PredictionPin value (0 or 1).
+	Pin int `json:"pin,omitempty"`
+}
+
+// Plan is a complete, JSON-serialisable fault schedule: a seed and the
+// rules it drives. The seed is mixed with each trace's own seed so that
+// schedules decorrelate across traces while remaining reproducible.
+type Plan struct {
+	Seed  int64  `json:"seed"`
+	Rules []Rule `json:"rules"`
+}
+
+// Validate checks rule classes, rates, and burst lengths.
+func (p Plan) Validate() error {
+	known := map[Class]bool{}
+	for _, c := range Classes() {
+		known[c] = true
+	}
+	for i, r := range p.Rules {
+		if !known[r.Class] {
+			return fmt.Errorf("fault: rule %d has unknown class %q", i, r.Class)
+		}
+		if r.Rate < 0 || r.Rate > 1 {
+			return fmt.Errorf("fault: rule %d (%s) rate %v outside [0,1]", i, r.Class, r.Rate)
+		}
+		if r.Burst < 0 {
+			return fmt.Errorf("fault: rule %d (%s) negative burst %d", i, r.Class, r.Burst)
+		}
+		if r.Pin != 0 && r.Pin != 1 {
+			return fmt.Errorf("fault: rule %d (%s) pin %d not 0 or 1", i, r.Class, r.Pin)
+		}
+	}
+	return nil
+}
+
+// ParsePlan decodes and validates a JSON plan.
+func ParsePlan(b []byte) (Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(b, &p); err != nil {
+		return Plan{}, fmt.Errorf("fault: parsing plan: %w", err)
+	}
+	return p, p.Validate()
+}
+
+// LoadPlan reads and validates a JSON plan file.
+func LoadPlan(path string) (Plan, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Plan{}, fmt.Errorf("fault: reading plan: %w", err)
+	}
+	return ParsePlan(b)
+}
+
+// WriteFile writes the plan as indented JSON.
+func (p Plan) WriteFile(path string) error {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// injected counts every fault event injected process-wide, for run
+// manifests (the ISSUE's fault/injected counter).
+var injected = obs.NewCounter("fault.injected")
+
+// Injector is a compiled plan. It is immutable and safe for concurrent
+// use; per-trace state lives in the TraceInjector views it hands out. A
+// nil Injector injects nothing.
+type Injector struct {
+	plan Plan
+}
+
+// NewInjector validates and compiles a plan.
+func NewInjector(p Plan) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{plan: p}, nil
+}
+
+// Plan returns the compiled plan.
+func (inj *Injector) Plan() Plan {
+	if inj == nil {
+		return Plan{}
+	}
+	return inj.plan
+}
+
+// ForTrace derives the deterministic per-trace view used by a deployment
+// loop. The schedule depends only on (plan seed, trace seed), never on
+// when or where the trace is executed. A nil Injector yields a nil
+// TraceInjector, which injects nothing.
+func (inj *Injector) ForTrace(traceSeed int64) *TraceInjector {
+	if inj == nil {
+		return nil
+	}
+	return &TraceInjector{
+		rules: inj.plan.Rules,
+		seed:  inj.plan.Seed ^ traceSeed ^ 0x666c74, // "flt"
+	}
+}
+
+// FailTask returns an injected transient error for the given task index
+// on its first attempt, per any TaskFail rules; retried attempts always
+// succeed. Use it to wrap worker-pool tasks run with parallel retry
+// options. Nil-safe.
+func (inj *Injector) FailTask(task, attempt int) error {
+	if inj == nil || attempt > 0 {
+		return nil
+	}
+	for ri, r := range inj.plan.Rules {
+		if r.Class != TaskFail {
+			continue
+		}
+		if activeAt(inj.plan.Seed^0x7461736b /* "task" */, ri, task, r) {
+			injected.Inc()
+			return fmt.Errorf("fault: injected transient failure in task %d", task)
+		}
+	}
+	return nil
+}
+
+// TraceInjector is one trace's deterministic fault schedule. Methods are
+// nil-safe and must be called from a single goroutine (the trace's
+// deployment loop), matching how internal/core uses it.
+type TraceInjector struct {
+	rules    []Rule
+	seed     int64
+	injected atomic.Int64
+	// lastGood latches the most recent unfaulted telemetry vector: stuck
+	// counters (CounterFreeze) re-read it verbatim for the whole burst,
+	// like real silicon holding its last good sample.
+	lastGood []float64
+}
+
+// Injected returns how many fault events this trace view has injected so
+// far; the count is deterministic for a fixed plan and trace.
+func (ti *TraceInjector) Injected() int64 {
+	if ti == nil {
+		return 0
+	}
+	return ti.injected.Load()
+}
+
+// Telemetry returns the telemetry vector the controller observes for
+// interval idx, applying any active telemetry-class fault to the true
+// vector base. prev is the previous interval's *true* vector, a fallback
+// latch for a freeze starting on the very first observed interval; it may
+// be nil. The returned dropped flag reports a TelemetryDrop specifically:
+// the snapshot never arrived, so the controller cannot compute a fresh
+// prediction from this interval.
+//
+// Calls must be made in interval order (the deployment loop's natural
+// order): CounterFreeze latches the last unfaulted vector and re-reads it
+// verbatim for the whole burst, so the schedule is deterministic but the
+// frozen *value* depends on where the burst started.
+func (ti *TraceInjector) Telemetry(idx int, base, prev []float64) (out []float64, faulted, dropped bool) {
+	if ti == nil {
+		return base, false, false
+	}
+	for ri, r := range ti.rules {
+		switch r.Class {
+		case TelemetryDrop, CounterFreeze, CounterGlitch:
+		default:
+			continue
+		}
+		if !activeAt(ti.seed, ri, idx, r) {
+			continue
+		}
+		ti.injected.Add(1)
+		injected.Inc()
+		switch r.Class {
+		case TelemetryDrop:
+			return make([]float64, len(base)), true, true
+		case CounterFreeze:
+			held := ti.lastGood
+			if held == nil {
+				held = prev
+			}
+			if held == nil {
+				return make([]float64, len(base)), true, false
+			}
+			frozen := make([]float64, len(held))
+			copy(frozen, held)
+			return frozen, true, false
+		case CounterGlitch:
+			factor := r.Factor
+			if factor == 0 {
+				factor = 1000
+			}
+			glitched := make([]float64, len(base))
+			for i, v := range base {
+				// A seed-chosen half of the signals overscale, producing
+				// physically inconsistent readings.
+				if hash01(ti.seed^0x676c /* "gl" */, ri, idx*1031+i) < 0.5 {
+					v *= factor
+				}
+				glitched[i] = v
+			}
+			return glitched, true, false
+		}
+	}
+	if ti.lastGood == nil {
+		ti.lastGood = make([]float64, len(base))
+	}
+	copy(ti.lastGood, base)
+	return base, false, false
+}
+
+// Prediction returns the prediction the controller acts on for window w,
+// applying any active prediction-class fault to the model's output pred.
+// prev is the previous acted-on prediction (for PredictionStale).
+func (ti *TraceInjector) Prediction(w, pred, prev int) (out int, faulted bool) {
+	if ti == nil {
+		return pred, false
+	}
+	for ri, r := range ti.rules {
+		switch r.Class {
+		case PredictionPin, PredictionStale:
+		default:
+			continue
+		}
+		if !activeAt(ti.seed^0x7072 /* "pr" */, ri, w, r) {
+			continue
+		}
+		ti.injected.Add(1)
+		injected.Inc()
+		if r.Class == PredictionPin {
+			return r.Pin, true
+		}
+		return prev, true
+	}
+	return pred, false
+}
+
+// activeAt reports whether rule ri covers index idx: a burst of r.Burst
+// indices starts at any index s with hash01(seed, ri, s) < r.Rate, so idx
+// is covered when any s in (idx-burst, idx] starts one.
+func activeAt(seed int64, ri, idx int, r Rule) bool {
+	if r.Rate <= 0 || idx < 0 {
+		return false
+	}
+	burst := r.Burst
+	if burst < 1 {
+		burst = 1
+	}
+	for s := idx; s > idx-burst && s >= 0; s-- {
+		if hash01(seed, ri, s) < r.Rate {
+			return true
+		}
+	}
+	return false
+}
+
+// hash01 maps (seed, rule, index) to a uniform [0,1) double via the
+// splitmix64 finaliser — stateless, so schedules are independent of query
+// order and worker count.
+func hash01(seed int64, rule, idx int) float64 {
+	x := uint64(seed)
+	x ^= uint64(rule+1) * 0x9E3779B97F4A7C15
+	x ^= uint64(idx+1) * 0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

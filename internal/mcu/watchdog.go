@@ -1,0 +1,22 @@
+package mcu
+
+// WatchdogCost counts the firmware operations of the guardrail watchdog's
+// per-interval monitor pass. Each monitored signal costs a load, a
+// threshold compare, and a conditional streak update (branch-free: compare
+// + multiply + add, as in Listing 1's ReLU idiom), i.e. five operations,
+// plus a fixed epilogue of six operations for the plausibility arity check,
+// the streak-vs-trip comparison, and the backoff-counter update. Memory is
+// one 4-byte threshold plus one 4-byte previous-value latch per signal and
+// two 4-byte state words (streak, backoff).
+//
+// The default guardrail monitors six signals (cycles, instructions, busy
+// cycles, ready-wait cycles, and the two derived ratios), landing at 36
+// ops per 10k-instruction interval — well inside the interval's MaxOps
+// envelope of 312, so the watchdog fits the microcontroller beside any
+// Table 3 model without touching the inference budget.
+func WatchdogCost(signals int) Cost {
+	return Cost{
+		Ops:         5*signals + 6,
+		MemoryBytes: 8*signals + 8,
+	}
+}

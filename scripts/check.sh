@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "== go vet"
 go vet ./...
 
+echo "== lintdoc (package + exported-symbol docs)"
+go run scripts/lintdoc.go
+
 echo "== gofmt"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -18,8 +21,9 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go test -race (worker pool + observability packages)"
-go test -race ./internal/parallel/... ./internal/dataset/... ./internal/obs/...
+echo "== go test -race (worker pool + observability + robustness packages)"
+go test -race ./internal/parallel/... ./internal/dataset/... ./internal/obs/... \
+    ./internal/fault/... ./internal/core/...
 
 echo "== paperbench quick benchmark (BENCH_paperbench.json)"
 go run ./cmd/paperbench -scale quick -exp all -seed 1 -q \

@@ -1,0 +1,152 @@
+//go:build ignore
+
+// lintdoc enforces the repo's documentation floor: every internal package
+// must carry a package comment, and the cross-cutting infrastructure
+// packages whose APIs other layers build on (internal/parallel,
+// internal/obs, internal/fault) must document every exported symbol.
+// Used by check.sh; run it as
+//
+//	go run scripts/lintdoc.go
+//
+// It exits nonzero listing each violation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// fullDocPackages must document every exported symbol, not just the
+// package.
+var fullDocPackages = map[string]bool{
+	"internal/parallel": true,
+	"internal/obs":      true,
+	"internal/fault":    true,
+}
+
+func main() {
+	var violations []string
+
+	dirs := map[string]bool{}
+	err := filepath.WalkDir("internal", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintdoc:", err)
+		os.Exit(1)
+	}
+
+	for dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lintdoc:", err)
+			os.Exit(1)
+		}
+		for _, pkg := range pkgs {
+			if !hasPackageDoc(pkg) {
+				violations = append(violations, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+			}
+			if fullDocPackages[filepath.ToSlash(dir)] {
+				violations = append(violations, undocumentedExports(fset, pkg)...)
+			}
+		}
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "lintdoc:", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("lintdoc: %d internal packages documented\n", len(dirs))
+}
+
+// hasPackageDoc reports whether any file of the package carries a package
+// comment.
+func hasPackageDoc(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// undocumentedExports lists exported top-level declarations without a doc
+// comment. Grouped var/const blocks count as documented when the block
+// carries a comment.
+func undocumentedExports(fset *token.FileSet, pkg *ast.Package) []string {
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s is undocumented", p.Filename, p.Line, kind, name))
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					name := d.Name.Name
+					if d.Recv != nil {
+						name = recvName(d.Recv) + "." + name
+					}
+					report(d.Pos(), "func", name)
+				}
+			case *ast.GenDecl:
+				blockDocumented := d.Doc != nil
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && s.Doc == nil && !blockDocumented {
+							report(s.Pos(), "type", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if blockDocumented || s.Doc != nil || s.Comment != nil {
+							continue
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								report(n.Pos(), "value", n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// recvName renders a method receiver's type name.
+func recvName(fl *ast.FieldList) string {
+	if len(fl.List) == 0 {
+		return "?"
+	}
+	t := fl.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.Name
+		default:
+			return "?"
+		}
+	}
+}
