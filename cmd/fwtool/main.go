@@ -1,20 +1,28 @@
 // Command fwtool manages firmware images — the artifacts Section 7.3's
-// deployment story pushes to fleet machines.
+// deployment story pushes to fleet machines. Images are sealed in a CRC
+// integrity envelope; -corrupt flips seeded bits in an image to exercise
+// the detector, and -no-verify demonstrates the failure it prevents.
 //
 // Usage:
 //
 //	fwtool -train best-rf -o fw.img            # train + save an image
+//	fwtool -train best-rf -guardrail -o fw.img # size for guarded deployment
 //	fwtool -info fw.img                        # inspect an image
 //	fwtool -eval fw.img                        # deploy on the test suite
+//	fwtool -corrupt fw.img -flips 3 -o bad.img # flip seeded bits
+//	fwtool -eval bad.img                       # rejected: CRC mismatch
+//	fwtool -eval bad.img -no-verify            # deploy anyway (on your head)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"clustergate/internal/core"
 	"clustergate/internal/dataset"
+	"clustergate/internal/fault"
 	"clustergate/internal/mcu"
 	"clustergate/internal/power"
 	"clustergate/internal/telemetry"
@@ -23,9 +31,13 @@ import (
 
 func main() {
 	train := flag.String("train", "", "train a model (best-rf, best-mlp, charstar) and save an image")
-	out := flag.String("o", "firmware.img", "output image path for -train")
+	out := flag.String("o", "firmware.img", "output image path for -train and -corrupt")
 	info := flag.String("info", "", "print an image's metadata")
 	eval := flag.String("eval", "", "deploy an image on the SPEC-like test suite")
+	corrupt := flag.String("corrupt", "", "copy an image with -flips seeded bit flips to -o")
+	flips := flag.Int("flips", 1, "bit flips for -corrupt")
+	guardrail := flag.Bool("guardrail", false, "size -train for guarded deployment (reserve the watchdog budget)")
+	noVerify := flag.Bool("no-verify", false, "skip the CRC integrity check when loading (-info/-eval)")
 	apps := flag.Int("apps", 120, "training corpus applications for -train")
 	psla := flag.Float64("psla", 0.9, "SLA threshold for -train")
 	seed := flag.Int64("seed", 1, "seed")
@@ -33,18 +45,20 @@ func main() {
 
 	switch {
 	case *train != "":
-		doTrain(*train, *out, *apps, *psla, *seed)
+		doTrain(*train, *out, *apps, *psla, *seed, *guardrail)
 	case *info != "":
-		doInfo(*info)
+		doInfo(*info, *noVerify)
 	case *eval != "":
-		doEval(*eval, *seed)
+		doEval(*eval, *seed, *noVerify)
+	case *corrupt != "":
+		doCorrupt(*corrupt, *out, *flips, *seed)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func doTrain(model, out string, apps int, psla float64, seed int64) {
+func doTrain(model, out string, apps int, psla float64, seed int64, guardrail bool) {
 	corpus := trace.BuildHDTR(trace.HDTRConfig{Apps: apps, InstrsPerTrace: 550_000, Seed: seed})
 	cfg := dataset.DefaultConfig()
 	fmt.Fprintf(os.Stderr, "simulating %d traces...\n", len(corpus.Traces))
@@ -57,6 +71,7 @@ func doTrain(model, out string, apps int, psla float64, seed int64) {
 		Tel: tel, Counters: cs, Columns: cols,
 		SLA: dataset.SLA{PSLA: psla}, Interval: cfg.Interval,
 		Spec: mcu.DefaultSpec(), Seed: seed,
+		Guardrail: guardrail,
 	}
 	var g *core.GatingController
 	switch model {
@@ -76,21 +91,44 @@ func doTrain(model, out string, apps int, psla float64, seed int64) {
 	fatalIf(core.SaveController(f, g))
 	fatalIf(f.Close())
 	st, _ := os.Stat(out)
-	fmt.Printf("wrote %s: %s, %d bytes, granularity %dk, thresholds %.2f/%.2f\n",
+	fmt.Printf("wrote %s: %s, %d bytes, granularity %dk, thresholds %.2f/%.2f",
 		out, g.Name, st.Size(), g.Granularity/1000, g.ThresholdHigh, g.ThresholdLow)
+	if g.WatchdogOps > 0 {
+		fmt.Printf(", watchdog reserve %d ops", g.WatchdogOps)
+	}
+	fmt.Println()
 }
 
-func doInfo(path string) {
+// loadImage opens a controller image, verifying its integrity envelope
+// unless noVerify asks for the unguarded path.
+func loadImage(path string, noVerify bool) (*core.GatingController, error) {
 	f, err := os.Open(path)
-	fatalIf(err)
+	if err != nil {
+		return nil, err
+	}
 	defer f.Close()
-	g, err := core.LoadController(f)
+	if noVerify {
+		return core.LoadControllerUnverified(f)
+	}
+	return core.LoadController(f)
+}
+
+func doInfo(path string, noVerify bool) {
+	g, err := loadImage(path, noVerify)
 	fatalIf(err)
 	fmt.Printf("name:            %s\n", g.Name)
+	if noVerify {
+		fmt.Printf("integrity:       SKIPPED (-no-verify)\n")
+	} else {
+		fmt.Printf("integrity:       CRC ok\n")
+	}
 	fmt.Printf("P_SLA:           %.2f\n", g.SLA.PSLA)
 	fmt.Printf("granularity:     %d instructions\n", g.Granularity)
 	fmt.Printf("ops/prediction:  %d (budget %d)\n",
 		g.OpsPerPrediction, mcu.DefaultSpec().OpsBudget(g.Granularity))
+	if g.WatchdogOps > 0 {
+		fmt.Printf("watchdog:        %d ops reserved\n", g.WatchdogOps)
+	}
 	fmt.Printf("thresholds:      high %.2f, low %.2f\n", g.ThresholdHigh, g.ThresholdLow)
 	fmt.Printf("counters:        %d columns\n", len(g.Columns))
 	for _, c := range g.Columns {
@@ -100,11 +138,8 @@ func doInfo(path string) {
 	fmt.Println("budget check:    ok")
 }
 
-func doEval(path string, seed int64) {
-	f, err := os.Open(path)
-	fatalIf(err)
-	g, err := core.LoadController(f)
-	f.Close()
+func doEval(path string, seed int64, noVerify bool) {
+	g, err := loadImage(path, noVerify)
 	fatalIf(err)
 
 	test := trace.BuildSPEC(trace.SPECConfig{TracesPerWorkload: 1, InstrsPerTrace: 650_000, Seed: seed + 1})
@@ -116,6 +151,19 @@ func doEval(path string, seed int64) {
 	fmt.Printf("%s: PPW %+.1f%%, RSV %.2f%%, PGOS %.1f%%, residency %.1f%%\n",
 		g.Name, 100*sum.MeanBenchmarkPPWGain(), 100*sum.Overall.RSV,
 		100*sum.Overall.Confusion.PGOS(), 100*sum.Overall.Residency)
+}
+
+// doCorrupt copies an image with n seeded single-bit flips — fault material
+// for exercising the CRC detector end to end.
+func doCorrupt(path, out string, n int, seed int64) {
+	f, err := os.Open(path)
+	fatalIf(err)
+	img, err := io.ReadAll(f)
+	f.Close()
+	fatalIf(err)
+	positions := fault.FlipBits(img, seed, n)
+	fatalIf(os.WriteFile(out, img, 0o644))
+	fmt.Printf("wrote %s: %d bytes, flipped bits %v\n", out, len(img), positions)
 }
 
 func fatalIf(err error) {

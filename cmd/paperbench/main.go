@@ -10,8 +10,11 @@
 //	paperbench -cpuprofile cpu.pprof -memprofile mem.pprof -exp fig8
 //
 // Experiments: corpus, table3, table4, fig4, fig5, fig6, fig7, fig8, fig9,
-// fig10, table5, table6, granularity, guardrail, faults, uarch, dvfs,
-// ablations, all.
+// fig10, table5, table6, granularity, guardrail, guardrail-sweep, faults,
+// uarch, dvfs, ablations, all. The guardrail-sweep study deploys a
+// guarded-budget controller under every fault class across a grid of
+// guardrail configurations and prints the exposure/PPW tuning frontier;
+// -sweepjson additionally writes the frontier as JSON.
 //
 // Observability (see README "Observability"): -manifest writes a JSON run
 // manifest (per-experiment spans, counters, run metadata), -results writes
@@ -46,6 +49,7 @@ func main() {
 	flag.StringVar(&opts.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.StringVar(&opts.memProfile, "memprofile", "", "write a pprof heap profile to this file")
 	flag.StringVar(&opts.checkpointDir, "checkpoint", "", "persist completed experiments under this directory and resume from it")
+	flag.StringVar(&opts.sweepJSONPath, "sweepjson", "", "write the guardrail-sweep frontier as JSON to this file")
 	flag.Parse()
 	opts.args = os.Args[1:]
 

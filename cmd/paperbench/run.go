@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -34,6 +35,7 @@ type benchOpts struct {
 	cpuProfile    string
 	memProfile    string
 	checkpointDir string
+	sweepJSONPath string
 	args          []string
 
 	scaleOverride *experiments.Scale
@@ -96,8 +98,32 @@ func run(opts benchOpts, stdout, stderr io.Writer) error {
 	if !opts.quiet {
 		logw = stderr
 	}
+
+	// A resumed run checks the previous run's telemetry-cache manifest: if
+	// every recorded cache file survives, the env build below replays
+	// entirely from disk and the resume is fully offline. The report goes to
+	// stderr only — stdout must stay byte-identical to an uninterrupted run.
+	if prev, err := ckpt.CacheManifest(); err != nil {
+		return err
+	} else if len(prev) > 0 && !opts.quiet {
+		missing := 0
+		for _, r := range prev {
+			if _, err := os.Stat(r.Path); err != nil {
+				missing++
+			}
+		}
+		if missing == 0 {
+			fmt.Fprintf(stderr, "# cache manifest: all %d telemetry cache files present; resuming offline\n", len(prev))
+		} else {
+			fmt.Fprintf(stderr, "# cache manifest: %d of %d telemetry cache files missing; resume will re-simulate\n", missing, len(prev))
+		}
+	}
+
 	env, err := experiments.NewEnvLogged(scale, opts.cacheDir, opts.seed, logw)
 	if err != nil {
+		return err
+	}
+	if err := ckpt.SaveCacheManifest(dataset.RecordedCacheFiles()); err != nil {
 		return err
 	}
 
@@ -117,37 +143,45 @@ func run(opts benchOpts, stdout, stderr io.Writer) error {
 			runErr = errInjectedCrash
 			return
 		}
+		var secs float64
+		var metrics map[string]float64
+		replayed := false
 		if !force {
 			if e, ok := ckpt.Load(name); ok {
 				if _, err := io.WriteString(stdout, e.Output); err != nil {
 					runErr = err
 					return
 				}
-				results.Add(name, e.Seconds, e.Metrics)
-				completed++
+				secs, metrics = e.Seconds, e.Metrics
+				replayed = true
+			}
+		}
+		if !replayed {
+			sp := obs.Start("exp/" + name)
+			t0 := time.Now()
+			var buf bytes.Buffer
+			var err error
+			metrics, err = f(&buf)
+			sp.End()
+			if err != nil {
+				runErr = err
+				return
+			}
+			secs = time.Since(t0).Seconds()
+			if _, err := stdout.Write(buf.Bytes()); err != nil {
+				runErr = err
+				return
+			}
+			if err := ckpt.Save(experiments.CheckpointEntry{
+				Name: name, Output: buf.String(), Seconds: secs, Metrics: metrics,
+			}); err != nil {
+				runErr = err
 				return
 			}
 		}
-		sp := obs.Start("exp/" + name)
-		t0 := time.Now()
-		var buf bytes.Buffer
-		metrics, err := f(&buf)
-		sp.End()
-		if err != nil {
-			runErr = err
-			return
-		}
-		secs := time.Since(t0).Seconds()
-		if _, err := stdout.Write(buf.Bytes()); err != nil {
-			runErr = err
-			return
-		}
-		if err := ckpt.Save(experiments.CheckpointEntry{
-			Name: name, Output: buf.String(), Seconds: secs, Metrics: metrics,
-		}); err != nil {
-			runErr = err
-			return
-		}
+		// Single bookkeeping site: replayed and live experiments are
+		// recorded once each, identically, so a resumed run's results file
+		// counts every experiment exactly once.
 		results.Add(name, secs, metrics)
 		completed++
 	}
@@ -444,6 +478,39 @@ func run(opts benchOpts, stdout, stderr io.Writer) error {
 			return m, nil
 		})
 	}
+	if sel("guardrail-sweep") {
+		runExp("guardrail-sweep", false, func(w io.Writer) (map[string]float64, error) {
+			g, err := experiments.BuildGuardedBestRF(env)
+			if err != nil {
+				return nil, err
+			}
+			r, err := experiments.GuardrailSweep(env, g)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintGuardrailSweep(w, r)
+			fmt.Fprintln(w)
+			if opts.sweepJSONPath != "" {
+				if err := writeSweepJSON(opts.sweepJSONPath, r); err != nil {
+					return nil, err
+				}
+			}
+			m := map[string]float64{
+				"watchdog.ops":    float64(r.WatchdogOps),
+				"detector.flips":  float64(r.DetectorFlips),
+				"detector.caught": float64(r.DetectorCaught),
+			}
+			for _, row := range r.Rows {
+				m["exposure."+row.Key] = row.MeanExposure
+				m["ppw."+row.Key] = row.PPW
+				m["trips."+row.Key] = float64(row.Trips)
+			}
+			if r.Best != "" {
+				m["dominates"] = 1
+			}
+			return m, nil
+		})
+	}
 	if sel("uarch") {
 		runExp("uarch", false, func(w io.Writer) (map[string]float64, error) {
 			rows, err := experiments.UarchAblations(env, 2)
@@ -559,6 +626,16 @@ func writeFig8SVG(dir string, rows []experiments.Fig8Row) error {
 		})
 	}
 	return writeSVG(dir, "fig8-models.svg", c.WriteSVG)
+}
+
+// writeSweepJSON persists the guardrail-sweep frontier as machine-readable
+// JSON (the -sweepjson flag), for CI validation and downstream tooling.
+func writeSweepJSON(path string, r *experiments.GuardrailSweepResult) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func writeSVG(dir, name string, render func(io.Writer) error) error {

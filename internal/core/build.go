@@ -43,6 +43,13 @@ type BuildInputs struct {
 	// exceeds the microcontroller budget (e.g. granularity sweeps assuming
 	// dedicated inference hardware).
 	SkipBudgetCheck bool
+	// Guardrail sizes the controller for guarded deployment: the watchdog
+	// monitor's firmware cost (mcu.WatchdogCost over GuardrailSignals
+	// signals, one pass per telemetry interval) is reserved out of the op
+	// budget before the granularity is chosen, so model inference and the
+	// guardrail fit the microcontroller together. A model that fits 40k
+	// bare may need 50k guarded.
+	Guardrail bool
 }
 
 func (in *BuildInputs) defaults() {
@@ -79,6 +86,11 @@ func BuildController(name string, train TrainFunc, in BuildInputs) (*GatingContr
 		SLA:      in.SLA,
 	}
 
+	var watchdog mcu.Cost
+	if in.Guardrail {
+		watchdog = mcu.WatchdogCost(GuardrailSignals)
+	}
+
 	// Cost probe: model cost depends on topology, not data, so a small
 	// subsample suffices to size the granularity.
 	if in.GranularityOverride > 0 {
@@ -95,9 +107,13 @@ func BuildController(name string, train TrainFunc, in BuildInputs) (*GatingContr
 		if err != nil {
 			return nil, err
 		}
-		g.Granularity = in.Spec.FinestGranularity(fw.Cost.Ops, in.Interval)
+		g.Granularity = in.Spec.FinestGranularityGuarded(fw.Cost.Ops, in.Interval, watchdog)
+		if g.Granularity == 0 {
+			return nil, fmt.Errorf("core: %s: watchdog reserve %d ops exhausts the per-interval budget", name, watchdog.Ops)
+		}
 	}
 	k := g.Granularity / in.Interval
+	g.WatchdogOps = watchdog.Ops * k
 
 	maxOps := 0
 	for _, mode := range []uarch.Mode{uarch.ModeHighPerf, uarch.ModeLowPower} {

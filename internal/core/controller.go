@@ -80,6 +80,12 @@ type GatingController struct {
 
 	// OpsPerPrediction is the firmware inference cost, for budget checks.
 	OpsPerPrediction int
+
+	// WatchdogOps is the guardrail watchdog's firmware cost per prediction
+	// granularity (one monitor pass per telemetry interval), reserved out
+	// of the op budget when the controller was built for guarded
+	// deployment; zero for a bare build.
+	WatchdogOps int
 }
 
 // Validate checks structural consistency and the microcontroller budget.
@@ -91,9 +97,9 @@ func (g *GatingController) Validate(spec mcu.Spec) error {
 		return fmt.Errorf("core: granularity %d not a positive multiple of interval %d",
 			g.Granularity, g.Interval)
 	}
-	if g.OpsPerPrediction > 0 && g.OpsPerPrediction > spec.OpsBudget(g.Granularity) {
-		return fmt.Errorf("core: %q needs %d ops but the %d-instruction budget is %d",
-			g.Name, g.OpsPerPrediction, g.Granularity, spec.OpsBudget(g.Granularity))
+	if g.OpsPerPrediction > 0 && g.OpsPerPrediction+g.WatchdogOps > spec.OpsBudget(g.Granularity) {
+		return fmt.Errorf("core: %q needs %d ops (+%d watchdog) but the %d-instruction budget is %d",
+			g.Name, g.OpsPerPrediction, g.WatchdogOps, g.Granularity, spec.OpsBudget(g.Granularity))
 	}
 	return nil
 }

@@ -123,6 +123,12 @@ func DeployWithOptions(g *GatingController, tr *trace.Trace, ref *dataset.TraceT
 		window = window[:0]
 		windowDropped := false
 		for i := 0; i < k; i++ {
+			// DRAM-derate faults perturb real execution, not just the
+			// telemetry view: memory-port throughput degrades for this
+			// interval, so IPC, power, and every downstream counter shift.
+			if ti != nil {
+				core.SetMemDerate(ti.MemDerate(gidx))
+			}
 			kk := s.Read(buf)
 			if kk == 0 {
 				break

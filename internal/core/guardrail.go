@@ -46,6 +46,12 @@ type Guardrail struct {
 	BackoffIntervals int
 }
 
+// GuardrailSignals is how many telemetry signals the watchdog monitors
+// per interval (cycles, instructions, busy cycles, ready-wait cycles, and
+// the two derived ratios); it keys the mcu.WatchdogCost charged against
+// the firmware budget when a controller is built for guarded deployment.
+const GuardrailSignals = 6
+
 // DefaultGuardrail returns a permissive configuration, per the paper's
 // goal of setting guardrails "as permissively as possible".
 func DefaultGuardrail() Guardrail {

@@ -28,6 +28,7 @@ type FirmwareImage struct {
 	Interval      int
 	Granularity   int
 	OpsPerPred    int
+	WatchdogOps   int
 	ThresholdHigh float64
 	ThresholdLow  float64
 	CounterSetTag string
@@ -43,12 +44,15 @@ type ModelBlob struct {
 }
 
 // imageFormatVersion guards against decoding incompatible images.
-const imageFormatVersion = 1
+// Version 2 added the watchdog op reserve and the CRC integrity envelope.
+const imageFormatVersion = 2
 
 // standardCounterSetTag names the only counter space this design ships.
 const standardCounterSetTag = "standard-936"
 
-// SaveController writes a controller as a firmware image.
+// SaveController writes a controller as a firmware image: the gob-encoded
+// payload sealed in the mcu integrity envelope, so the deployment path can
+// detect bit corruption before a damaged model reaches a machine.
 func SaveController(w io.Writer, g *GatingController) error {
 	img := FirmwareImage{
 		FormatVersion: imageFormatVersion,
@@ -57,6 +61,7 @@ func SaveController(w io.Writer, g *GatingController) error {
 		Interval:      g.Interval,
 		Granularity:   g.Granularity,
 		OpsPerPred:    g.OpsPerPrediction,
+		WatchdogOps:   g.WatchdogOps,
 		ThresholdHigh: g.ThresholdHigh,
 		ThresholdLow:  g.ThresholdLow,
 		CounterSetTag: standardCounterSetTag,
@@ -69,14 +74,51 @@ func SaveController(w io.Writer, g *GatingController) error {
 	if img.LowPower, err = encodeModel(g.LowPower); err != nil {
 		return fmt.Errorf("core: low-power model: %w", err)
 	}
-	return gob.NewEncoder(w).Encode(img)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return fmt.Errorf("core: encoding firmware image: %w", err)
+	}
+	_, err = w.Write(mcu.SealImage(buf.Bytes()))
+	return err
 }
 
-// LoadController reads a firmware image and reconstructs a deployable
-// controller, rewrapping each model in op-metered firmware.
+// LoadController reads a firmware image, verifies its integrity envelope,
+// and reconstructs a deployable controller, rewrapping each model in
+// op-metered firmware. A corrupted image fails with mcu.ErrImageCorrupt
+// and never deploys.
 func LoadController(r io.Reader) (*GatingController, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading firmware image: %w", err)
+	}
+	payload, err := mcu.OpenImage(raw)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return decodeImage(payload)
+}
+
+// LoadControllerUnverified skips the CRC check and decodes whatever payload
+// the envelope claims to carry. It exists to demonstrate the failure mode
+// the detector prevents: with verification off, a bit-flipped image can
+// decode into a silently-wrong controller and deploy.
+func LoadControllerUnverified(r io.Reader) (*GatingController, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading firmware image: %w", err)
+	}
+	payload, err := mcu.UnwrapImage(raw)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return decodeImage(payload)
+}
+
+// decodeImage reconstructs a controller from a verified (or deliberately
+// unverified) gob payload.
+func decodeImage(payload []byte) (*GatingController, error) {
 	var img FirmwareImage
-	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img); err != nil {
 		return nil, fmt.Errorf("core: decoding firmware image: %w", err)
 	}
 	if img.FormatVersion != imageFormatVersion {
@@ -91,6 +133,7 @@ func LoadController(r io.Reader) (*GatingController, error) {
 		Interval:         img.Interval,
 		Granularity:      img.Granularity,
 		OpsPerPrediction: img.OpsPerPred,
+		WatchdogOps:      img.WatchdogOps,
 		ThresholdHigh:    img.ThresholdHigh,
 		ThresholdLow:     img.ThresholdLow,
 		Counters:         telemetry.NewStandardCounterSet(),

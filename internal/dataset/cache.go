@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"clustergate/internal/obs"
 	"clustergate/internal/parallel"
@@ -49,6 +50,45 @@ func ReadCacheStats() CacheStats {
 // cacheVersion invalidates cached telemetry when the recording format or
 // simulator behaviour changes incompatibly.
 const cacheVersion = 4
+
+// CacheFileRef identifies one telemetry-cache file this process read or
+// wrote, for checkpoint manifests: a resumed run can verify its cache files
+// still exist before deciding it can replay fully offline.
+type CacheFileRef struct {
+	Key   string `json:"key"`
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+}
+
+var (
+	cacheRefMu sync.Mutex
+	cacheRefs  []CacheFileRef
+)
+
+// recordCacheFile notes a cache file served (hit) or published (miss) by
+// this process, deduplicating by path.
+func recordCacheFile(key, path string) {
+	var size int64
+	if fi, err := os.Stat(path); err == nil {
+		size = fi.Size()
+	}
+	cacheRefMu.Lock()
+	defer cacheRefMu.Unlock()
+	for _, r := range cacheRefs {
+		if r.Path == path {
+			return
+		}
+	}
+	cacheRefs = append(cacheRefs, CacheFileRef{Key: key, Path: path, Bytes: size})
+}
+
+// RecordedCacheFiles returns the telemetry-cache files this process has
+// touched so far, in first-touch order.
+func RecordedCacheFiles() []CacheFileRef {
+	cacheRefMu.Lock()
+	defer cacheRefMu.Unlock()
+	return append([]CacheFileRef(nil), cacheRefs...)
+}
 
 type cacheFile struct {
 	Version int
@@ -139,6 +179,7 @@ func loadOrSimulate(c *trace.Corpus, cfg Config, path, key, dir string) ([]*Trac
 			if fi, err := os.Stat(path); err == nil {
 				cacheBytesRead.Add(fi.Size())
 			}
+			recordCacheFile(key, path)
 			return cached.Traces, nil
 		}
 	}
@@ -173,5 +214,6 @@ func loadOrSimulate(c *trace.Corpus, cfg Config, path, key, dir string) ([]*Trac
 	if fi, err := os.Stat(path); err == nil {
 		cacheBytesWritten.Add(fi.Size())
 	}
+	recordCacheFile(key, path)
 	return tel, nil
 }

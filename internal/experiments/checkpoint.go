@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"clustergate/internal/dataset"
 )
 
 // CheckpointEntry is one completed experiment's persisted outcome: the
@@ -121,4 +123,48 @@ func (c *Checkpoint) Save(e CheckpointEntry) error {
 		return fmt.Errorf("experiments: committing checkpoint: %w", err)
 	}
 	return nil
+}
+
+// SaveCacheManifest persists the telemetry-cache files the run depends on
+// alongside the checkpoint, atomically. A resumed run can then check the
+// manifest to know whether its caches survive — i.e. whether the resume
+// replays fully offline or must re-simulate.
+func (c *Checkpoint) SaveCacheManifest(refs []dataset.CacheFileRef) error {
+	if c == nil {
+		return nil
+	}
+	b, err := json.MarshalIndent(refs, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(filepath.Dir(c.path), "cache-manifest.json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("experiments: writing cache manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("experiments: committing cache manifest: %w", err)
+	}
+	return nil
+}
+
+// CacheManifest loads the previously saved telemetry-cache manifest; a
+// missing manifest returns an empty slice.
+func (c *Checkpoint) CacheManifest() ([]dataset.CacheFileRef, error) {
+	if c == nil {
+		return nil, nil
+	}
+	path := filepath.Join(filepath.Dir(c.path), "cache-manifest.json")
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reading cache manifest: %w", err)
+	}
+	var refs []dataset.CacheFileRef
+	if err := json.Unmarshal(b, &refs); err != nil {
+		return nil, fmt.Errorf("experiments: corrupt cache manifest %s: %w", path, err)
+	}
+	return refs, nil
 }

@@ -43,6 +43,11 @@ type Scale struct {
 	// Fig5Counters are the counter counts swept in Figure 5.
 	Fig5Counters []int
 
+	// SweepTraces bounds the SPEC subset the guardrail-sweep study deploys
+	// on (the sweep redeploys every trace once per config×plan arm, so the
+	// full corpus would dominate the run). Zero uses the whole corpus.
+	SweepTraces int
+
 	// Workers bounds every worker pool the experiments fan out on —
 	// corpus generation, trace simulation, deployment, and
 	// cross-validation folds. Zero uses every core; 1 forces the serial
@@ -59,6 +64,7 @@ func QuickScale() Scale {
 		Folds: 4, MLPEpochs: 10,
 		Fig4Sizes:    []int{1, 5, 20, 60},
 		Fig5Counters: []int{2, 4, 8, 12, 24},
+		SweepTraces:  8,
 	}
 }
 
@@ -73,6 +79,7 @@ func DefaultScale() Scale {
 		Folds: 8, MLPEpochs: 12,
 		Fig4Sizes:    []int{1, 5, 10, 20, 50, 100, 200, 300, 440},
 		Fig5Counters: []int{2, 4, 8, 12, 16, 24, 32},
+		SweepTraces:  20,
 	}
 }
 
@@ -85,6 +92,7 @@ func FullScale() Scale {
 	s.SPECTracesPerWorkload = 5
 	s.Folds = 32
 	s.MLPEpochs = 25
+	s.SweepTraces = 40
 	return s
 }
 

@@ -7,10 +7,12 @@ import (
 	"sync/atomic"
 
 	"clustergate/internal/core"
+	"clustergate/internal/dataset"
 	"clustergate/internal/fault"
 	"clustergate/internal/mcu"
 	"clustergate/internal/obs"
 	"clustergate/internal/parallel"
+	"clustergate/internal/trace"
 )
 
 // FaultClassResult compares one fault class's effective SLA exposure with
@@ -63,6 +65,26 @@ func DefaultFaultPlans(seed int64) []fault.Plan {
 	}
 }
 
+// AllFaultPlans extends DefaultFaultPlans with the structural fault
+// classes: a correlated multi-trace telemetry outage (a shared interval
+// window blanked across a seeded subset of traces, as when a rack's
+// telemetry fabric drops out) and a DRAM-bandwidth degradation that
+// perturbs real execution rather than the telemetry view. The
+// guardrail-sweep study sweeps configurations against all of these;
+// FaultStudy keeps the original four, for which the default guardrail's
+// strict per-class exposure reduction holds (a DRAM derate lowers
+// issue-saturation headroom, so the saturation watchdog makes no such
+// per-class promise there).
+func AllFaultPlans(seed int64) []fault.Plan {
+	taskNoise := fault.Rule{Class: fault.TaskFail, Rate: 0.25}
+	return append(DefaultFaultPlans(seed),
+		fault.Plan{Seed: seed, Rules: []fault.Rule{
+			{Class: fault.TraceOutage, Rate: 0.4, Start: 10, Burst: 30}, taskNoise}},
+		fault.Plan{Seed: seed, Rules: []fault.Rule{
+			{Class: fault.DRAMDerate, Rate: 0.04, Burst: 25, Factor: 6}, taskNoise}},
+	)
+}
+
 // FaultStudy deploys the controller over the test corpus under each fault
 // plan twice — guardrail off and guardrail on — and reports the effective
 // SLA-violation rate of each arm. It demonstrates the robustness claim:
@@ -72,7 +94,7 @@ func DefaultFaultPlans(seed int64) []fault.Plan {
 // watchdog's monitor pass.
 func FaultStudy(e *Env, g *core.GatingController) (*FaultStudyResult, error) {
 	defer obs.Start("faults.study").End()
-	res := &FaultStudyResult{Model: g.Name, Watchdog: mcu.WatchdogCost(6)}
+	res := &FaultStudyResult{Model: g.Name, Watchdog: mcu.WatchdogCost(core.GuardrailSignals)}
 	for _, plan := range DefaultFaultPlans(e.Seed) {
 		inj, err := fault.NewInjector(plan)
 		if err != nil {
@@ -111,13 +133,26 @@ func primaryClass(p fault.Plan) fault.Class {
 	return fault.TaskFail
 }
 
-// corpusEffRSV accumulates effective-configuration SLA windows over a
-// corpus run.
+// corpusEffRSV accumulates effective-configuration SLA windows and
+// per-benchmark power accounting over a corpus run.
 type corpusEffRSV struct {
 	windows, violations int
 	trips               int
 	injected            int64
 	taskFaults          int64
+
+	// benchOrder preserves first-seen benchmark order so ppw's float
+	// summation folds identically at any worker count (a map iteration
+	// would not).
+	benchOrder []string
+	byBench    map[string]*ppwAgg
+}
+
+// ppwAgg accumulates one benchmark's adaptive and reference power spans.
+type ppwAgg struct {
+	adaptiveEnergy, refEnergy float64
+	adaptiveCycles, refCycles uint64
+	adaptiveInstrs, refInstrs uint64
 }
 
 func (c *corpusEffRSV) rsv() float64 {
@@ -125,6 +160,79 @@ func (c *corpusEffRSV) rsv() float64 {
 		return 0
 	}
 	return float64(c.violations) / float64(c.windows)
+}
+
+// ppw returns the mean per-benchmark performance-per-watt gain of the
+// faulted (and possibly guarded) run over the always-high reference,
+// iterating benchmarks in deterministic first-seen order.
+func (c *corpusEffRSV) ppw() float64 {
+	var gainSum float64
+	n := 0
+	for _, b := range c.benchOrder {
+		a := c.byBench[b]
+		if a.refCycles == 0 || a.adaptiveCycles == 0 || a.refEnergy == 0 {
+			continue
+		}
+		refIPC := float64(a.refInstrs) / float64(a.refCycles)
+		adIPC := float64(a.adaptiveInstrs) / float64(a.adaptiveCycles)
+		refPPW := refIPC / (a.refEnergy / float64(a.refCycles))
+		adPPW := adIPC / (a.adaptiveEnergy / float64(a.adaptiveCycles))
+		gainSum += adPPW/refPPW - 1
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return gainSum / float64(n)
+}
+
+// fold accumulates one deployment's effective SLA windows and power spans.
+// Window accounting mirrors core.BenchResult.fold, applied to the effective
+// (actually-applied) configurations: full windows with a majority of
+// false-positive gates are violations; partial tails are skipped unless the
+// whole trace is shorter than one window.
+func (c *corpusEffRSV) fold(bench string, w int, r *core.GuardedDeploymentResult) {
+	c.trips += r.GuardrailTrips
+	c.injected += r.InjectedFaults
+	for start := 0; start+w <= len(r.Eff); start += w {
+		fp := 0
+		for i := start; i < start+w; i++ {
+			if r.Eff[i] == 1 && r.Truth[i] == 0 {
+				fp++
+			}
+		}
+		c.windows++
+		if float64(fp)/float64(w) > 0.5 {
+			c.violations++
+		}
+	}
+	if len(r.Eff) > 0 && len(r.Eff) < w {
+		fp := 0
+		for i := range r.Eff {
+			if r.Eff[i] == 1 && r.Truth[i] == 0 {
+				fp++
+			}
+		}
+		c.windows++
+		if float64(fp)/float64(len(r.Eff)) > 0.5 {
+			c.violations++
+		}
+	}
+	if c.byBench == nil {
+		c.byBench = map[string]*ppwAgg{}
+	}
+	a := c.byBench[bench]
+	if a == nil {
+		a = &ppwAgg{}
+		c.byBench[bench] = a
+		c.benchOrder = append(c.benchOrder, bench)
+	}
+	a.adaptiveEnergy += r.Adaptive.Energy
+	a.adaptiveCycles += r.Adaptive.Cycles
+	a.adaptiveInstrs += r.Adaptive.Instrs
+	a.refEnergy += r.Reference.Energy
+	a.refCycles += r.Reference.Cycles
+	a.refInstrs += r.Reference.Instrs
 }
 
 // deployCorpusFaulted deploys the controller on every SPEC trace under the
@@ -135,11 +243,19 @@ func (c *corpusEffRSV) rsv() float64 {
 // therefore the folded statistics — are identical at any worker count.
 func deployCorpusFaulted(e *Env, g *core.GatingController, inj *fault.Injector,
 	gr *core.Guardrail) (*corpusEffRSV, error) {
+	return deployTracesFaulted(e, g, e.SPEC.Traces, e.SPECTel, inj, gr)
+}
+
+// deployTracesFaulted is deployCorpusFaulted over an explicit trace subset
+// (the guardrail-sweep study deploys each of its many arms on a bounded
+// subset).
+func deployTracesFaulted(e *Env, g *core.GatingController, traces []*trace.Trace,
+	tel []*dataset.TraceTelemetry, inj *fault.Injector, gr *core.Guardrail) (*corpusEffRSV, error) {
 	opts := core.DeployOptions{Guardrail: gr, Injector: inj}
 	var mu sync.Mutex
 	attempts := make(map[int]int)
 	var taskFaults atomic.Int64
-	runs, err := parallel.MapOpt(len(e.SPEC.Traces),
+	runs, err := parallel.MapOpt(len(traces),
 		parallel.Options{Workers: e.Scale.Workers, Retries: 2},
 		func(i int) (*core.GuardedDeploymentResult, error) {
 			mu.Lock()
@@ -150,7 +266,7 @@ func deployCorpusFaulted(e *Env, g *core.GatingController, inj *fault.Injector,
 				taskFaults.Add(1)
 				return nil, err
 			}
-			return core.DeployWithOptions(g, e.SPEC.Traces[i], e.SPECTel[i], e.Cfg, e.PM, opts)
+			return core.DeployWithOptions(g, traces[i], tel[i], e.Cfg, e.PM, opts)
 		})
 	if err != nil {
 		return nil, err
@@ -158,37 +274,8 @@ func deployCorpusFaulted(e *Env, g *core.GatingController, inj *fault.Injector,
 
 	out := &corpusEffRSV{taskFaults: taskFaults.Load()}
 	w := g.Window().W
-	for _, r := range runs {
-		out.trips += r.GuardrailTrips
-		out.injected += r.InjectedFaults
-		// Window accounting mirrors core.BenchResult.fold, applied to the
-		// effective (actually-applied) configurations: full windows with a
-		// majority of false-positive gates are violations; partial tails are
-		// skipped unless the whole trace is shorter than one window.
-		for start := 0; start+w <= len(r.Eff); start += w {
-			fp := 0
-			for i := start; i < start+w; i++ {
-				if r.Eff[i] == 1 && r.Truth[i] == 0 {
-					fp++
-				}
-			}
-			out.windows++
-			if float64(fp)/float64(w) > 0.5 {
-				out.violations++
-			}
-		}
-		if len(r.Eff) > 0 && len(r.Eff) < w {
-			fp := 0
-			for i := range r.Eff {
-				if r.Eff[i] == 1 && r.Truth[i] == 0 {
-					fp++
-				}
-			}
-			out.windows++
-			if float64(fp)/float64(len(r.Eff)) > 0.5 {
-				out.violations++
-			}
-		}
+	for i, r := range runs {
+		out.fold(traces[i].App.Benchmark, w, r)
 	}
 	return out, nil
 }

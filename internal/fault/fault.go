@@ -1,9 +1,10 @@
 // Package fault is the repo's deterministic fault-injection subsystem: it
 // synthesises the degraded conditions the paper's guardrail mechanism
 // exists to survive — telemetry dropouts, frozen or glitched counters,
-// stuck or stale controller predictions, and transient worker-pool task
-// failures — on a seed-derived schedule that is reproducible down to the
-// interval.
+// stuck or stale controller predictions, transient worker-pool task
+// failures, correlated multi-trace telemetry outages, DRAM-bandwidth
+// degradation, and firmware-image bit flips (FlipBits) — on a seed-derived
+// schedule that is reproducible down to the interval.
 //
 // Determinism is the package's contract, matching internal/parallel: every
 // injection decision is a pure function of (plan seed, trace seed, rule
@@ -25,6 +26,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync/atomic"
 
 	"clustergate/internal/obs"
@@ -58,12 +60,23 @@ const (
 	// TaskFail injects a transient error into a worker-pool task's first
 	// attempt; retries (parallel.Options.Retries) recover it.
 	TaskFail Class = "task-fail"
+	// TraceOutage models a correlated, rack-wide telemetry outage: a
+	// seed-chosen fraction (Rate) of the corpus's traces loses telemetry
+	// entirely over one shared interval window [Start, Start+Burst). Unlike
+	// the per-interval classes, the schedule is correlated across traces —
+	// every affected trace goes dark over the same window.
+	TraceOutage Class = "trace-outage"
+	// DRAMDerate models degraded memory-port throughput: during scheduled
+	// windows the DRAM channel services line fills Factor× slower, so the
+	// fault perturbs real execution — IPC, cycles, and every derived
+	// counter — rather than just the reported telemetry values.
+	DRAMDerate Class = "dram-derate"
 )
 
 // Classes lists every supported class in a stable order.
 func Classes() []Class {
 	return []Class{TelemetryDrop, CounterFreeze, CounterGlitch,
-		PredictionPin, PredictionStale, TaskFail}
+		PredictionPin, PredictionStale, TaskFail, TraceOutage, DRAMDerate}
 }
 
 // Rule schedules one fault class. A burst of Burst consecutive indices
@@ -75,10 +88,15 @@ type Rule struct {
 	Rate  float64 `json:"rate"`
 	// Burst is the fault duration in indices; zero selects 1.
 	Burst int `json:"burst,omitempty"`
-	// Factor is the CounterGlitch scale multiplier; zero selects 1000.
+	// Factor is the CounterGlitch scale multiplier (zero selects 1000) or
+	// the DRAMDerate service-gap multiplier (zero selects 4; must be ≥ 1
+	// otherwise).
 	Factor float64 `json:"factor,omitempty"`
 	// Pin is the PredictionPin value (0 or 1).
 	Pin int `json:"pin,omitempty"`
+	// Start is the TraceOutage shared window's first interval index; the
+	// outage covers [Start, Start+Burst) on every affected trace.
+	Start int `json:"start,omitempty"`
 }
 
 // Plan is a complete, JSON-serialisable fault schedule: a seed and the
@@ -107,6 +125,12 @@ func (p Plan) Validate() error {
 		}
 		if r.Pin != 0 && r.Pin != 1 {
 			return fmt.Errorf("fault: rule %d (%s) pin %d not 0 or 1", i, r.Class, r.Pin)
+		}
+		if r.Start < 0 {
+			return fmt.Errorf("fault: rule %d (%s) negative start %d", i, r.Class, r.Start)
+		}
+		if r.Class == DRAMDerate && r.Factor != 0 && r.Factor < 1 {
+			return fmt.Errorf("fault: rule %d (%s) factor %v below 1", i, r.Class, r.Factor)
 		}
 	}
 	return nil
@@ -174,10 +198,27 @@ func (inj *Injector) ForTrace(traceSeed int64) *TraceInjector {
 	if inj == nil {
 		return nil
 	}
-	return &TraceInjector{
+	ti := &TraceInjector{
 		rules: inj.plan.Rules,
 		seed:  inj.plan.Seed ^ traceSeed ^ 0x666c74, // "flt"
 	}
+	// TraceOutage membership: whether this trace is inside a rule's outage
+	// is a pure function of (plan seed, rule index, trace seed), while the
+	// blanked window itself is shared by every member — that is what makes
+	// the fault correlated across the corpus.
+	for ri, r := range inj.plan.Rules {
+		if r.Class != TraceOutage {
+			continue
+		}
+		if hash01(inj.plan.Seed^0x6f7574 /* "out" */, ri, int(traceSeed)) < r.Rate {
+			burst := r.Burst
+			if burst < 1 {
+				burst = 1
+			}
+			ti.outages = append(ti.outages, [2]int{r.Start, r.Start + burst})
+		}
+	}
+	return ti
 }
 
 // FailTask returns an injected transient error for the given task index
@@ -211,6 +252,9 @@ type TraceInjector struct {
 	// counters (CounterFreeze) re-read it verbatim for the whole burst,
 	// like real silicon holding its last good sample.
 	lastGood []float64
+	// outages are the [start, end) interval windows of the TraceOutage
+	// rules this trace is a member of, resolved once at ForTrace time.
+	outages [][2]int
 }
 
 // Injected returns how many fault events this trace view has injected so
@@ -237,6 +281,15 @@ func (ti *TraceInjector) Injected() int64 {
 func (ti *TraceInjector) Telemetry(idx int, base, prev []float64) (out []float64, faulted, dropped bool) {
 	if ti == nil {
 		return base, false, false
+	}
+	// A correlated outage takes precedence over per-interval faults: the
+	// snapshot never leaves the dark rack, so it reads as dropped.
+	for _, o := range ti.outages {
+		if idx >= o[0] && idx < o[1] {
+			ti.injected.Add(1)
+			injected.Inc()
+			return make([]float64, len(base)), true, true
+		}
 	}
 	for ri, r := range ti.rules {
 		switch r.Class {
@@ -313,6 +366,63 @@ func (ti *TraceInjector) Prediction(w, pred, prev int) (out int, faulted bool) {
 	return pred, false
 }
 
+// MemDerate returns the DRAM service-gap multiplier in effect at interval
+// idx per any DRAMDerate rules: the largest active rule's Factor (zero
+// Factor selects 4), or 1 when no derate window covers idx. The deployment
+// loop applies it to the simulated core before executing the interval, so
+// the fault degrades real IPC and counters. Nil-safe.
+func (ti *TraceInjector) MemDerate(idx int) float64 {
+	if ti == nil {
+		return 1
+	}
+	out := 1.0
+	for ri, r := range ti.rules {
+		if r.Class != DRAMDerate {
+			continue
+		}
+		if !activeAt(ti.seed^0x6d656d /* "mem" */, ri, idx, r) {
+			continue
+		}
+		ti.injected.Add(1)
+		injected.Inc()
+		f := r.Factor
+		if f == 0 {
+			f = 4
+		}
+		if f > out {
+			out = f
+		}
+	}
+	return out
+}
+
+// FlipBits flips n distinct, seed-chosen bit positions of data in place —
+// the firmware-image corruption the mcu integrity envelope must detect —
+// and returns the flipped positions in ascending order. The positions are
+// a pure function of (seed, n, len(data)); n is clamped to the bit length.
+func FlipBits(data []byte, seed int64, n int) []int {
+	bits := len(data) * 8
+	if n > bits {
+		n = bits
+	}
+	if n <= 0 || bits == 0 {
+		return nil
+	}
+	chosen := make(map[int]bool, n)
+	out := make([]int, 0, n)
+	for k := 0; len(out) < n; k++ {
+		pos := int(hashU64(seed^0x626974 /* "bit" */, 0, k) % uint64(bits))
+		if chosen[pos] {
+			continue
+		}
+		chosen[pos] = true
+		out = append(out, pos)
+		data[pos/8] ^= 1 << (pos % 8)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // activeAt reports whether rule ri covers index idx: a burst of r.Burst
 // indices starts at any index s with hash01(seed, ri, s) < r.Rate, so idx
 // is covered when any s in (idx-burst, idx] starts one.
@@ -332,10 +442,9 @@ func activeAt(seed int64, ri, idx int, r Rule) bool {
 	return false
 }
 
-// hash01 maps (seed, rule, index) to a uniform [0,1) double via the
-// splitmix64 finaliser — stateless, so schedules are independent of query
-// order and worker count.
-func hash01(seed int64, rule, idx int) float64 {
+// hashU64 mixes (seed, rule, index) through the splitmix64 finaliser —
+// stateless, so schedules are independent of query order and worker count.
+func hashU64(seed int64, rule, idx int) uint64 {
 	x := uint64(seed)
 	x ^= uint64(rule+1) * 0x9E3779B97F4A7C15
 	x ^= uint64(idx+1) * 0xBF58476D1CE4E5B9
@@ -344,5 +453,10 @@ func hash01(seed int64, rule, idx int) float64 {
 	x ^= x >> 27
 	x *= 0x94D049BB133111EB
 	x ^= x >> 31
-	return float64(x>>11) / float64(1<<53)
+	return x
+}
+
+// hash01 maps (seed, rule, index) to a uniform [0,1) double.
+func hash01(seed int64, rule, idx int) float64 {
+	return float64(hashU64(seed, rule, idx)>>11) / float64(1<<53)
 }

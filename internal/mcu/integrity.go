@@ -1,0 +1,78 @@
+package mcu
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Firmware-image integrity envelope. Images pushed through datacenter
+// infrastructure management software (Section 7.3) can be corrupted in
+// flight or at rest — a single flipped bit in a model's parameters silently
+// changes every prediction it makes. The envelope front-loads a magic tag,
+// layout version, payload length, and a CRC32 (IEEE) of the payload;
+// OpenImage rejects any image whose checksum does not match, which detects
+// all single-bit and all burst errors up to 32 bits. UnwrapImage is the
+// deliberately unsafe flag-off path that lets a corrupted model deploy, so
+// experiments can demonstrate what the detector is worth.
+
+// imageMagic identifies a sealed firmware image.
+var imageMagic = [4]byte{'C', 'G', 'F', 'W'}
+
+// envelopeVersion versions the envelope layout (magic, version byte,
+// uint32 payload length, uint32 CRC, payload).
+const envelopeVersion = 1
+
+// envelopeHeaderSize is the byte length of the envelope header.
+const envelopeHeaderSize = 4 + 1 + 4 + 4
+
+// ErrImageCorrupt reports a firmware-image integrity failure; test with
+// errors.Is.
+var ErrImageCorrupt = errors.New("mcu: firmware image corrupt")
+
+// SealImage wraps a firmware payload in the integrity envelope.
+func SealImage(payload []byte) []byte {
+	out := make([]byte, envelopeHeaderSize+len(payload))
+	copy(out, imageMagic[:])
+	out[4] = envelopeVersion
+	binary.LittleEndian.PutUint32(out[5:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[9:], crc32.ChecksumIEEE(payload))
+	copy(out[envelopeHeaderSize:], payload)
+	return out
+}
+
+// OpenImage verifies a sealed image and returns its payload. Any mismatch —
+// bad magic, unknown version, truncated payload, or checksum failure —
+// returns an error wrapping ErrImageCorrupt.
+func OpenImage(img []byte) ([]byte, error) {
+	if len(img) < envelopeHeaderSize {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the envelope header", ErrImageCorrupt, len(img))
+	}
+	if [4]byte(img[:4]) != imageMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrImageCorrupt, img[:4])
+	}
+	if img[4] != envelopeVersion {
+		return nil, fmt.Errorf("%w: unknown envelope version %d", ErrImageCorrupt, img[4])
+	}
+	n := binary.LittleEndian.Uint32(img[5:])
+	payload := img[envelopeHeaderSize:]
+	if uint32(len(payload)) != n {
+		return nil, fmt.Errorf("%w: payload is %d bytes, header says %d", ErrImageCorrupt, len(payload), n)
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(img[9:]) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrImageCorrupt)
+	}
+	return payload, nil
+}
+
+// UnwrapImage strips the envelope WITHOUT verifying the checksum — the
+// flag-off deployment path. It tolerates a corrupted header (only the
+// overall length must cover it) and returns whatever payload bytes are
+// present, corrupted or not.
+func UnwrapImage(img []byte) ([]byte, error) {
+	if len(img) < envelopeHeaderSize {
+		return nil, fmt.Errorf("mcu: image %d bytes is shorter than the envelope header", len(img))
+	}
+	return img[envelopeHeaderSize:], nil
+}

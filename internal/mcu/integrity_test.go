@@ -1,0 +1,71 @@
+package mcu
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func sealTestPayload() ([]byte, []byte) {
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i*31 + 7)
+	}
+	return payload, SealImage(payload)
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	payload, img := sealTestPayload()
+	got, err := OpenImage(img)
+	if err != nil {
+		t.Fatalf("OpenImage on a pristine image: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload not preserved through the envelope")
+	}
+}
+
+func TestOpenImageCatchesEverySingleBitFlip(t *testing.T) {
+	_, img := sealTestPayload()
+	// Exhaustive: CRC32 detects every single-bit error, header fields
+	// included (magic, version, and length mismatches fail their own
+	// checks; CRC-field flips fail the comparison).
+	for pos := 0; pos < len(img)*8; pos++ {
+		corrupt := append([]byte(nil), img...)
+		corrupt[pos/8] ^= 1 << (pos % 8)
+		if _, err := OpenImage(corrupt); err == nil {
+			t.Fatalf("bit flip at position %d went undetected", pos)
+		} else if !errors.Is(err, ErrImageCorrupt) {
+			t.Fatalf("bit flip at position %d: error %v does not wrap ErrImageCorrupt", pos, err)
+		}
+	}
+}
+
+func TestOpenImageRejectsTruncation(t *testing.T) {
+	_, img := sealTestPayload()
+	for _, n := range []int{0, 4, envelopeHeaderSize - 1, len(img) - 1} {
+		if _, err := OpenImage(img[:n]); !errors.Is(err, ErrImageCorrupt) {
+			t.Errorf("truncation to %d bytes: got %v, want ErrImageCorrupt", n, err)
+		}
+	}
+}
+
+func TestUnwrapImageSkipsVerification(t *testing.T) {
+	payload, img := sealTestPayload()
+	// Corrupt a payload byte: OpenImage must reject, UnwrapImage must not.
+	corrupt := append([]byte(nil), img...)
+	corrupt[envelopeHeaderSize+10] ^= 0x40
+	if _, err := OpenImage(corrupt); err == nil {
+		t.Fatal("OpenImage accepted a corrupted payload")
+	}
+	got, err := UnwrapImage(corrupt)
+	if err != nil {
+		t.Fatalf("UnwrapImage: %v", err)
+	}
+	if bytes.Equal(got, payload) {
+		t.Fatal("unwrapped payload should carry the corruption")
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("unwrapped %d bytes, want %d", len(got), len(payload))
+	}
+}

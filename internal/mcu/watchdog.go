@@ -20,3 +20,38 @@ func WatchdogCost(signals int) Cost {
 		MemoryBytes: 8*signals + 8,
 	}
 }
+
+// GuardedOpsBudget returns the prediction ops budget at the given
+// granularity after reserving one watchdog monitor pass per telemetry
+// interval: the guardrail runs even on intervals with no prediction, so
+// its cost scales with granularity/interval, not with predictions. A
+// budget the watchdog alone exhausts returns 0.
+func (s Spec) GuardedOpsBudget(granularity, interval int, watchdog Cost) int {
+	b := s.OpsBudget(granularity)
+	if interval > 0 {
+		b -= watchdog.Ops * (granularity / interval)
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// FinestGranularityGuarded is FinestGranularity with the watchdog reserve
+// subtracted from every candidate granularity's budget: the smallest
+// multiple of step whose guarded budget covers opsPerPrediction. It
+// returns 0 when the watchdog's per-interval cost meets or exceeds the
+// interval's whole budget, since then no granularity ever fits.
+func (s Spec) FinestGranularityGuarded(opsPerPrediction, step int, watchdog Cost) int {
+	if watchdog.Ops <= 0 {
+		return s.FinestGranularity(opsPerPrediction, step)
+	}
+	if s.OpsBudget(step) <= watchdog.Ops {
+		return 0
+	}
+	for g := step; ; g += step {
+		if s.GuardedOpsBudget(g, step, watchdog) >= opsPerPrediction {
+			return g
+		}
+	}
+}

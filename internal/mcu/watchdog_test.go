@@ -21,3 +21,44 @@ func TestWatchdogFitsInterval(t *testing.T) {
 		t.Fatalf("watchdog memory = %d", c.MemoryBytes)
 	}
 }
+
+// TestGuardedBudgetSubtractsWatchdog pins the arithmetic the guarded build
+// path relies on: the best-rf forest (545 ops) fits a bare 40k granularity
+// but needs 50k once the six-signal watchdog reserve is charged per
+// 10k-instruction interval.
+func TestGuardedBudgetSubtractsWatchdog(t *testing.T) {
+	s := DefaultSpec()
+	wd := WatchdogCost(6)
+	const forestOps, step = 545, 10_000
+
+	if g := s.FinestGranularity(forestOps, step); g != 40_000 {
+		t.Fatalf("bare finest granularity = %d, want 40000", g)
+	}
+	if g := s.FinestGranularityGuarded(forestOps, step, wd); g != 50_000 {
+		t.Fatalf("guarded finest granularity = %d, want 50000", g)
+	}
+	// 40k guarded: 625 − 4×36 = 481 < 545, too tight.
+	if b := s.GuardedOpsBudget(40_000, step, wd); b >= forestOps {
+		t.Fatalf("40k guarded budget = %d, should not fit %d ops", b, forestOps)
+	}
+	// 50k guarded: 781 − 5×36 = 601 ≥ 545.
+	if b := s.GuardedOpsBudget(50_000, step, wd); b < forestOps {
+		t.Fatalf("50k guarded budget = %d, should fit %d ops", b, forestOps)
+	}
+}
+
+func TestGuardedBudgetDegenerateCases(t *testing.T) {
+	s := DefaultSpec()
+	// No watchdog: guarded reduces to bare.
+	if g, b := s.FinestGranularityGuarded(545, 10_000, Cost{}), s.FinestGranularity(545, 10_000); g != b {
+		t.Fatalf("zero watchdog: guarded %d != bare %d", g, b)
+	}
+	// A watchdog that exhausts the per-interval budget can never fit.
+	huge := Cost{Ops: s.OpsBudget(10_000) + 1}
+	if g := s.FinestGranularityGuarded(1, 10_000, huge); g != 0 {
+		t.Fatalf("exhausting watchdog: granularity %d, want 0", g)
+	}
+	if b := s.GuardedOpsBudget(10_000, 10_000, huge); b != 0 {
+		t.Fatalf("exhausted budget = %d, want floor 0", b)
+	}
+}

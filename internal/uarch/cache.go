@@ -148,6 +148,10 @@ type Hierarchy struct {
 	cfg  *Config
 
 	memNextFree uint64 // earliest cycle the DRAM channel accepts a new line
+	// derate scales the DRAM channel's per-line service gap (> 1 =
+	// degraded memory-port throughput, as injected by fault.DRAMDerate);
+	// values at or below 1 mean nominal bandwidth.
+	derate float64
 
 	// streams is a small next-line stream-prefetcher table (line
 	// addresses whose successor has been prefetched). Sequential misses
@@ -159,6 +163,14 @@ type Hierarchy struct {
 	// mshrNext throttles per-cluster demand misses to the steady-state
 	// rate a finite MSHR file sustains (MSHRs per MemLatency cycles).
 	mshrNext [2]uint64
+}
+
+// SetMemDerate scales the DRAM channel's per-line service gap by f,
+// modelling degraded memory-port throughput (a failing DIMM, thermal
+// throttling, a noisy neighbour on the memory bus). f ≤ 1 restores nominal
+// bandwidth. Takes effect from the next DRAM access.
+func (h *Hierarchy) SetMemDerate(f float64) {
+	h.derate = f
 }
 
 // NewHierarchy builds the data-side hierarchy for cfg.
@@ -209,12 +221,16 @@ func (h *Hierarchy) AccessData(addr uint64, write bool, now uint64, cl uint8, in
 	}
 	ev.L2Misses++
 	// DRAM: queue behind the channel when misses arrive faster than one
-	// line per MemGap cycles.
+	// line per MemGap cycles (stretched by any active bandwidth derate).
 	start := now
 	if h.memNextFree > start {
 		start = h.memNextFree
 	}
-	h.memNextFree = start + uint64(h.cfg.MemGap)
+	gap := uint64(h.cfg.MemGap)
+	if h.derate > 1 {
+		gap = uint64(float64(gap)*h.derate + 0.5)
+	}
+	h.memNextFree = start + gap
 
 	line := addr >> 6
 	if !h.cfg.DisablePrefetch && h.streamHit(line) {

@@ -104,6 +104,12 @@ func NewCoreInMode(cfg Config, m Mode) *Core {
 // Mode returns the active cluster configuration.
 func (c *Core) Mode() Mode { return c.mode }
 
+// SetMemDerate scales the core's DRAM service gap by f (≤ 1 = nominal),
+// the uarch-level injection point for DRAM-bandwidth degradation faults:
+// unlike telemetry-class faults, a derate slows real execution, so IPC and
+// every derived counter genuinely drop.
+func (c *Core) SetMemDerate(f float64) { c.hier.SetMemDerate(f) }
+
 // Cycles returns the core's retirement clock.
 func (c *Core) Cycles() uint64 { return c.retireMax }
 

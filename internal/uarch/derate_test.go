@@ -1,0 +1,81 @@
+package uarch
+
+import (
+	"testing"
+
+	"clustergate/internal/trace"
+)
+
+func TestMemDerateStretchesDRAMGap(t *testing.T) {
+	run := func(derate float64) int {
+		cfg := DefaultConfig()
+		h := NewHierarchy(&cfg)
+		if derate > 0 {
+			h.SetMemDerate(derate)
+		}
+		var ev Events
+		var last int
+		// Chained misses over DRAM-sized strides serialize on the channel
+		// gap, which the derate stretches.
+		for i := 0; i < 40; i++ {
+			addr := uint64(0x5000_0000) + uint64(i)*1_048_576*64
+			last = h.AccessData(addr, false, 0, 0, false, &ev)
+		}
+		return last
+	}
+	base := run(0)
+	derated := run(4)
+	if derated <= base {
+		t.Errorf("derated 40th-miss latency %d not above baseline %d", derated, base)
+	}
+	cfg := DefaultConfig()
+	if derated-base < 30*cfg.MemGap {
+		t.Errorf("derate ×4 stretched latency by %d; want ≥ %d (3×gap per queued miss)",
+			derated-base, 30*cfg.MemGap)
+	}
+}
+
+func TestMemDerateResetRestoresThroughput(t *testing.T) {
+	cfg := DefaultConfig()
+	h := NewHierarchy(&cfg)
+	h.SetMemDerate(8)
+	h.SetMemDerate(1)
+	var ev Events
+	var last int
+	for i := 0; i < 40; i++ {
+		addr := uint64(0x5000_0000) + uint64(i)*1_048_576*64
+		last = h.AccessData(addr, false, 0, 0, false, &ev)
+	}
+	if last > cfg.MemLatency+40*cfg.MemGap+100 {
+		t.Errorf("latency %d after derate reset; multiplier should no longer apply", last)
+	}
+}
+
+func TestCoreMemDerateLowersIPC(t *testing.T) {
+	app := synthApp(memParams())
+	run := func(derate float64) Events {
+		core := NewCoreInMode(DefaultConfig(), ModeHighPerf)
+		if derate > 1 {
+			core.SetMemDerate(derate)
+		}
+		s := trace.NewStream(&trace.Trace{App: app, Seed: 7, NumInstrs: testInstrs})
+		buf := make([]trace.Instruction, 4096)
+		for {
+			k := s.Read(buf)
+			if k == 0 {
+				break
+			}
+			core.Execute(buf[:k])
+		}
+		return core.Events()
+	}
+	base := run(1)
+	derated := run(6)
+	if derated.Instrs != base.Instrs {
+		t.Fatalf("instruction counts diverged: %d vs %d", derated.Instrs, base.Instrs)
+	}
+	if derated.IPC() >= base.IPC() {
+		t.Errorf("derated IPC %.3f not below baseline %.3f on memory-bound code",
+			derated.IPC(), base.IPC())
+	}
+}

@@ -22,15 +22,19 @@ if [ -n "$unformatted" ]; then
 fi
 
 echo "== go test -race (worker pool + observability + robustness packages)"
-go test -race ./internal/parallel/... ./internal/dataset/... ./internal/obs/... \
-    ./internal/fault/... ./internal/core/...
+# internal/core under -race runs ~10 min on a 1-core container; give it
+# headroom beyond go test's default 10m timeout.
+go test -race -timeout 25m ./internal/parallel/... ./internal/dataset/... ./internal/obs/... \
+    ./internal/fault/... ./internal/mcu/... ./internal/core/...
 
 echo "== paperbench quick benchmark (BENCH_paperbench.json)"
 go run ./cmd/paperbench -scale quick -exp all -seed 1 -q \
     -manifest BENCH_paperbench.json -results BENCH_paperbench_results.json \
+    -sweepjson BENCH_guardrail_sweep.json \
     > /dev/null
 
 echo "== validate emitted JSON"
-go run scripts/validate-json.go BENCH_paperbench.json BENCH_paperbench_results.json
+go run scripts/validate-json.go BENCH_paperbench.json BENCH_paperbench_results.json \
+    BENCH_guardrail_sweep.json
 
 echo "check.sh: all clean"
