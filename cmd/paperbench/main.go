@@ -11,10 +11,16 @@
 //
 // Experiments: corpus, table3, table4, fig4, fig5, fig6, fig7, fig8, fig9,
 // fig10, table5, table6, granularity, guardrail, guardrail-sweep, faults,
-// uarch, dvfs, ablations, all. The guardrail-sweep study deploys a
-// guarded-budget controller under every fault class across a grid of
-// guardrail configurations and prints the exposure/PPW tuning frontier;
-// -sweepjson additionally writes the frontier as JSON.
+// fleet-rollout, uarch, dvfs, ablations, all. The guardrail-sweep study
+// deploys a guarded-budget controller under every fault class across a
+// grid of guardrail configurations and prints the exposure/PPW tuning
+// frontier; -sweepjson additionally writes the frontier as JSON. The
+// fleet-rollout study flashes the trained controller's sealed image across
+// a simulated fleet under a grid of rollout policies (staged rings ×
+// health gates × transport corruption rates) and prints the
+// machines-exposed versus time-to-full-fleet frontier, including each
+// policy's blast radius for a semantically bad image; -rolloutjson writes
+// that frontier as JSON.
 //
 // Observability (see README "Observability"): -manifest writes a JSON run
 // manifest (per-experiment spans, counters, run metadata), -results writes
@@ -50,6 +56,7 @@ func main() {
 	flag.StringVar(&opts.memProfile, "memprofile", "", "write a pprof heap profile to this file")
 	flag.StringVar(&opts.checkpointDir, "checkpoint", "", "persist completed experiments under this directory and resume from it")
 	flag.StringVar(&opts.sweepJSONPath, "sweepjson", "", "write the guardrail-sweep frontier as JSON to this file")
+	flag.StringVar(&opts.rolloutJSONPath, "rolloutjson", "", "write the fleet-rollout frontier as JSON to this file")
 	flag.Parse()
 	opts.args = os.Args[1:]
 

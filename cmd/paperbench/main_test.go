@@ -35,7 +35,7 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 	scale := tinyScale()
 	base := benchOpts{
 		scaleName: "tiny", cacheDir: t.TempDir(), seed: 7,
-		exps: "corpus,fig7,faults", quiet: true,
+		exps: "corpus,fig7,fleet-rollout", quiet: true,
 		scaleOverride: &scale,
 	}
 

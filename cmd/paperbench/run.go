@@ -23,20 +23,21 @@ import (
 // errInjectedCrash before starting experiment failAfter+1, simulating a
 // mid-sweep kill for checkpoint-resume tests.
 type benchOpts struct {
-	scaleName     string
-	cacheDir      string
-	seed          int64
-	exps          string
-	svgDir        string
-	quiet         bool
-	workers       int
-	manifestPath  string
-	resultsPath   string
-	cpuProfile    string
-	memProfile    string
-	checkpointDir string
-	sweepJSONPath string
-	args          []string
+	scaleName       string
+	cacheDir        string
+	seed            int64
+	exps            string
+	svgDir          string
+	quiet           bool
+	workers         int
+	manifestPath    string
+	resultsPath     string
+	cpuProfile      string
+	memProfile      string
+	checkpointDir   string
+	sweepJSONPath   string
+	rolloutJSONPath string
+	args            []string
 
 	scaleOverride *experiments.Scale
 	failAfter     int
@@ -511,6 +512,36 @@ func run(opts benchOpts, stdout, stderr io.Writer) error {
 			return m, nil
 		})
 	}
+	if sel("fleet-rollout") {
+		runExp("fleet-rollout", false, func(w io.Writer) (map[string]float64, error) {
+			g, err := experiments.BuildGeneralBestRF(env)
+			if err != nil {
+				return nil, err
+			}
+			r, err := experiments.FleetRollout(env, g)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintFleetRollout(w, r)
+			fmt.Fprintln(w)
+			if opts.rolloutJSONPath != "" {
+				if err := writeRolloutJSON(opts.rolloutJSONPath, r); err != nil {
+					return nil, err
+				}
+			}
+			m := map[string]float64{"machines": float64(r.Machines)}
+			for _, row := range r.Rows {
+				m["exposed."+row.Key] = float64(row.Exposed)
+				m["installed."+row.Key] = float64(row.Installed)
+				m["time."+row.Key] = float64(row.TimeSteps)
+				m["bad_flashed."+row.Key] = float64(row.BadFlashed)
+				if row.BadCaught {
+					m["bad_caught."+row.Key] = 1
+				}
+			}
+			return m, nil
+		})
+	}
 	if sel("uarch") {
 		runExp("uarch", false, func(w io.Writer) (map[string]float64, error) {
 			rows, err := experiments.UarchAblations(env, 2)
@@ -631,6 +662,16 @@ func writeFig8SVG(dir string, rows []experiments.Fig8Row) error {
 // writeSweepJSON persists the guardrail-sweep frontier as machine-readable
 // JSON (the -sweepjson flag), for CI validation and downstream tooling.
 func writeSweepJSON(path string, r *experiments.GuardrailSweepResult) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// writeRolloutJSON persists the fleet-rollout frontier as machine-readable
+// JSON (the -rolloutjson flag), for CI validation and downstream tooling.
+func writeRolloutJSON(path string, r *experiments.FleetRolloutResult) error {
 	b, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err

@@ -1,9 +1,13 @@
-// Datacenter: the paper's post-silicon SLA retuning scenario (Section 7.3,
-// Table 5). The same physical CPU ships three different power/performance
-// personalities as firmware images: a strict 90% SLA for latency-sensitive
-// serving, and looser 80%/70% SLAs that a datacenter operator installs
-// off-peak to cut total cost of ownership — swapped by a firmware update,
-// no silicon change.
+// Datacenter: the paper's post-silicon deployment scenario (Section 7.3),
+// taken to fleet scale. A trained gating controller ships as a sealed
+// firmware image that datacenter infrastructure management software
+// flashes across the fleet — and because a firmware push is just software,
+// a bad push is one miscalibration away. This example rolls a healthy
+// image out through staged rings under a noisy transport, then shows the
+// two failure stories the rollout machinery exists for: a canary health
+// gate catching a miscalibrated hotfix after two machines instead of
+// twenty-four, and the ungated big-bang counterfactual that ships it
+// everywhere.
 //
 // Run with:
 //
@@ -18,6 +22,7 @@ import (
 
 	"clustergate/internal/core"
 	"clustergate/internal/dataset"
+	"clustergate/internal/fleet"
 	"clustergate/internal/mcu"
 	"clustergate/internal/power"
 	"clustergate/internal/telemetry"
@@ -25,7 +30,7 @@ import (
 )
 
 func main() {
-	fmt.Println("== one chip, three firmware personalities ==")
+	fmt.Println("== staged firmware rollout across a 24-machine fleet ==")
 	train := trace.BuildHDTR(trace.HDTRConfig{
 		Apps: 96, MeanTracesPerApp: 2, InstrsPerTrace: 350_000, Seed: 3,
 	})
@@ -41,55 +46,92 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pm := power.DefaultModel()
 
-	fmt.Printf("%-24s %-10s %-12s %-12s %s\n",
-		"firmware", "P_SLA", "PPW gain", "violations", "perf vs peak")
-	for _, scenario := range []struct {
-		label string
-		psla  float64
-	}{
-		{"holiday-peak-serving", 0.90},
-		{"shoulder-season", 0.80},
-		{"tco-optimized", 0.70},
-	} {
-		// Retraining is the firmware update: same telemetry, relabelled
-		// ground truth, new model pushed via DCIM software.
-		trained, err := core.RetrainSLA(core.BuildInputs{
-			Tel:      trainTel,
-			Counters: cs,
-			Columns:  cols,
-			Interval: cfg.Interval,
-			Spec:     mcu.DefaultSpec(),
-			Seed:     7,
-		}, scenario.psla)
-		if err != nil {
-			log.Fatal(err)
-		}
+	// The firmware update: train the controller and seal it in its CRC
+	// integrity envelope, the artifact the DCIM software pushes.
+	trained, err := core.RetrainSLA(core.BuildInputs{
+		Tel:      trainTel,
+		Counters: cs,
+		Columns:  cols,
+		Interval: cfg.Interval,
+		Spec:     mcu.DefaultSpec(),
+		Seed:     7,
+	}, 0.90)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var image bytes.Buffer
+	if err := core.SaveController(&image, trained); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "  sealed %s: %d-byte firmware image\n", trained.Name, image.Len())
 
-		// Serialise to a firmware image and load it back — the round trip
-		// every fleet machine performs when the image is pushed.
-		var image bytes.Buffer
-		if err := core.SaveController(&image, trained); err != nil {
-			log.Fatal(err)
-		}
-		controller, err := core.LoadController(&image)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "  pushed %s: %d-byte firmware image\n",
-			scenario.label, image.Len())
-
-		sum, err := core.EvaluateOnCorpus(controller, test, testTel, cfg, pm)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-24s %-10.2f %+10.1f%% %10.2f%% %12.1f%%\n",
-			scenario.label, scenario.psla,
-			100*sum.MeanBenchmarkPPWGain(), 100*sum.Overall.RSV, 100*sum.Overall.RelPerf)
+	wl := fleet.Workload{Traces: test.Traces, Tel: testTel, Cfg: cfg, PM: power.DefaultModel()}
+	staged := fleet.Config{
+		Machines: 24, Rings: []int{2, 6, 16}, Verify: true,
+		Gate:        &fleet.GatePolicy{MaxCRCRejectRate: 1, MaxTripsPerMachine: 3, MaxSLARate: 0.5, MaxMisgateRate: 0.35},
+		Guardrail:   core.DefaultGuardrail(),
+		CorruptProb: 0.2, FlashFailProb: 0.25, FlashRetries: 4,
+		Seed: 11,
 	}
 
-	fmt.Println("\nLoosening the SLA from 0.90 to 0.70 buys additional PPW")
-	fmt.Println("while average performance falls only a few points — the")
-	fmt.Println("paper's Table 5 trade-off, reproduced on synthetic silicon.")
+	// Act 1: the healthy image, over a transport that corrupts one in five
+	// transfers. CRC rejections are retried, each ring soaks clean, every
+	// ring promotes.
+	good, err := fleet.Run(staged, image.Bytes(), wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhealthy image, staged canary(2) -> early(6) -> broad(16):\n")
+	for _, ring := range good.Rings {
+		fmt.Printf("  ring %d: %2d/%2d installed, %d CRC rejections retried, %d trips  -> promoted=%v\n",
+			ring.Index, ring.Installed, ring.Size, ring.CRCRejects, ring.Trips, ring.Promoted)
+	}
+	fmt.Printf("  fleet on new image: %d/%d machines in %d time steps (corrupted payloads installed: %d)\n",
+		good.Installed, len(good.Machines), good.TimeSteps, good.Exposed)
+
+	// Act 2: a hotfix gone wrong — same model, gating thresholds
+	// miscalibrated so every window gates. The CRC envelope cannot catch a
+	// semantic bug, but the canary soak can: the on-machine guardrail
+	// trips repeatedly, the health gate fails, and the rollout halts after
+	// two machines and rolls both back.
+	badCtrl := *trained
+	badCtrl.Name = trained.Name + "-hotfix"
+	badCtrl.ThresholdHigh, badCtrl.ThresholdLow = -1e9, -1e9
+	var badImage bytes.Buffer
+	if err := core.SaveController(&badImage, &badCtrl); err != nil {
+		log.Fatal(err)
+	}
+	badCfg := staged
+	badCfg.CorruptProb = 0 // the push itself is clean; the bug is in the bits
+	bad, err := fleet.Run(badCfg, badImage.Bytes(), wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmiscalibrated hotfix, same staged policy:\n")
+	if bad.RolledBack {
+		fmt.Printf("  caught at ring %d: %s\n", bad.GateFailedRing, bad.GateFailure)
+		fmt.Printf("  blast radius: %d of %d machines, all %d rolled back (%d rollback flashes retried)\n",
+			bad.Flashed, len(bad.Machines), bad.RollbackFlashes, bad.RollbackRetries)
+	} else {
+		fmt.Printf("  NOT caught: %d machines running the bad image\n", bad.Installed)
+	}
+
+	// Act 3: the counterfactual — the same bad image through an ungated
+	// big-bang push, the deployment style the rollout controller replaces.
+	bigbang, err := fleet.Run(fleet.Config{
+		Machines: 24, FlashPerStep: 4,
+		FlashFailProb: 0.25, FlashRetries: 4,
+		Seed: 11,
+	}, badImage.Bytes(), wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsame hotfix, ungated big-bang push:\n")
+	fmt.Printf("  %d of %d machines running the bad image, nothing rolled back\n",
+		bigbang.Installed, len(bigbang.Machines))
+
+	fmt.Println("\nThe gate turns a fleet-wide regression into a two-machine")
+	fmt.Println("incident at the same time-to-full-fleet — the deployment half")
+	fmt.Println("of the paper's post-silicon adaptation story.")
 }

@@ -144,6 +144,9 @@ func DeployWithOptions(g *GatingController, tr *trace.Trace, ref *dataset.TraceT
 				observed = o
 				if dropped {
 					windowDropped = true
+					if state != nil {
+						state.noteBlackout()
+					}
 				}
 			}
 			window = append(window, observed)
@@ -174,8 +177,14 @@ func DeployWithOptions(g *GatingController, tr *trace.Trace, ref *dataset.TraceT
 			if ti != nil {
 				if windowDropped {
 					// No fresh snapshot arrived: the controller cannot
-					// form a new prediction and holds its last decision.
-					pred = prevPred
+					// form a new prediction. Under the default policy it
+					// holds its last decision; under safe-mode-on-blackout
+					// it requests the safe dual-cluster mode instead.
+					if state != nil && state.cfg.SafeModeOnBlackout {
+						pred = 0
+					} else {
+						pred = prevPred
+					}
 				}
 				pred, _ = ti.Prediction(w, pred, prevPred)
 			}
@@ -212,6 +221,7 @@ func DeployWithOptions(g *GatingController, tr *trace.Trace, ref *dataset.TraceT
 
 	if state != nil {
 		res.GuardrailTrips = state.trips
+		res.BlackoutOverrides = state.blackouts
 	}
 	res.InjectedFaults = ti.Injected()
 	deploysDone.Inc()

@@ -44,6 +44,14 @@ type Guardrail struct {
 	// BackoffIntervals is how long gating stays forbidden after a trip.
 	// Zero selects 8.
 	BackoffIntervals int
+	// SafeModeOnBlackout selects the telemetry-blackout recovery policy.
+	// When the counter stream stops arriving (a dropped snapshot or a
+	// trace-outage window), the default controller behaviour is to hold
+	// its last decision; with this policy the watchdog instead forces the
+	// safe dual-cluster mode for the duration of the blackout, releasing
+	// it shortly after fresh telemetry returns. The false default keeps
+	// existing configurations bit-identical.
+	SafeModeOnBlackout bool
 }
 
 // GuardrailSignals is how many telemetry signals the watchdog monitors
@@ -82,6 +90,10 @@ func (gr *Guardrail) defaults() {
 // manifests (the ISSUE's guardrail/trips counter).
 var guardrailTrips = obs.NewCounter("core.guardrail.trips")
 
+// guardrailBlackouts counts intervals where the safe-mode-on-blackout
+// policy overrode the controller during a telemetry blackout.
+var guardrailBlackouts = obs.NewCounter("core.guardrail.blackouts")
+
 // guardrailState tracks the watchdog across intervals.
 type guardrailState struct {
 	cfg         Guardrail
@@ -89,6 +101,7 @@ type guardrailState struct {
 	implausible int // consecutive implausible telemetry intervals
 	backoff     int // intervals remaining in forced high-perf
 	trips       int
+	blackouts   int // intervals overridden by safe-mode-on-blackout
 }
 
 // trip forces the safe mode for the backoff period and records the event.
@@ -97,6 +110,23 @@ func (s *guardrailState) trip() {
 	s.degraded = 0
 	s.trips++
 	guardrailTrips.Inc()
+}
+
+// noteBlackout records one dark (dropped-telemetry) interval. Under the
+// safe-mode-on-blackout policy the watchdog treats the dark interval like
+// an active backoff: gating is forbidden until at least two intervals of
+// fresh telemetry have arrived, so a sustained outage keeps the core
+// pinned to the safe dual-cluster mode for its whole duration. Under the
+// default (hold) policy this is a no-op.
+func (s *guardrailState) noteBlackout() {
+	if !s.cfg.SafeModeOnBlackout {
+		return
+	}
+	s.blackouts++
+	guardrailBlackouts.Inc()
+	if s.backoff < 2 {
+		s.backoff = 2
+	}
 }
 
 // observe inspects one gated interval's events and updates the
@@ -152,6 +182,10 @@ func (s *guardrailState) tick() bool {
 type GuardedDeploymentResult struct {
 	DeploymentResult
 	GuardrailTrips int
+	// BlackoutOverrides counts the dark intervals the
+	// safe-mode-on-blackout policy overrode to the safe mode; always zero
+	// under the default hold-last-decision policy.
+	BlackoutOverrides int
 }
 
 // DeployGuarded runs the controller closed-loop with the fail-safe

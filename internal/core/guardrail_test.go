@@ -113,6 +113,35 @@ func TestGuardrailTripsOnImplausibleTelemetry(t *testing.T) {
 	}
 }
 
+// TestSafeModeOnBlackout pins the blackout recovery policy's state
+// machine: under safe-mode-on-blackout a dark interval forces (and keeps
+// refreshing) a short backoff without shortening a trip's longer one,
+// while the default hold policy ignores blackouts entirely.
+func TestSafeModeOnBlackout(t *testing.T) {
+	gr := DefaultGuardrail()
+	gr.SafeModeOnBlackout = true
+	s := guardrailState{cfg: gr}
+	s.noteBlackout()
+	if s.backoff < 2 {
+		t.Fatalf("backoff = %d after a dark interval, want >= 2", s.backoff)
+	}
+	if s.blackouts != 1 {
+		t.Fatalf("blackouts = %d, want 1", s.blackouts)
+	}
+	s.backoff = 5 // an earlier trip's longer backoff must survive
+	s.noteBlackout()
+	if s.backoff != 5 {
+		t.Fatalf("blackout shortened a trip's backoff to %d", s.backoff)
+	}
+
+	hold := guardrailState{cfg: DefaultGuardrail()}
+	hold.noteBlackout()
+	if hold.backoff != 0 || hold.blackouts != 0 {
+		t.Fatalf("default policy reacted to a blackout: backoff=%d blackouts=%d",
+			hold.backoff, hold.blackouts)
+	}
+}
+
 func TestDeployGuardedNeverWorseOnViolations(t *testing.T) {
 	e := env(t)
 	// An always-gate controller is the worst case the guardrail exists

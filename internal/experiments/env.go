@@ -48,6 +48,11 @@ type Scale struct {
 	// full corpus would dominate the run). Zero uses the whole corpus.
 	SweepTraces int
 
+	// FleetMachines is the simulated fleet size of the rollout study. Must
+	// stay divisible by 12 so the staged ring layouts and the big-bang wave
+	// schedule land on the same time-to-full-fleet. Zero selects 24.
+	FleetMachines int
+
 	// Workers bounds every worker pool the experiments fan out on —
 	// corpus generation, trace simulation, deployment, and
 	// cross-validation folds. Zero uses every core; 1 forces the serial
@@ -62,9 +67,10 @@ func QuickScale() Scale {
 		HDTRApps: 84, HDTRTracesPerApp: 2, HDTRInstrs: 550_000,
 		SPECTracesPerWorkload: 1, SPECInstrs: 650_000,
 		Folds: 4, MLPEpochs: 10,
-		Fig4Sizes:    []int{1, 5, 20, 60},
-		Fig5Counters: []int{2, 4, 8, 12, 24},
-		SweepTraces:  8,
+		Fig4Sizes:     []int{1, 5, 20, 60},
+		Fig5Counters:  []int{2, 4, 8, 12, 24},
+		SweepTraces:   8,
+		FleetMachines: 24,
 	}
 }
 
@@ -77,9 +83,10 @@ func DefaultScale() Scale {
 		HDTRApps: 593, HDTRTracesPerApp: 3, HDTRInstrs: 650_000,
 		SPECTracesPerWorkload: 3, SPECInstrs: 700_000,
 		Folds: 8, MLPEpochs: 12,
-		Fig4Sizes:    []int{1, 5, 10, 20, 50, 100, 200, 300, 440},
-		Fig5Counters: []int{2, 4, 8, 12, 16, 24, 32},
-		SweepTraces:  20,
+		Fig4Sizes:     []int{1, 5, 10, 20, 50, 100, 200, 300, 440},
+		Fig5Counters:  []int{2, 4, 8, 12, 16, 24, 32},
+		SweepTraces:   20,
+		FleetMachines: 48,
 	}
 }
 
@@ -93,6 +100,7 @@ func FullScale() Scale {
 	s.Folds = 32
 	s.MLPEpochs = 25
 	s.SweepTraces = 40
+	s.FleetMachines = 96
 	return s
 }
 

@@ -42,6 +42,31 @@ type FaultStudyResult struct {
 	Model    string
 	Classes  []FaultClassResult
 	Watchdog mcu.Cost
+	// Blackout compares the two telemetry-outage recovery policies under
+	// the correlated trace-outage plan.
+	Blackout *BlackoutPolicyResult
+}
+
+// BlackoutPolicyResult compares the outage recovery policies side by
+// side under the correlated trace-outage plan, both arms guarded by the
+// default guardrail and fed the identical fault schedule:
+// hold-last-decision (the default) leaves the controller's last call in
+// force while telemetry is dark, while safe-mode-on-blackout forces the
+// safe dual-cluster mode for the blackout's duration
+// (core.Guardrail.SafeModeOnBlackout).
+type BlackoutPolicyResult struct {
+	// RSVHold and RSVSafe are the effective SLA-violation rates of the
+	// two policies; PPWHold and PPWSafe their mean per-benchmark PPW
+	// gains (safe mode gives up gating PPW during blackouts — that is
+	// the trade the comparison measures).
+	RSVHold, RSVSafe float64
+	PPWHold, PPWSafe float64
+	// TripsHold and TripsSafe count guardrail trips in each arm.
+	TripsHold, TripsSafe int
+	// Overrides is how many dark intervals the safe-mode policy overrode
+	// to the safe mode; Windows the SLA-window count behind the rates.
+	Overrides int64
+	Windows   int
 }
 
 // DefaultFaultPlans returns the per-class fault plans the faults
@@ -78,11 +103,19 @@ func DefaultFaultPlans(seed int64) []fault.Plan {
 func AllFaultPlans(seed int64) []fault.Plan {
 	taskNoise := fault.Rule{Class: fault.TaskFail, Rate: 0.25}
 	return append(DefaultFaultPlans(seed),
-		fault.Plan{Seed: seed, Rules: []fault.Rule{
-			{Class: fault.TraceOutage, Rate: 0.4, Start: 10, Burst: 30}, taskNoise}},
+		OutagePlan(seed),
 		fault.Plan{Seed: seed, Rules: []fault.Rule{
 			{Class: fault.DRAMDerate, Rate: 0.04, Burst: 25, Factor: 6}, taskNoise}},
 	)
+}
+
+// OutagePlan is the correlated trace-outage plan shared by the guardrail
+// sweep and the blackout-policy comparison: a seeded 40% of the corpus's
+// traces goes dark over the same 30-interval window.
+func OutagePlan(seed int64) fault.Plan {
+	return fault.Plan{Seed: seed, Rules: []fault.Rule{
+		{Class: fault.TraceOutage, Rate: 0.4, Start: 10, Burst: 30},
+		{Class: fault.TaskFail, Rate: 0.25}}}
 }
 
 // FaultStudy deploys the controller over the test corpus under each fault
@@ -120,7 +153,41 @@ func FaultStudy(e *Env, g *core.GatingController) (*FaultStudyResult, error) {
 		cr.TaskFaults = bare.taskFaults + guarded.taskFaults
 		res.Classes = append(res.Classes, cr)
 	}
+
+	var err error
+	res.Blackout, err = blackoutComparison(e, g)
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// blackoutComparison deploys the guarded corpus under the correlated
+// trace-outage plan twice — hold-last-decision vs safe-mode-on-blackout —
+// measuring the exposure/PPW trade between the two recovery policies
+// under the identical fault schedule.
+func blackoutComparison(e *Env, g *core.GatingController) (*BlackoutPolicyResult, error) {
+	inj, err := fault.NewInjector(OutagePlan(e.Seed))
+	if err != nil {
+		return nil, err
+	}
+	hold := core.DefaultGuardrail()
+	holdRun, err := deployCorpusFaulted(e, g, inj, &hold)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: blackout hold arm: %w", err)
+	}
+	safe := core.DefaultGuardrail()
+	safe.SafeModeOnBlackout = true
+	safeRun, err := deployCorpusFaulted(e, g, inj, &safe)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: blackout safe-mode arm: %w", err)
+	}
+	return &BlackoutPolicyResult{
+		RSVHold: holdRun.rsv(), RSVSafe: safeRun.rsv(),
+		PPWHold: holdRun.ppw(), PPWSafe: safeRun.ppw(),
+		TripsHold: holdRun.trips, TripsSafe: safeRun.trips,
+		Overrides: safeRun.blackouts, Windows: safeRun.windows,
+	}, nil
 }
 
 // primaryClass returns the first non-TaskFail class of a plan (its subject).
@@ -140,6 +207,7 @@ type corpusEffRSV struct {
 	trips               int
 	injected            int64
 	taskFaults          int64
+	blackouts           int64
 
 	// benchOrder preserves first-seen benchmark order so ppw's float
 	// summation folds identically at any worker count (a map iteration
@@ -194,6 +262,7 @@ func (c *corpusEffRSV) ppw() float64 {
 func (c *corpusEffRSV) fold(bench string, w int, r *core.GuardedDeploymentResult) {
 	c.trips += r.GuardrailTrips
 	c.injected += r.InjectedFaults
+	c.blackouts += int64(r.BlackoutOverrides)
 	for start := 0; start+w <= len(r.Eff); start += w {
 		fp := 0
 		for i := start; i < start+w; i++ {
@@ -288,6 +357,11 @@ func PrintFaultStudy(w io.Writer, r *FaultStudyResult) {
 	for _, c := range r.Classes {
 		fmt.Fprintf(w, "  %-16s %8.2f%% %8.2f%% %7d %9d %7d\n",
 			c.Class, 100*c.RSVOff, 100*c.RSVOn, c.Trips, c.Injected, c.TaskFaults)
+	}
+	if b := r.Blackout; b != nil {
+		fmt.Fprintf(w, "  outage recovery: hold RSV %.2f%% PPW %+.1f%% trips %d | safe-mode RSV %.2f%% PPW %+.1f%% trips %d (%d dark intervals overridden)\n",
+			100*b.RSVHold, 100*b.PPWHold, b.TripsHold,
+			100*b.RSVSafe, 100*b.PPWSafe, b.TripsSafe, b.Overrides)
 	}
 	fmt.Fprintf(w, "  watchdog firmware: %s per interval\n", r.Watchdog)
 }

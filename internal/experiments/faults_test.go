@@ -108,6 +108,20 @@ func TestFaultStudyGuardrailReducesExposure(t *testing.T) {
 		t.Errorf("watchdog cost = %+v", r.Watchdog)
 	}
 
+	if r.Blackout == nil {
+		t.Fatal("fault study missing the blackout policy comparison")
+	}
+	if r.Blackout.Overrides == 0 {
+		t.Error("safe-mode arm saw no telemetry blackouts under the outage plan")
+	}
+	if r.Blackout.RSVSafe > r.Blackout.RSVHold {
+		t.Errorf("safe-mode-on-blackout raised exposure over hold-last-mode: safe %.3f hold %.3f",
+			r.Blackout.RSVSafe, r.Blackout.RSVHold)
+	}
+	if r.Blackout.Windows == 0 {
+		t.Error("blackout comparison measured no SLA windows")
+	}
+
 	m := run.Finish()
 	if m.Counters["core.guardrail.trips"] <= tripsBefore {
 		t.Error("manifest does not show guardrail trips")

@@ -10,6 +10,7 @@ import (
 	"clustergate/internal/dataset"
 	"clustergate/internal/fault"
 	"clustergate/internal/obs"
+	"clustergate/internal/parallel"
 	"clustergate/internal/trace"
 )
 
@@ -103,10 +104,17 @@ func GuardrailSweep(e *Env, g *core.GatingController) (*GuardrailSweepResult, er
 		res.Classes = append(res.Classes, primaryClass(p))
 	}
 
-	for _, sc := range SweepConfigs() {
-		row := SweepRow{Key: sc.Key, Label: sc.Label}
-		var expSum, ppwSum float64
-		for _, plan := range plans {
+	// Fan the config×plan arms out through the worker pool: every arm is a
+	// pure function of its index (config ci, plan pi), so the fan-out is
+	// free to schedule them in any order. The fold below walks the result
+	// slice in arm index order — config-major, plan-minor — so the summed
+	// per-arm statistics (trips, injections, float exposure sums) are
+	// byte-identical at any worker count.
+	configs := SweepConfigs()
+	arms, err := parallel.MapOpt(len(configs)*len(plans),
+		parallel.Options{Workers: e.Scale.Workers},
+		func(k int) (*corpusEffRSV, error) {
+			sc, plan := configs[k/len(plans)], plans[k%len(plans)]
 			inj, err := fault.NewInjector(plan)
 			if err != nil {
 				return nil, err
@@ -116,6 +124,16 @@ func GuardrailSweep(e *Env, g *core.GatingController) (*GuardrailSweepResult, er
 				return nil, fmt.Errorf("experiments: sweep %s under %s: %w",
 					sc.Key, primaryClass(plan), err)
 			}
+			return st, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for ci, sc := range configs {
+		row := SweepRow{Key: sc.Key, Label: sc.Label}
+		var expSum, ppwSum float64
+		for pi := range plans {
+			st := arms[ci*len(plans)+pi]
 			row.Exposure = append(row.Exposure, st.rsv())
 			expSum += st.rsv()
 			ppwSum += st.ppw()
@@ -127,7 +145,6 @@ func GuardrailSweep(e *Env, g *core.GatingController) (*GuardrailSweepResult, er
 		res.Rows = append(res.Rows, row)
 	}
 
-	var err error
 	res.DetectorFlips, res.DetectorCaught, err = detectorCoverage(g, e.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: detector coverage: %w", err)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"reflect"
 	"testing"
 
@@ -45,11 +46,13 @@ func sweepTestEnv(t *testing.T, workers int) (*Env, *core.GatingController) {
 	return e, g
 }
 
-// TestGuardrailSweepDeterministicAndCovering locks the sweep's contract:
-// identical results and byte-identical rendering at any worker count, every
-// fault class covered with real injections, and the CRC detector rejecting
-// every seeded single-bit image flip.
-func TestGuardrailSweepDeterministicAndCovering(t *testing.T) {
+// TestSweepWorkerIndependence locks the sweep's contract now that the
+// config×plan arms fan out through parallel.MapOpt: identical results,
+// byte-identical rendering, and byte-identical JSON (the -sweepjson
+// payload) at any worker count; every fault class covered with real
+// injections; and the CRC detector rejecting every seeded single-bit
+// image flip.
+func TestSweepWorkerIndependence(t *testing.T) {
 	e1, g1 := sweepTestEnv(t, 1)
 	r1, err := GuardrailSweep(e1, g1)
 	if err != nil {
@@ -69,6 +72,17 @@ func TestGuardrailSweepDeterministicAndCovering(t *testing.T) {
 	if !bytes.Equal(b1.Bytes(), b4.Bytes()) {
 		t.Errorf("sweep rendering not byte-identical across worker counts:\n%s\nvs\n%s",
 			b1.String(), b4.String())
+	}
+	j1, err := json.MarshalIndent(r1, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j4, err := json.MarshalIndent(r4, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j4) {
+		t.Errorf("sweep JSON not byte-identical across worker counts:\n%s\nvs\n%s", j1, j4)
 	}
 
 	want := []fault.Class{

@@ -1,0 +1,420 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"clustergate/internal/core"
+	"clustergate/internal/fault"
+	"clustergate/internal/obs"
+	"clustergate/internal/parallel"
+)
+
+// Transport-decision hash domains: each kind of draw mixes its own salt
+// into the rollout seed so schedules decorrelate.
+const (
+	saltFlash   = 0x666c7368 // "flsh": transient flash failures
+	saltCorrupt = 0x636f7272 // "corr": payload corruption draws
+	saltFlip    = 0x666c6970 // "flip": flip-position seeds
+)
+
+// Flash phases, mixed into the operation key so install and rollback
+// flashes of the same machine draw independent schedules.
+const (
+	phaseInstall  = 0
+	phaseRollback = 1
+)
+
+// opKey identifies one machine's flash operation in one phase.
+func opKey(machine, phase int) int { return machine*2 + phase }
+
+// flashBackoff is the sleep before a failed flash's first retry.
+const flashBackoff = 50 * time.Microsecond
+
+// rollout is one Run's working state.
+type rollout struct {
+	cfg Config
+	img []byte
+	wl  Workload
+
+	// Pristine-image soak results are memoised per trace index: every
+	// machine that installed an uncorrupted payload runs the identical
+	// controller, so one deployment per unique trace covers them all.
+	mu   sync.Mutex
+	memo map[int]soakHealth
+	sf   parallel.Group[soakHealth]
+}
+
+// flashOutcome is one machine's final install result.
+type flashOutcome struct {
+	installed bool
+	corrupt   bool // the installed payload was bit-corrupted in transport
+	crashed   bool // the installed payload failed to decode
+	ctrl      *core.GatingController
+}
+
+// soakHealth is one machine's soak-phase health contribution.
+type soakHealth struct {
+	trips, windows, violations int
+	misgated, truth0           int
+	crashed                    bool
+}
+
+// Run executes one rollout of img across the fleet and returns its
+// deterministic outcome: same Config, image, and workload produce the
+// identical Result at any Workers setting.
+func Run(cfg Config, img []byte, wl Workload) (*Result, error) {
+	defer obs.Start("fleet.rollout").End()
+	if err := cfg.validate(&wl); err != nil {
+		return nil, err
+	}
+	ro := &rollout{cfg: cfg, img: img, wl: wl, memo: map[int]soakHealth{}}
+	res := &Result{GateFailedRing: -1, Machines: make([]Machine, cfg.Machines)}
+	rings := cfg.ringLayout()
+	for ri, ring := range rings {
+		for _, m := range ring {
+			res.Machines[m].ID = m
+			res.Machines[m].Ring = ri
+		}
+	}
+
+	for ri, ring := range rings {
+		rep := RingReport{Index: ri, Size: len(ring),
+			FlashWaves: waves(len(ring), cfg.FlashPerStep)}
+		outs, err := ro.flashRing(ring, &rep, res)
+		if err != nil {
+			return nil, err
+		}
+		res.TimeSteps += rep.FlashWaves
+		failure := ""
+		if cfg.Gate != nil {
+			// Transport gate first: a ring whose flash phase already
+			// failed (crashes, corruption pressure) is never soaked.
+			failure = cfg.Gate.transportFailure(&rep)
+			if failure == "" {
+				if err := ro.soakRing(ring, outs, &rep, res); err != nil {
+					return nil, err
+				}
+				res.TimeSteps += cfg.SoakSteps
+				failure = cfg.Gate.healthFailure(&rep)
+			}
+		}
+		rep.Promoted = failure == ""
+		rep.GateFailure = failure
+		res.Rings = append(res.Rings, rep)
+		if failure != "" {
+			res.RolledBack = true
+			res.GateFailedRing = ri
+			res.GateFailure = failure
+			ro.rollback(res)
+			break
+		}
+	}
+
+	for i := range res.Machines {
+		st := &res.Machines[i]
+		if st.Flashed {
+			res.Flashed++
+		}
+		if st.Installed {
+			res.Installed++
+		}
+		if st.Exposed {
+			res.Exposed++
+		}
+	}
+	for _, rep := range res.Rings {
+		res.Rejected += rep.Rejected
+		res.FlashRetries += rep.FlashRetries
+		res.CRCRejects += rep.CRCRejects
+	}
+	res.Completed = res.Installed == cfg.Machines
+	return res, nil
+}
+
+// flashRing pushes the image to every machine in the ring through the
+// retrying fan-out and folds the outcomes — in machine order — into the
+// ring report and fleet state. Because each transport draw is a pure
+// function of (seed, machine, phase, attempt), and MapOpt re-runs a
+// failed index sequentially on the same goroutine, outcomes are identical
+// at any worker count.
+func (ro *rollout) flashRing(ring []int, rep *RingReport, res *Result) ([]flashOutcome, error) {
+	// Per-index counters: all attempts of one index run sequentially on
+	// one goroutine, so plain slices are race-free.
+	attempts := make([]int, len(ring))
+	retriesBy := make([]int, len(ring))
+	rejectsBy := make([]int, len(ring))
+	outs, err := parallel.MapOpt(len(ring),
+		parallel.Options{Workers: ro.cfg.Workers, Retries: ro.cfg.FlashRetries, Backoff: flashBackoff},
+		func(j int) (flashOutcome, error) {
+			m := ring[j]
+			a := attempts[j]
+			attempts[j]++
+			flashAttempts.Inc()
+			// Transient flash failure: scheduled to never hit a machine's
+			// final attempt, so retries always absorb it and only CRC
+			// rejections can exhaust a machine.
+			if a < ro.cfg.FlashRetries &&
+				hash01(ro.cfg.Seed^saltFlash, opKey(m, phaseInstall), a) < ro.cfg.FlashFailProb {
+				retriesBy[j]++
+				flashRetries.Inc()
+				return flashOutcome{}, fmt.Errorf("fleet: machine %d flash attempt %d failed transiently", m, a)
+			}
+			// The transfer itself: each attempt draws corruption afresh.
+			payload := ro.img
+			corrupt := ro.cfg.CorruptProb > 0 &&
+				hash01(ro.cfg.Seed^saltCorrupt, opKey(m, phaseInstall), a) < ro.cfg.CorruptProb
+			if corrupt {
+				payload = append([]byte(nil), ro.img...)
+				fault.FlipBits(payload,
+					int64(hashU64(ro.cfg.Seed^saltFlip, opKey(m, phaseInstall), a)),
+					ro.cfg.CorruptBits)
+			}
+			if ro.cfg.Verify {
+				g, err := core.LoadController(bytes.NewReader(payload))
+				if err != nil {
+					rejectsBy[j]++
+					crcRejections.Inc()
+					if a >= ro.cfg.FlashRetries {
+						// Out of attempts: the machine keeps its old image.
+						return flashOutcome{}, nil
+					}
+					return flashOutcome{}, fmt.Errorf("fleet: machine %d rejected image: %w", m, err)
+				}
+				return flashOutcome{installed: true, corrupt: corrupt, ctrl: g}, nil
+			}
+			// Legacy unverified pipeline: install whatever arrived. A
+			// payload too damaged to decode bricks the machine until
+			// rollback; one that decodes deploys silently wrong.
+			g, err := core.LoadControllerUnverified(bytes.NewReader(payload))
+			if err != nil {
+				return flashOutcome{installed: true, corrupt: corrupt, crashed: true}, nil
+			}
+			return flashOutcome{installed: true, corrupt: corrupt, ctrl: g}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	for j, out := range outs {
+		st := &res.Machines[ring[j]]
+		st.FlashRetries = retriesBy[j]
+		st.CRCRejects = rejectsBy[j]
+		res.FlashAttempts += attempts[j]
+		rep.FlashRetries += retriesBy[j]
+		rep.CRCRejects += rejectsBy[j]
+		if rejectsBy[j] > 0 {
+			rep.RejectedAttempts++
+		}
+		if !out.installed {
+			rep.Rejected++
+			continue
+		}
+		st.Flashed, st.Installed = true, true
+		rep.Installed++
+		if out.corrupt {
+			st.Exposed = true
+			rep.Exposed++
+			machinesExposed.Inc()
+		}
+		if out.crashed {
+			st.Crashed = true
+			rep.Crashes++
+		}
+	}
+	return outs, nil
+}
+
+// soakRing runs every installed machine's guardrail-instrumented deploy
+// loop on its workload slice and folds the health telemetry in machine
+// order.
+func (ro *rollout) soakRing(ring []int, outs []flashOutcome, rep *RingReport, res *Result) error {
+	rep.Soaked = true
+	healths, err := parallel.MapOpt(len(ring),
+		parallel.Options{Workers: ro.cfg.Workers},
+		func(j int) (soakHealth, error) {
+			out := outs[j]
+			if !out.installed || out.crashed || out.ctrl == nil {
+				return soakHealth{}, nil // nothing to soak
+			}
+			ti := ring[j] % len(ro.wl.Traces)
+			if out.corrupt {
+				// A corrupted-but-decodable controller is unique to this
+				// machine; soak it directly.
+				return ro.deployHealth(out.ctrl, ti), nil
+			}
+			return ro.pristineHealth(out.ctrl, ti), nil
+		})
+	if err != nil {
+		return err
+	}
+	for j, h := range healths {
+		st := &res.Machines[ring[j]]
+		st.Trips = h.trips
+		st.SLAWindows = h.windows
+		st.SLAViolations = h.violations
+		st.Misgated = h.misgated
+		st.Truth0 = h.truth0
+		rep.Trips += h.trips
+		rep.SLAWindows += h.windows
+		rep.SLAViolations += h.violations
+		rep.Misgated += h.misgated
+		rep.Truth0 += h.truth0
+		if h.crashed {
+			st.Crashed = true
+			rep.Crashes++
+		}
+	}
+	return nil
+}
+
+// deployHealth soaks one controller on one trace under the configured
+// guardrail and reduces the deployment to gate-relevant health. A
+// deployment error (a corrupted image that decoded into an undeployable
+// controller) counts as a crash, not a rollout error — a down machine is
+// exactly the health signal the gate exists to catch.
+func (ro *rollout) deployHealth(g *core.GatingController, ti int) soakHealth {
+	gr := ro.cfg.Guardrail
+	r, err := core.DeployWithOptions(g, ro.wl.Traces[ti], ro.wl.Tel[ti],
+		ro.wl.Cfg, ro.wl.PM, core.DeployOptions{Guardrail: &gr})
+	if err != nil {
+		return soakHealth{crashed: true}
+	}
+	h := soakHealth{trips: r.GuardrailTrips}
+	h.windows, h.violations = slaWindows(r.Eff, r.Truth, g.Window().W)
+	for i := range r.Eff {
+		if r.Truth[i] == 0 {
+			h.truth0++
+			if r.Eff[i] == 1 {
+				h.misgated++
+			}
+		}
+	}
+	return h
+}
+
+// pristineHealth memoises deployHealth per trace index for machines
+// running the uncorrupted image (their controllers are byte-identical, so
+// the soak result is shared). The single-flight group only collapses
+// concurrent first computations; results are identical either way.
+func (ro *rollout) pristineHealth(g *core.GatingController, ti int) soakHealth {
+	ro.mu.Lock()
+	h, ok := ro.memo[ti]
+	ro.mu.Unlock()
+	if ok {
+		return h
+	}
+	h, _, _ = ro.sf.Do(fmt.Sprintf("trace-%d", ti), func() (soakHealth, error) {
+		return ro.deployHealth(g, ti), nil
+	})
+	ro.mu.Lock()
+	ro.memo[ti] = h
+	ro.mu.Unlock()
+	return h
+}
+
+// slaWindows folds effective-configuration SLA windows the same way the
+// experiment layer's corpus accounting does: full windows with a majority
+// of false-positive gates are violations; a trace shorter than one window
+// is judged on its partial tail.
+func slaWindows(eff, truth []int, w int) (windows, violations int) {
+	if w <= 0 {
+		w = 1
+	}
+	violated := func(lo, hi int) bool {
+		fp := 0
+		for i := lo; i < hi; i++ {
+			if eff[i] == 1 && truth[i] == 0 {
+				fp++
+			}
+		}
+		return float64(fp)/float64(hi-lo) > 0.5
+	}
+	for start := 0; start+w <= len(eff); start += w {
+		windows++
+		if violated(start, start+w) {
+			violations++
+		}
+	}
+	if len(eff) > 0 && len(eff) < w {
+		windows++
+		if violated(0, len(eff)) {
+			violations++
+		}
+	}
+	return windows, violations
+}
+
+// transportFailure evaluates the flash-phase gate.
+func (p *GatePolicy) transportFailure(rep *RingReport) string {
+	if rep.Crashes > 0 {
+		return fmt.Sprintf("%d machine(s) crashed on install", rep.Crashes)
+	}
+	if rate := float64(rep.RejectedAttempts) / float64(rep.Size); rate > p.MaxCRCRejectRate {
+		return fmt.Sprintf("CRC reject rate %.2f > %.2f", rate, p.MaxCRCRejectRate)
+	}
+	return ""
+}
+
+// healthFailure evaluates the soak-phase gate.
+func (p *GatePolicy) healthFailure(rep *RingReport) string {
+	if rep.Crashes > 0 {
+		return fmt.Sprintf("%d machine(s) crashed during soak", rep.Crashes)
+	}
+	if rep.Installed > 0 {
+		if trips := float64(rep.Trips) / float64(rep.Installed); trips > p.MaxTripsPerMachine {
+			return fmt.Sprintf("guardrail trips/machine %.2f > %.2f", trips, p.MaxTripsPerMachine)
+		}
+	}
+	if rate := rep.MisgateRate(); rate > p.MaxMisgateRate {
+		return fmt.Sprintf("misgate rate %.2f > %.2f", rate, p.MaxMisgateRate)
+	}
+	if rate := rep.SLARate(); rate > p.MaxSLARate {
+		return fmt.Sprintf("SLA violation rate %.2f > %.2f", rate, p.MaxSLARate)
+	}
+	return ""
+}
+
+// rollback reverts every machine currently running the new image to the
+// previous one. Rollback re-activates the resident previous image (an A/B
+// slot switch), so transport corruption does not apply — but each flash
+// can still transiently fail and is retried under the same failure model
+// and retry budget as the install phase.
+func (ro *rollout) rollback(res *Result) {
+	rollbacks.Inc()
+	var ids []int
+	for i := range res.Machines {
+		if res.Machines[i].Installed {
+			ids = append(ids, i)
+		}
+	}
+	attempts := make([]int, len(ids))
+	retriesBy := make([]int, len(ids))
+	// The fn only fails on non-final attempts, so the fan-out cannot
+	// return an error.
+	_ = parallel.ForEachOpt(len(ids),
+		parallel.Options{Workers: ro.cfg.Workers, Retries: ro.cfg.FlashRetries, Backoff: flashBackoff},
+		func(j int) error {
+			a := attempts[j]
+			attempts[j]++
+			flashAttempts.Inc()
+			if a < ro.cfg.FlashRetries &&
+				hash01(ro.cfg.Seed^saltFlash, opKey(ids[j], phaseRollback), a) < ro.cfg.FlashFailProb {
+				retriesBy[j]++
+				flashRetries.Inc()
+				return fmt.Errorf("fleet: machine %d rollback attempt %d failed transiently", ids[j], a)
+			}
+			return nil
+		})
+	for j, m := range ids {
+		st := &res.Machines[m]
+		st.Installed = false
+		st.RolledBack = true
+		res.RollbackRetries += retriesBy[j]
+	}
+	res.RollbackFlashes = len(ids)
+	rollbackFlashes.Add(int64(len(ids)))
+	res.TimeSteps += waves(len(ids), ro.cfg.FlashPerStep)
+}

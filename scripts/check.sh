@@ -25,16 +25,17 @@ echo "== go test -race (worker pool + observability + robustness packages)"
 # internal/core under -race runs ~10 min on a 1-core container; give it
 # headroom beyond go test's default 10m timeout.
 go test -race -timeout 25m ./internal/parallel/... ./internal/dataset/... ./internal/obs/... \
-    ./internal/fault/... ./internal/mcu/... ./internal/core/...
+    ./internal/fault/... ./internal/mcu/... ./internal/core/... ./internal/fleet/...
 
 echo "== paperbench quick benchmark (BENCH_paperbench.json)"
 go run ./cmd/paperbench -scale quick -exp all -seed 1 -q \
     -manifest BENCH_paperbench.json -results BENCH_paperbench_results.json \
     -sweepjson BENCH_guardrail_sweep.json \
+    -rolloutjson BENCH_fleet_rollout.json \
     > /dev/null
 
 echo "== validate emitted JSON"
 go run scripts/validate-json.go BENCH_paperbench.json BENCH_paperbench_results.json \
-    BENCH_guardrail_sweep.json
+    BENCH_guardrail_sweep.json BENCH_fleet_rollout.json
 
 echo "check.sh: all clean"
