@@ -9,6 +9,7 @@ package clustergate
 import (
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -17,7 +18,9 @@ import (
 	"clustergate/internal/dataset"
 	"clustergate/internal/experiments"
 	"clustergate/internal/mcu"
+	"clustergate/internal/obs"
 	"clustergate/internal/trace"
+	"clustergate/internal/uarch"
 )
 
 var (
@@ -27,7 +30,9 @@ var (
 )
 
 // env lazily builds a shared quick-scale environment; the telemetry cache
-// under .cache makes repeat benchmark runs fast.
+// under .cache makes repeat benchmark runs fast. REPRO_WORKERS bounds the
+// worker pool like the -workers flags on the commands; it defaults to 1 so
+// benchmark numbers are deterministic and comparable across machines.
 func env(b *testing.B) *experiments.Env {
 	b.Helper()
 	benchEnvOnce.Do(func() {
@@ -35,6 +40,11 @@ func env(b *testing.B) *experiments.Env {
 		if os.Getenv("REPRO_FULL") != "" {
 			scale = experiments.DefaultScale()
 		}
+		workers := 1
+		if w, err := strconv.Atoi(os.Getenv("REPRO_WORKERS")); err == nil && w >= 0 {
+			workers = w
+		}
+		scale.Workers = workers
 		benchEnv, benchEnvErr = experiments.NewEnv(scale, ".cache", 1)
 	})
 	if benchEnvErr != nil {
@@ -273,6 +283,77 @@ func BenchmarkDVFSComplementarity(b *testing.B) {
 		gain = g
 	}
 	b.ReportMetric(100*gain, "gating-gain-at-vmin-%")
+}
+
+// uarchBenchApp builds the deterministic mixed-phase application the
+// Execute hot-loop benchmarks run; archetype 0 blends serial, ILP, and
+// memory phases, which is what the fleet soak loops actually execute.
+func uarchBenchApp() *trace.Application { return trace.NewApplication(0, "uarchbench", 1) }
+
+// uarchMemBoundApp is a single-phase random-access working set far larger
+// than L2, the worst case for the cache-hierarchy side of the hot loop.
+func uarchMemBoundApp() *trace.Application {
+	return &trace.Application{
+		Name: "uarchmem",
+		Phases: []trace.Phase{{Params: trace.PhaseParams{
+			DepDist: 4, LoadFrac: 0.34, StoreFrac: 0.1, BranchFrac: 0.08,
+			DataFootprint: 256 << 20, CodeFootprint: 16 << 10,
+			StrideFrac: 0.1, BranchEntropy: 0.1,
+		}, Length: 1 << 30}},
+		Transition: [][]float64{{1}},
+		Seed:       1,
+	}
+}
+
+// benchmarkUarchExecute measures steady-state Core.Execute throughput on a
+// pre-generated instruction window. Instructions/sec is derived from the
+// uarch.instructions obs counter delta over the timed region, so the
+// metric measures exactly what the simulator retires; ns/instr is its
+// reciprocal. Allocations are reported so the zero-alloc guarantee shows
+// up in the -benchmem columns.
+func benchmarkUarchExecute(b *testing.B, app *trace.Application, mode uarch.Mode, derate float64) {
+	const window = 100_000
+	buf := make([]trace.Instruction, window)
+	trace.NewStream(&trace.Trace{App: app, Seed: 1, NumInstrs: window}).Read(buf)
+	core := uarch.NewCoreInMode(uarch.DefaultConfig(), mode)
+	if derate > 1 {
+		core.SetMemDerate(derate)
+	}
+	core.Execute(buf) // warm caches and scratch before timing
+	b.ReportAllocs()
+	b.ResetTimer()
+	before := obs.CounterValue("uarch.instructions")
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		core.Execute(buf)
+	}
+	elapsed := time.Since(start)
+	instrs := obs.CounterValue("uarch.instructions") - before
+	b.ReportMetric(float64(instrs)/elapsed.Seconds(), "instrs/s")
+	b.ReportMetric(elapsed.Seconds()*1e9/float64(instrs), "ns/instr")
+}
+
+// BenchmarkUarchExecuteHighPerf is the headline hot-loop number: the
+// dual-cluster mode over the mixed-phase corpus archetype.
+func BenchmarkUarchExecuteHighPerf(b *testing.B) {
+	benchmarkUarchExecute(b, uarchBenchApp(), uarch.ModeHighPerf, 0)
+}
+
+// BenchmarkUarchExecuteLowPower runs the gated single-cluster mode.
+func BenchmarkUarchExecuteLowPower(b *testing.B) {
+	benchmarkUarchExecute(b, uarchBenchApp(), uarch.ModeLowPower, 0)
+}
+
+// BenchmarkUarchExecuteMemBound stresses the cache hierarchy and DRAM
+// channel paths of the hot loop.
+func BenchmarkUarchExecuteMemBound(b *testing.B) {
+	benchmarkUarchExecute(b, uarchMemBoundApp(), uarch.ModeHighPerf, 0)
+}
+
+// BenchmarkUarchExecuteDerated runs memory-bound execution under a DRAM
+// derate, the fault-injection configuration the fleet soak loops execute.
+func BenchmarkUarchExecuteDerated(b *testing.B) {
+	benchmarkUarchExecute(b, uarchMemBoundApp(), uarch.ModeHighPerf, 6)
 }
 
 // BenchmarkSimulateCorpusParallel measures the simulation worker pool's

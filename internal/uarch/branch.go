@@ -36,7 +36,9 @@ func NewPredictor() *Predictor {
 
 // PredictAndUpdate predicts the direction for the branch at pc, updates all
 // predictor state with the actual outcome, and reports whether the
-// prediction was wrong.
+// prediction was wrong. Branch outcomes are trace-random, so every
+// outcome-dependent update below is a saturating-counter nudge computed
+// with conditional moves rather than a (host-)unpredictable branch.
 func (p *Predictor) PredictAndUpdate(pc uint64, taken bool) (mispredicted bool) {
 	bi := (pc >> 2) & uint64(len(p.bimodal)-1)
 	gi := ((pc >> 2) ^ p.history) & uint64(len(p.gshare)-1)
@@ -49,26 +51,24 @@ func (p *Predictor) PredictAndUpdate(pc uint64, taken bool) (mispredicted bool) 
 		pred = gPred
 	}
 
-	// Train the component tables.
-	updateCounter(&p.bimodal[bi], taken)
-	updateCounter(&p.gshare[gi], taken)
-	// Train the chooser only when the components disagree.
-	if bPred != gPred {
-		updateCounter(&p.chooser[ci], gPred == taken)
-	}
-	p.history = ((p.history << 1) | b2u(taken)) & ((1 << historyBits) - 1)
+	// Train the component tables; the chooser trains only when the
+	// components disagree (a zero nudge otherwise).
+	t := b2u(taken)
+	p.bimodal[bi] = nudge(p.bimodal[bi], 2*int64(t)-1)
+	p.gshare[gi] = nudge(p.gshare[gi], 2*int64(t)-1)
+	disagree := int64(b2u(bPred != gPred))
+	p.chooser[ci] = nudge(p.chooser[ci], disagree*(2*int64(b2u(gPred == taken))-1))
+	p.history = ((p.history << 1) | t) & ((1 << historyBits) - 1)
 	return pred != taken
 }
 
-// updateCounter nudges a 2-bit saturating counter toward the outcome.
-func updateCounter(c *uint8, up bool) {
-	if up {
-		if *c < 3 {
-			*c++
-		}
-	} else if *c > 0 {
-		*c--
-	}
+// nudge moves a 2-bit saturating counter by step (−1, 0, or +1), clamping
+// to [0, 3] with conditional moves.
+func nudge(c uint8, step int64) uint8 {
+	n := int64(c) + step
+	n = max(n, 0)
+	n = min(n, 3)
+	return uint8(n)
 }
 
 // Reset restores initial predictor state.

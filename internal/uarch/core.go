@@ -30,16 +30,82 @@ const (
 	// avgRegTransfers is the typical number of live registers copied when
 	// gating Cluster 2 (worst case is Config.MaxRegTransfers).
 	avgRegTransfers = 24
+	// sqRingLen and lqRingLen are the store/load completion-ring sizes;
+	// both are powers of two so ring indices reduce to a mask.
+	sqRingLen = 64
+	lqRingLen = 128
 )
 
-// cycleSlot tracks per-cycle port usage; the stamp identifies which cycle
-// currently owns the entry, so stale data is discarded without sweeps.
-type cycleSlot struct {
-	stamp  uint64
-	issued [2]uint8
-	loads  [2]uint8
-	stores [2]uint8
+// Per-cycle port usage packs into one word per slot-ring entry:
+//
+//	[ epoch (44 bits) | stores1 stores0 (3+3) | loads1 loads0 (3+3) | issued1 issued0 (4+4) ]
+//
+// The epoch is the cycle number divided by slotWindow, so (epoch, ring
+// index) identifies the owning cycle exactly and stale entries are
+// discarded without sweeps. One 8-byte load answers every port question
+// for a probe, and claiming a fresh cycle is a single 8-byte store. The
+// count fields never overflow: each saturates at its configured budget
+// (issue width ≤ 15, load/store ports ≤ 7) before another increment can
+// happen. Virgin entries hold slotVirgin, an epoch no simulation reaches,
+// so a never-touched slot can't masquerade as cycle 0 of epoch 0.
+const (
+	slotIssuedShift = 0  // + 4·cluster
+	slotLoadsShift  = 8  // + 3·cluster
+	slotStoresShift = 14 // + 3·cluster
+	slotEpochShift  = 20
+	slotVirgin      = ^uint64(0)
+)
+
+// modeParams holds the mode-derived constants of the timing pass,
+// recomputed once per SetMode instead of per instruction.
+type modeParams struct {
+	// widths[0] is the front-end width in this mode, widths[1] the width
+	// when the block decodes through the legacy pipe; indexing by the
+	// legacy bit keeps the per-instruction width selection branch-free.
+	widths [2]int
+	rob    uint64 // speculation window
+	single bool   // one active cluster (steer everything to cluster 0)
 }
+
+// coreConsts holds the config-derived constants of the timing pass,
+// computed once at construction.
+type coreConsts struct {
+	decodeDepth uint64
+	icDelay     uint64 // inter-cluster forwarding penalty
+	mispen      uint64 // mispredict redirect cost
+	divLat      uint64
+	robCap      uint64 // wrong-path flush cap (shared ROB size)
+	issueWidth  int    // per-cluster scheduler width
+	loadPorts   int
+	storePorts  int
+	sq          uint64 // store-queue depth
+	lq          uint64 // load-queue depth
+	lqOn        bool   // load queue modelled (0 < lq ≤ ring size)
+	l1dLat      uint64
+	l2Lat       uint64
+	memLat      uint64
+	mshrOn      bool
+	// memClassLat resolves the cache-resident access classes (memL1,
+	// memL1TLB, memL2) to their fixed latencies so the load path only
+	// branches on the single "reaches DRAM" condition.
+	memClassLat [4]uint64
+}
+
+// bumpTab maps (cluster, port kind) to the packed-slot increment word for
+// one issued instruction: the issued-count bump plus the load- or
+// store-port bump when the low two flag bits say so. Indexing by
+// flags&3 (0 = neither, 1 = load, 2 = store) keeps the issue-loop setup
+// free of data-dependent branches.
+var bumpTab = func() (t [2][4]uint64) {
+	for ci := 0; ci < 2; ci++ {
+		base := uint64(1) << (slotIssuedShift + ci*4)
+		t[ci][0] = base
+		t[ci][1] = base | uint64(1)<<(slotLoadsShift+ci*3)
+		t[ci][2] = base | uint64(1)<<(slotStoresShift+ci*3)
+		t[ci][3] = base
+	}
+	return
+}()
 
 // Core is the cycle-level model of the dual-cluster CPU. One Core instance
 // simulates one hardware context; create separate Cores to compare modes on
@@ -62,18 +128,32 @@ type Core struct {
 	redirect    uint64 // earliest fetch cycle after a pending mispredict
 	retireMax   uint64 // highest completion cycle seen (the clock)
 
-	idx          uint64      // global dynamic instruction index
-	comp         []uint64    // completion cycle ring, indexed by idx
-	cluster      []uint8     // cluster assignment ring, indexed by idx
-	slots        []cycleSlot // per-cycle port usage ring
-	steer        uint8       // round-robin steering toggle
-	divFree      [2]uint64   // next cycle each cluster's divider is free
-	sqDrain      [2][]uint64 // per-cluster store-queue drain-cycle rings
-	sqCount      [2]uint64   // per-cluster store counters
-	lqComp       [2][]uint64 // per-cluster load-queue completion rings
-	lqCount      [2]uint64   // per-cluster load counters
-	lastBlock    uint64      // last fetch block probed on the I-side
-	legacyDecode bool        // current block missed the µop cache
+	// The rings are fixed-size arrays rather than slices so every masked
+	// index is provably in bounds: the compiler drops all bounds checks
+	// from the timing loop.
+	idx          uint64               // global dynamic instruction index
+	comp         [depWindow]uint64    // completion cycle ring, indexed by idx
+	cluster      [depWindow]uint8     // cluster assignment ring, indexed by idx
+	slots        [slotWindow]uint64   // per-cycle packed port-usage ring
+	steer        uint8                // round-robin steering toggle
+	divFree      [2]uint64            // next cycle each cluster's divider is free
+	sqDrain      [2][sqRingLen]uint64 // per-cluster store-queue drain-cycle rings
+	sqCount      [2]uint64            // per-cluster store counters
+	lqComp       [2][lqRingLen]uint64 // per-cluster load-queue completion rings
+	lqCount      [2]uint64            // per-cluster load counters
+	lastBlock    uint64               // last fetch block probed on the I-side
+	legacyDecode bool                 // current block missed the µop cache
+
+	// Hoisted constants and per-batch scratch.
+	mp      modeParams
+	cc      coreConsts
+	opLUT   [256]uint32
+	scratch execScratch
+
+	// probeDone signals completion of this core's in-flight probe-pass job
+	// on the shared probe pool (see pipeline.go). At most one job per core
+	// is ever outstanding, so capacity 1 means neither side blocks.
+	probeDone chan struct{}
 }
 
 // NewCore returns a core in high-performance mode.
@@ -82,23 +162,59 @@ func NewCore(cfg Config) *Core { return NewCoreInMode(cfg, ModeHighPerf) }
 // NewCoreInMode returns a core pinned to an initial mode.
 func NewCoreInMode(cfg Config, m Mode) *Core {
 	c := &Core{
-		cfg:      cfg,
-		mode:     m,
-		hier:     NewHierarchy(&cfg),
-		icache:   NewCache(cfg.L1I),
-		uopCache: NewCache(cfg.UopCache),
-		itlb:     NewCache(cfg.ITLB),
-		bp:       NewPredictor(),
-		comp:     make([]uint64, depWindow),
-		cluster:  make([]uint8, depWindow),
-		slots:    make([]cycleSlot, slotWindow),
+		cfg:       cfg,
+		mode:      m,
+		icache:    NewCache(cfg.L1I),
+		uopCache:  NewCache(cfg.UopCache),
+		itlb:      NewCache(cfg.ITLB),
+		bp:        NewPredictor(),
+		probeDone: make(chan struct{}, 1),
 	}
-	c.sqDrain[0] = make([]uint64, 64)
-	c.sqDrain[1] = make([]uint64, 64)
-	c.lqComp[0] = make([]uint64, 128)
-	c.lqComp[1] = make([]uint64, 128)
+	c.hier = NewHierarchy(&c.cfg)
 	c.lastBlock = ^uint64(0)
+	for i := range c.slots {
+		c.slots[i] = slotVirgin
+	}
+	c.opLUT = buildOpLUT(&c.cfg)
+	c.cc = coreConsts{
+		decodeDepth: uint64(cfg.DecodeDepth),
+		icDelay:     uint64(cfg.InterClusterDelay),
+		mispen:      uint64(cfg.MispredictPenalty),
+		divLat:      uint64(cfg.DivLatency),
+		robCap:      uint64(cfg.ROBSize),
+		issueWidth:  cfg.ClusterIssueWidth,
+		loadPorts:   cfg.LoadPorts,
+		storePorts:  cfg.StorePorts,
+		sq:          uint64(cfg.StoreQueue),
+		lq:          uint64(cfg.LoadQueue),
+		lqOn:        cfg.LoadQueue > 0 && cfg.LoadQueue <= lqRingLen,
+		l1dLat:      uint64(cfg.L1DLatency),
+		l2Lat:       uint64(cfg.L2Latency),
+		memLat:      uint64(cfg.MemLatency),
+		mshrOn:      cfg.MSHRs > 0,
+	}
+	c.cc.memClassLat = [4]uint64{
+		memL1:    uint64(cfg.L1DLatency),
+		memL1TLB: uint64(cfg.L1DLatency) + 20, // page-walk cost
+		memL2:    uint64(cfg.L2Latency),
+	}
+	c.applyMode()
 	return c
+}
+
+// applyMode recomputes the mode-derived timing constants; called from the
+// constructor and SetMode so the hot loop reads them as plain fields.
+func (c *Core) applyMode() {
+	w := c.cfg.fetchWidth(c.mode)
+	c.mp.widths[0] = w
+	c.mp.widths[1] = w
+	if w > 4 {
+		// µop-cache misses fall back to the legacy decode pipe, which
+		// sustains at most 4 instructions per cycle.
+		c.mp.widths[1] = 4
+	}
+	c.mp.rob = uint64(c.cfg.robSize(c.mode))
+	c.mp.single = clusters(c.mode) == 1
 }
 
 // Mode returns the active cluster configuration.
@@ -146,303 +262,484 @@ func (c *Core) SetMode(m Mode) {
 		c.fc += 2
 	}
 	c.mode = m
+	c.applyMode()
 }
 
-// Execute runs a batch of instructions through the timing model.
+// execChunk is the number of instructions processed per pass sweep. The
+// scratch slices for one chunk (~14 B/instruction) plus the chunk's slice
+// of the caller's batch stay resident in the L1/L2 caches across all three
+// passes, so a large Execute batch never streams its scratch state through
+// memory more than once. Chunking is pure batching — every pass still
+// walks every instruction in program order — so counters are unaffected by
+// the chunk size.
+const execChunk = 2048
+
+// Execute runs a batch of instructions through the timing model as
+// struct-of-arrays passes over cache-sized chunks: decode and probe the
+// chunk into contiguous parallel slices in one program-order walk, resolve
+// its branches against the predictor, then price everything in one tight
+// arithmetic pass over the slices. Cache and predictor state depend only
+// on the instruction stream — never on timing — so the split is exact:
+// counters are byte-identical to per-instruction interleaved execution at
+// any batch size.
+//
+// The split also makes the passes independent across adjacent chunks: the
+// probe pass for chunk k+1 touches only cache, predictor, and I-side state
+// while the timing pass for chunk k touches only cycle rings and queue
+// clocks, and the two write disjoint Events fields. Multi-chunk batches
+// therefore run as a two-stage pipeline — chunk k+1 probes on a shared
+// worker goroutine (pipeline.go) while chunk k is being priced here — with
+// double-buffered scratch and per-chunk handoff through channels. Every
+// pass still sees every instruction in program order, so counters remain
+// byte-identical to the serial schedule.
 func (c *Core) Execute(batch []trace.Instruction) {
-	before := c.retireMax
-	for i := range batch {
-		c.step(&batch[i])
+	if len(batch) == 0 {
+		return
 	}
-	instrsSimulated.Add(int64(len(batch)))
+	before := c.retireMax
+	total := len(batch)
+	c.scratch.grow(execChunk)
+
+	if total > execChunk && probePoolReady() {
+		c.executePipelined(batch)
+	} else {
+		for len(batch) > 0 {
+			n := min(len(batch), execChunk)
+			chunk := batch[:n]
+			c.probePass(chunk, &c.scratch.buf[0])
+			c.timingPass(chunk, &c.scratch.buf[0])
+			batch = batch[n:]
+		}
+	}
+	instrsSimulated.Add(int64(total))
 	cyclesSimulated.Add(int64(c.retireMax - before))
 }
 
-func (c *Core) step(in *trace.Instruction) {
-	cfg := &c.cfg
-	width := cfg.fetchWidth(c.mode)
-	c.probeISide(in.PC)
-	if c.legacyDecode && width > 4 {
-		// µop-cache misses fall back to the legacy decode pipe, which
-		// sustains at most 4 instructions per cycle.
-		width = 4
-	}
-
-	// --- Fetch: width, redirects, ROB occupancy, I-side misses.
-	if c.fetchedInFC >= width {
-		c.fc++
-		c.fetchedInFC = 0
-	}
-	if c.redirect > c.fc {
-		c.fc = c.redirect
-		c.fetchedInFC = 0
-	}
-	// Speculation window: instruction i cannot be fetched until i-ROB
-	// completes; gating halves the effective window.
-	rob := uint64(cfg.robSize(c.mode))
-	if c.idx >= rob {
-		if free := c.comp[(c.idx-rob)&(depWindow-1)]; free > c.fc {
-			c.fc = free
-			c.fetchedInFC = 0
+// executePipelined overlaps chunk k+1's probe pass with chunk k's timing
+// pass. At most one probe job per core is in flight, which serialises all
+// cache and predictor mutations in program order; the received probeDone
+// signal orders each buffer's writes before the timing pass reads them.
+func (c *Core) executePipelined(batch []trace.Instruction) {
+	k := 0
+	probeJobs <- probeJob{c: c, batch: batch[:execChunk], buf: &c.scratch.buf[0]}
+	for len(batch) > 0 {
+		n := min(len(batch), execChunk)
+		chunk := batch[:n]
+		<-c.probeDone
+		if rest := batch[n:]; len(rest) > 0 {
+			m := min(len(rest), execChunk)
+			probeJobs <- probeJob{c: c, batch: rest[:m], buf: &c.scratch.buf[(k+1)&1]}
 		}
+		c.timingPass(chunk, &c.scratch.buf[k&1])
+		batch = batch[n:]
+		k++
 	}
-	c.fetchedInFC++
+}
 
-	dispatch := c.fc + uint64(cfg.DecodeDepth)
+// timingPass assigns fetch, ready, issue, and completion cycles to every
+// instruction in the scratch slices. All machine state lives in local
+// variables for the duration of the batch (written back at the end), all
+// rings are indexed through power-of-two masks, and every config- or
+// mode-derived quantity was hoisted at construction/SetMode time, so the
+// loop body is branch-predictable integer arithmetic with no calls.
+func (c *Core) timingPass(batch []trace.Instruction, s *probeBuf) {
+	n := len(batch)
+	words := s.word[:n]
 
-	// --- Steering and operand readiness.
-	cl := c.steerCluster(in)
-	ready := dispatch
-	depReady := uint64(0)
-	if in.Dep1 > 0 {
-		depReady = c.depReady(uint64(in.Dep1), cl)
-		c.ev.PhysRegRefs++
+	h := c.hier
+
+	comp := &c.comp
+	clRing := &c.cluster
+	slots := &c.slots
+	sqd := &c.sqDrain
+	lqc := &c.lqComp
+
+	// Config- and mode-derived constants, copied into true locals: the
+	// ring writes below go through pointers into c, so the compiler would
+	// otherwise reload any field read through c (or a pointer into it)
+	// after every store. Plain locals are provably unaliased.
+	cc := &c.cc
+	mp := &c.mp
+	opLUT := c.opLUT
+	memClassLat := cc.memClassLat
+	widths := mp.widths
+	rob := mp.rob
+	decodeDepth := cc.decodeDepth
+	mispen := cc.mispen
+	divLat := cc.divLat
+	robCap := cc.robCap
+	issueW := cc.issueWidth
+	loadP := cc.loadPorts
+	storeP := cc.storePorts
+	sqDepth := cc.sq
+	lqDepth := cc.lq
+	lqOn := cc.lqOn
+	l2Lat := cc.l2Lat
+	memLat := cc.memLat
+
+	// Machine state, batch-local.
+	fc := c.fc
+	fifc := c.fetchedInFC
+	redirect := c.redirect
+	retireMax := c.retireMax
+	idx := c.idx
+	steer := c.steer
+	divFree := c.divFree
+	sqCount := c.sqCount
+	lqCount := c.lqCount
+	memNextFree := h.memNextFree
+	mshr := h.mshrNext
+	gap := h.gap
+	mshrGap := h.mshrGap
+
+	// Event accumulators, flushed once after the loop. UopsReady needs no
+	// counter: exactly one of {stalled-on-dep, ready} holds per
+	// instruction, so it is n − stalledOnDep. Per-cluster issue counts use
+	// a two-element array so the alternating steering pattern costs no
+	// branch.
+	var physRegRefs, stalledOnDep, readyWait uint64
+	var issueC [2]uint64
+	var busy, crossFwd uint64
+	var sqStall, sqOcc, wrongPath, redirCycles uint64
+
+	// notSingle masks cluster choice and steering-toggle updates to
+	// cluster 0 in gated mode; icd is the cross-cluster forwarding cost
+	// (applied via a 0/1 multiplier, never a branch).
+	notSingle := uint8(1)
+	if mp.single {
+		notSingle = 0
 	}
-	if in.Dep2 > 0 {
-		if r := c.depReady(uint64(in.Dep2), cl); r > depReady {
-			depReady = r
+	icd := cc.icDelay
+	var mshrOn uint64
+	if cc.mshrOn {
+		mshrOn = 1
+	}
+
+	for i := range batch {
+		in := &batch[i]
+		op := uint8(in.Op)
+		ov := opLUT[op]
+		fl := uint8(ov)
+		w := words[i]
+		info := uint8(w)
+
+		// --- Fetch: I-side bubbles, width, redirects, ROB occupancy.
+		// Every "advance the fetch cycle and restart the fetch group"
+		// condition here is trace-random, so each one folds its reset into
+		// a 0/−1 mask (g−1) instead of a branch; the checks still apply in
+		// the original order because each mask lands before the next test.
+		b := w >> 8
+		fc += b
+		var gz int
+		if b != 0 {
+			gz = 1
 		}
-		c.ev.PhysRegRefs++
-	}
-	if depReady > ready {
-		ready = depReady
-		c.ev.UopsStalledOnDep++
-	} else {
-		c.ev.UopsReady++
-	}
-
-	// --- Memory side: latency and store-queue pressure. Bandwidth and
-	// MSHR throttling are keyed on the monotone fetch clock: the shared
-	// channels see the window's aggregate demand stream in order.
-	lat := 1
-	isLoad, isStore := false, false
-	switch in.Op {
-	case trace.OpLoad:
-		isLoad = true
-		lat = c.hier.AccessData(in.Addr, false, c.fc, cl, ready <= dispatch, &c.ev)
-		ready = c.reserveLoadSlot(cl, ready)
-	case trace.OpStore:
-		isStore = true
-		c.hier.AccessData(in.Addr, true, c.fc, cl, false, &c.ev)
-		lat = 1
-		ready = c.reserveStoreSlot(cl, ready)
-	case trace.OpMul:
-		lat = 3
-		c.ev.MulOps++
-	case trace.OpFPAdd, trace.OpFPMul:
-		lat = 4
-		c.ev.FPOps++
-	case trace.OpDiv, trace.OpFPDiv:
-		lat = cfg.DivLatency
-		c.ev.DivOps++
-		if in.Op == trace.OpFPDiv {
-			c.ev.FPOps++
+		fifc &= gz - 1
+		width := widths[info>>3&1]
+		var gw int
+		if fifc >= width {
+			gw = 1
 		}
-		if c.divFree[cl] > ready {
-			ready = c.divFree[cl]
+		fc += uint64(gw)
+		fifc &= gw - 1
+		var gr int
+		if redirect > fc {
+			gr = 1
 		}
-	}
-
-	// --- Issue: first cycle ≥ ready with a free port on this cluster.
-	issue := c.findIssueCycle(cl, ready, isLoad, isStore)
-	c.ev.ReadyWaitCycles += issue - ready
-	if cl == 0 {
-		c.ev.IssueC0++
-	} else {
-		c.ev.IssueC1++
-	}
-	if in.Op == trace.OpDiv || in.Op == trace.OpFPDiv {
-		// Non-pipelined divider blocks the cluster's divide port.
-		c.divFree[cl] = issue + uint64(cfg.DivLatency)
-	}
-
-	complete := issue + uint64(lat)
-	c.comp[c.idx&(depWindow-1)] = complete
-	c.cluster[c.idx&(depWindow-1)] = cl
-	if complete > c.retireMax {
-		c.retireMax = complete
-	}
-	if isStore {
-		c.recordStoreDrain(cl, complete)
-	}
-	if isLoad {
-		n := c.lqCount[cl]
-		c.lqComp[cl][n&127] = complete
-		c.lqCount[cl] = n + 1
-	}
-
-	// --- Branch resolution.
-	if in.Op == trace.OpBranch {
-		c.ev.Branches++
-		if in.Taken {
-			c.ev.TakenBranches++
+		fc = max(fc, redirect)
+		fifc &= gr - 1
+		// Speculation window: instruction i cannot be fetched until i-ROB
+		// completes.
+		if idx >= rob {
+			free := comp[(idx-rob)&(depWindow-1)]
+			var gb int
+			if free > fc {
+				gb = 1
+			}
+			fc = max(fc, free)
+			fifc &= gb - 1
 		}
-		if c.bp.PredictAndUpdate(in.PC, in.Taken) {
-			c.ev.Mispredicts++
-			r := complete + uint64(cfg.MispredictPenalty)
-			if r > c.redirect {
-				// Wrong-path fetch between now and resolution is flushed.
-				flushed := (complete - c.fc) * uint64(width)
-				if flushed > uint64(cfg.ROBSize) {
-					flushed = uint64(cfg.ROBSize)
+		fifc++
+		dispatch := fc + decodeDepth
+
+		// --- Steering: short dependency chains follow their producer,
+		// independent work alternates clusters; gated mode uses cluster 0.
+		// Whether a chain is followed depends on the trace, so the choice
+		// is computed without a data-dependent branch: the producer's
+		// cluster is read unconditionally (the masked ring index is always
+		// in bounds; the value is simply unused when there is no
+		// producer), the steering toggle flips only for unsteered work,
+		// and single-cluster mode masks everything to cluster 0 via
+		// notSingle without touching the toggle.
+		d1 := in.Dep1
+		dist1 := uint64(d1)
+		var fbA, fbB uint8
+		if uint32(d1)-1 < 3 { // d1 ∈ {1,2,3}, one unsigned compare
+			fbA = 1
+		}
+		if dist1 <= idx {
+			fbB = 1
+		}
+		fb := fbA & fbB
+		pcl := clRing[(idx-dist1)&(depWindow-1)]
+		steer ^= (fb ^ 1) & notSingle
+		cl := steer ^ ((steer ^ pcl) & -fb)
+		cl &= notSingle
+		ci := cl & 1 // provably in-bounds index for the [2]-element state
+
+		// --- Operand readiness: producer completion plus inter-cluster
+		// forwarding delay. Both producer slots are resolved with
+		// unconditional ring reads and masked arithmetic for the same
+		// reason as steering: the presence, distance, and cluster of a
+		// producer are trace-random, and mispredicted branches on them
+		// would dominate the loop.
+		// A producer's completion (and its cross-cluster forwarding cost)
+		// counts only when the producer exists and is inside the window;
+		// both conditions become 0/−1 masks over the unconditional ring
+		// reads, so no trace-dependent branch survives.
+		ready := dispatch
+		j1 := (idx - dist1) & (depWindow - 1)
+		x1 := uint64((clRing[j1] ^ cl) & notSingle)
+		var gd1 uint64
+		if d1 > 0 {
+			gd1 = 1
+		}
+		m1 := -(gd1 & uint64(fbB))
+		v1 := (comp[j1] + x1*icd) & m1
+		d2 := in.Dep2
+		dist2 := uint64(d2)
+		j2 := (idx - dist2) & (depWindow - 1)
+		x2 := uint64((clRing[j2] ^ cl) & notSingle)
+		var gd2, gl2 uint64
+		if d2 > 0 {
+			gd2 = 1
+		}
+		if dist2 <= idx {
+			gl2 = 1
+		}
+		m2 := -(gd2 & gl2)
+		v2 := (comp[j2] + x2*icd) & m2
+		crossFwd += x1&m1 + x2&m2
+		physRegRefs += gd1 + gd2
+		depReady := max(v1, v2)
+		var sd uint64
+		if depReady > ready {
+			sd = 1
+		}
+		stalledOnDep += sd
+		ready = max(ready, depReady)
+
+		// --- Memory side: the probe pass already classified every access;
+		// here only the DRAM channel, MSHR, and queue clocks apply. The
+		// arithmetic mirrors Hierarchy.timeData over batch-local clocks.
+		// --- Memory clocks, queue reservations, issue, and completion
+		// rings, fused into one branch per instruction kind. The kind is
+		// trace-random, so the loop pays exactly one hard-to-predict
+		// branch for all kind-specific work, and each kind carries a
+		// specialized copy of the issue loop: first cycle ≥ ready with a
+		// free port on this cluster, probing only the port fields that
+		// kind can exhaust. A slot whose epoch is stale belongs to a
+		// long-dead cycle; treating it as the current cycle with zero
+		// counts folds the fresh-claim and partially-used cases into one
+		// path, so each probe is a load, a few flag-set compares, and a
+		// single almost-always-taken exit branch.
+		lat := uint64(ov >> 8)
+		cls := info & infoClassMask
+		shI := uint(ci) * 4
+		var issue uint64
+		if fl&flagLoad != 0 {
+			// Cache-resident classes resolve through a latency LUT; only
+			// the "reaches DRAM" condition branches, and it is strongly
+			// biased one way per workload (rare when the footprint fits,
+			// near-constant when it streams).
+			if cls >= memPF {
+				start := max(fc, memNextFree)
+				memNextFree = start + gap
+				if cls == memPF {
+					lat = start - fc + l2Lat
+				} else { // memDemand
+					// MSHR throttling applies only to independent misses;
+					// the condition is trace-random, so the clock update
+					// runs unconditionally with a mask selecting between
+					// the throttled and untouched values.
+					var ind uint64
+					if ready <= dispatch {
+						ind = 1
+					}
+					ind &= mshrOn
+					s := max(start, mshr[ci]&^(ind-1))
+					nm := s + mshrGap
+					if ind == 0 {
+						nm = mshr[ci]
+					}
+					mshr[ci] = nm
+					lat = s - fc + memLat
 				}
-				c.ev.WrongPathUops += flushed
-				c.ev.RedirectCycles += r - c.fc
-				c.redirect = r
-			}
-		}
-	}
-
-	c.ev.Instrs++
-	c.idx++
-}
-
-// probeISide models the micro-op cache, instruction cache, and ITLB once
-// per fetch block, charging front-end bubbles on misses.
-func (c *Core) probeISide(pc uint64) {
-	block := pc / (fetchBlock * 4)
-	if block == c.lastBlock {
-		return
-	}
-	c.lastBlock = block
-
-	var bubble uint64
-	if hit, _ := c.itlb.Access(pc, false); !hit {
-		c.ev.ITLBMisses++
-		bubble += 20
-	}
-	if hit, _ := c.uopCache.Access(pc, false); hit {
-		c.ev.UopCacheHits++
-		c.legacyDecode = false
-	} else {
-		c.ev.UopCacheMisses++
-		c.legacyDecode = true
-		if l1hit, _ := c.icache.Access(pc, false); l1hit {
-			c.ev.L1IHits++
-		} else {
-			c.ev.L1IMisses++
-			if l2hit, _ := c.hier.L2.Access(pc, false); l2hit {
-				bubble += uint64(c.cfg.L2Latency)
 			} else {
-				bubble += uint64(c.cfg.MemLatency) / 2
+				lat = memClassLat[cls&3]
+			}
+			// Load-queue reservation: gated operation halves the
+			// machine's aggregate load queue.
+			nl := lqCount[ci]
+			if lqOn && nl >= lqDepth {
+				ready = max(ready, lqc[ci][(nl-lqDepth)&(lqRingLen-1)])
+			}
+			shL := slotLoadsShift + uint(ci)*3
+			bump := uint64(1)<<shI | uint64(1)<<shL
+			for t := ready; ; t++ {
+				sl := &slots[t&(slotWindow-1)]
+				v := *sl
+				var fresh uint64
+				if v>>slotEpochShift != t/slotWindow {
+					fresh = 1
+				}
+				if fresh != 0 {
+					v = t / slotWindow << slotEpochShift
+				}
+				var f1, f2 uint64
+				if int(v>>shI&15) < issueW {
+					f1 = 1
+				}
+				if int(v>>shL&7) < loadP {
+					f2 = 1
+				}
+				if f1&f2 != 0 {
+					*sl = v + bump
+					busy += fresh
+					issue = t
+					break
+				}
+			}
+			lqc[ci][nl&(lqRingLen-1)] = issue + lat
+			lqCount[ci] = nl + 1
+		} else if fl&flagStore != 0 {
+			if cls >= memPF {
+				// L2 miss: the writeback line still occupies the channel.
+				memNextFree = max(fc, memNextFree) + gap
+			}
+			// Store-queue reservation and occupancy telemetry.
+			ring := &sqd[ci]
+			ncnt := sqCount[ci]
+			if ncnt >= sqDepth {
+				drain := ring[(ncnt-sqDepth)&(sqRingLen-1)]
+				ex := max(drain, ready) - ready
+				sqStall += ex
+				ready += ex
+			}
+			occ := uint64(0)
+			scan := min(sqDepth, ncnt)
+			for k := uint64(1); k <= scan; k++ {
+				var one uint64
+				if ring[(ncnt-k)&(sqRingLen-1)] > ready {
+					one = 1
+				}
+				occ += one
+			}
+			sqOcc += occ
+			shS := slotStoresShift + uint(ci)*3
+			bump := uint64(1)<<shI | uint64(1)<<shS
+			for t := ready; ; t++ {
+				sl := &slots[t&(slotWindow-1)]
+				v := *sl
+				var fresh uint64
+				if v>>slotEpochShift != t/slotWindow {
+					fresh = 1
+				}
+				if fresh != 0 {
+					v = t / slotWindow << slotEpochShift
+				}
+				var f1, f3 uint64
+				if int(v>>shI&15) < issueW {
+					f1 = 1
+				}
+				if int(v>>shS&7) < storeP {
+					f3 = 1
+				}
+				if f1&f3 != 0 {
+					*sl = v + bump
+					busy += fresh
+					issue = t
+					break
+				}
+			}
+			ring[ncnt&(sqRingLen-1)] = issue + lat + sqDrainDelay
+			sqCount[ci] = ncnt + 1
+		} else {
+			isDiv := fl&flagDiv != 0
+			if isDiv {
+				// Non-pipelined divider blocks the cluster's divide port.
+				ready = max(ready, divFree[ci])
+			}
+			bump := uint64(1) << shI
+			for t := ready; ; t++ {
+				sl := &slots[t&(slotWindow-1)]
+				v := *sl
+				var fresh uint64
+				if v>>slotEpochShift != t/slotWindow {
+					fresh = 1
+				}
+				if fresh != 0 {
+					v = t / slotWindow << slotEpochShift
+				}
+				if int(v>>shI&15) < issueW {
+					*sl = v + bump
+					busy += fresh
+					issue = t
+					break
+				}
+			}
+			if isDiv {
+				divFree[ci] = issue + divLat
 			}
 		}
-	}
-	if bubble > 0 {
-		c.fc += bubble
-		c.fetchedInFC = 0
-		c.ev.FetchBubbles += bubble
-	}
-}
+		readyWait += issue - ready
+		issueC[ci]++
 
-// steerCluster picks the execution cluster for an instruction. Short
-// dependency chains follow their producer (avoiding forwarding latency);
-// independent work alternates clusters to balance load. In low-power mode
-// everything runs on Cluster 1 (index 0).
-func (c *Core) steerCluster(in *trace.Instruction) uint8 {
-	if clusters(c.mode) == 1 {
-		return 0
-	}
-	if in.Dep1 > 0 && in.Dep1 <= 3 && uint64(in.Dep1) <= c.idx {
-		return c.cluster[(c.idx-uint64(in.Dep1))&(depWindow-1)]
-	}
-	c.steer ^= 1
-	return c.steer
-}
+		// --- Completion and retirement bookkeeping.
+		complete := issue + lat
+		j := idx & (depWindow - 1)
+		comp[j] = complete
+		clRing[j] = cl
+		retireMax = max(retireMax, complete)
 
-// depReady returns when the value produced dist instructions ago becomes
-// usable on cluster cl, including the inter-cluster forwarding penalty.
-func (c *Core) depReady(dist uint64, cl uint8) uint64 {
-	if dist > c.idx {
-		return 0
+		// --- Branch resolution (direction precomputed by branchPass).
+		if info&infoMispredict != 0 {
+			r := complete + mispen
+			if r > redirect {
+				// Wrong-path fetch between now and resolution is flushed.
+				flushed := min((complete-fc)*uint64(width), robCap)
+				wrongPath += flushed
+				redirCycles += r - fc
+				redirect = r
+			}
+		}
+		idx++
 	}
-	i := (c.idx - dist) & (depWindow - 1)
-	r := c.comp[i]
-	if c.cluster[i] != cl && clusters(c.mode) > 1 {
-		r += uint64(c.cfg.InterClusterDelay)
-		c.ev.CrossForwards++
-	}
-	return r
-}
 
-// findIssueCycle locates the first cycle at or after earliest with free
-// issue bandwidth (and a free load/store port when needed) on cluster cl.
-func (c *Core) findIssueCycle(cl uint8, earliest uint64, isLoad, isStore bool) uint64 {
-	cfg := &c.cfg
-	for t := earliest; ; t++ {
-		s := &c.slots[t&(slotWindow-1)]
-		if s.stamp != t {
-			*s = cycleSlot{stamp: t}
-		}
-		if int(s.issued[cl]) >= cfg.ClusterIssueWidth {
-			continue
-		}
-		if isLoad && int(s.loads[cl]) >= cfg.LoadPorts {
-			continue
-		}
-		if isStore && int(s.stores[cl]) >= cfg.StorePorts {
-			continue
-		}
-		if s.issued[0] == 0 && s.issued[1] == 0 {
-			c.ev.BusyCycles++
-		}
-		s.issued[cl]++
-		if isLoad {
-			s.loads[cl]++
-		}
-		if isStore {
-			s.stores[cl]++
-		}
-		return t
-	}
-}
+	// Write back machine state and flush event accumulators.
+	c.fc = fc
+	c.fetchedInFC = fifc
+	c.redirect = redirect
+	c.retireMax = retireMax
+	c.idx = idx
+	c.steer = steer
+	c.divFree = divFree
+	c.sqCount = sqCount
+	c.lqCount = lqCount
+	h.memNextFree = memNextFree
+	h.mshrNext = mshr
 
-// reserveStoreSlot delays a store until its cluster's store queue has a
-// free entry and records occupancy telemetry.
-func (c *Core) reserveStoreSlot(cl uint8, ready uint64) uint64 {
-	sq := uint64(c.cfg.StoreQueue)
-	ring := c.sqDrain[cl]
-	n := c.sqCount[cl]
-	if n >= sq {
-		if drain := ring[(n-sq)&63]; drain > ready {
-			c.ev.SQStallCycles += drain - ready
-			ready = drain
-		}
-	}
-	// Occupancy snapshot: how many of the previous SQ stores are still in
-	// flight at this store's ready cycle.
-	occ := uint64(0)
-	scan := sq
-	if n < scan {
-		scan = n
-	}
-	for k := uint64(1); k <= scan; k++ {
-		if ring[(n-k)&63] > ready {
-			occ++
-		}
-	}
-	c.ev.SQOccupancySum += occ
-	return ready
-}
-
-// reserveLoadSlot delays a load until its cluster's load queue has a free
-// entry; gated operation halves the machine's aggregate load queue.
-func (c *Core) reserveLoadSlot(cl uint8, ready uint64) uint64 {
-	lq := uint64(c.cfg.LoadQueue)
-	if lq == 0 || lq > 128 {
-		return ready
-	}
-	n := c.lqCount[cl]
-	if n >= lq {
-		if free := c.lqComp[cl][(n-lq)&127]; free > ready {
-			ready = free
-		}
-	}
-	return ready
-}
-
-func (c *Core) recordStoreDrain(cl uint8, complete uint64) {
-	n := c.sqCount[cl]
-	c.sqDrain[cl][n&63] = complete + sqDrainDelay
-	c.sqCount[cl] = n + 1
+	c.ev.Instrs += uint64(n)
+	c.ev.PhysRegRefs += physRegRefs
+	c.ev.UopsStalledOnDep += stalledOnDep
+	c.ev.UopsReady += uint64(n) - stalledOnDep
+	c.ev.ReadyWaitCycles += readyWait
+	c.ev.IssueC0 += issueC[0]
+	c.ev.IssueC1 += issueC[1]
+	c.ev.BusyCycles += busy
+	c.ev.CrossForwards += crossFwd
+	c.ev.SQStallCycles += sqStall
+	c.ev.SQOccupancySum += sqOcc
+	c.ev.WrongPathUops += wrongPath
+	c.ev.RedirectCycles += redirCycles
 }

@@ -1,0 +1,124 @@
+package uarch
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"clustergate/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_events.json from the current simulator")
+
+// goldenScenarios enumerates the locked configurations: a seeded
+// mixed-phase trace per mode, with and without a DRAM derate, plus a run
+// that gates and ungates mid-trace so the SetMode microcode interplay is
+// covered. The instruction counts are large enough to exercise every
+// event field.
+func goldenScenarios() []struct {
+	Name     string
+	Mode     Mode
+	Derate   float64
+	Switches bool
+} {
+	return []struct {
+		Name     string
+		Mode     Mode
+		Derate   float64
+		Switches bool
+	}{
+		{"high-perf", ModeHighPerf, 0, false},
+		{"low-power", ModeLowPower, 0, false},
+		{"high-perf-derated", ModeHighPerf, 6, false},
+		{"low-power-derated", ModeLowPower, 6, false},
+		{"mode-switching", ModeHighPerf, 0, true},
+	}
+}
+
+func goldenRun(mode Mode, derate float64, switches bool) Events {
+	core := NewCoreInMode(DefaultConfig(), mode)
+	if derate > 1 {
+		core.SetMemDerate(derate)
+	}
+	app := trace.NewApplication(2, "golden", 11)
+	s := trace.NewStream(&trace.Trace{App: app, Seed: 17, NumInstrs: 80_000})
+	buf := make([]trace.Instruction, 4096)
+	for i := 0; ; i++ {
+		k := s.Read(buf)
+		if k == 0 {
+			break
+		}
+		core.Execute(buf[:k])
+		if switches {
+			if i%2 == 0 {
+				core.SetMode(ModeLowPower)
+			} else {
+				core.SetMode(ModeHighPerf)
+			}
+		}
+	}
+	return core.Events()
+}
+
+// TestGoldenCounters locks the full Events snapshot of seeded runs to a
+// committed fixture, field by field. Any change to the timing model —
+// intended or not — shows up as a named-counter diff here, which is the
+// contract that lets the hot loop be rewritten for speed: the existing
+// determinism tests prove run-to-run stability, this one proves stability
+// across code changes. Regenerate deliberately with
+//
+//	go test ./internal/uarch -run TestGoldenCounters -update
+func TestGoldenCounters(t *testing.T) {
+	path := filepath.Join("testdata", "golden_events.json")
+	got := make(map[string]Events)
+	for _, sc := range goldenScenarios() {
+		got[sc.Name] = goldenRun(sc.Mode, sc.Derate, sc.Switches)
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+	}
+	var want map[string]Events
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sc := range goldenScenarios() {
+		w, ok := want[sc.Name]
+		if !ok {
+			t.Errorf("%s: scenario missing from fixture (stale testdata?)", sc.Name)
+			continue
+		}
+		g := got[sc.Name]
+		if g == w {
+			continue
+		}
+		// Field-by-field diff so a regression names the exact counters.
+		gv, wv := reflect.ValueOf(g), reflect.ValueOf(w)
+		for i := 0; i < gv.NumField(); i++ {
+			if gv.Field(i).Uint() != wv.Field(i).Uint() {
+				t.Errorf("%s: %s = %d, golden %d", sc.Name,
+					gv.Type().Field(i).Name, gv.Field(i).Uint(), wv.Field(i).Uint())
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package uarch
+
+import (
+	"runtime"
+	"testing"
+
+	"clustergate/internal/trace"
+)
+
+// TestPipelinedExecuteMatchesSerial locks the two-stage probe/timing
+// pipeline to the serial schedule. On a single-CPU host the pipeline is
+// disabled by default, so the test raises GOMAXPROCS for its duration to
+// force the pipelined path, then compares the full Events snapshot against
+// a core fed the same trace in sub-chunk batches (which always take the
+// serial path). Any ordering bug between the overlapped passes shows up as
+// a counter diff.
+func TestPipelinedExecuteMatchesSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+
+	const total = 40 * execChunk
+	app := trace.NewApplication(3, "pipeline", 5)
+	gen := func(batchLen int) Events {
+		core := NewCoreInMode(DefaultConfig(), ModeHighPerf)
+		s := trace.NewStream(&trace.Trace{App: app, Seed: 23, NumInstrs: total})
+		buf := make([]trace.Instruction, batchLen)
+		for {
+			k := s.Read(buf)
+			if k == 0 {
+				break
+			}
+			core.Execute(buf[:k])
+		}
+		return core.Events()
+	}
+
+	serial := gen(execChunk / 2) // single-chunk batches never pipeline
+	piped := gen(16 * execChunk) // multi-chunk batches overlap the passes
+	if serial != piped {
+		t.Errorf("pipelined Execute diverges from serial schedule:\nserial: %+v\npiped:  %+v", serial, piped)
+	}
+}

@@ -32,10 +32,10 @@ func TestCacheNeverExceedsCapacityProperty(t *testing.T) {
 	resident := 0
 	for line := uint64(0); line < 1<<20/64; line++ {
 		// Peeking via Access would mutate; use set/tag inspection instead.
-		set := c.sets[line&c.setMask]
-		tag := line >> uint(len64(c.setMask))
-		for _, l := range set {
-			if l.valid && l.tag == tag {
+		base := int(line&c.setMask) * c.ways
+		tagV := line>>c.tagShift | tagValid
+		for i := 0; i < c.ways; i++ {
+			if c.tags[base+i]&^tagDirty == tagV {
 				resident++
 			}
 		}

@@ -27,6 +27,13 @@ echo "== go test -race (worker pool + observability + robustness packages)"
 go test -race -timeout 25m ./internal/parallel/... ./internal/dataset/... ./internal/obs/... \
     ./internal/fault/... ./internal/mcu/... ./internal/core/... ./internal/fleet/...
 
+echo "== uarch Execute benchmark (BENCH_uarch.json)"
+# Custom metrics (instrs/s, ns/instr) come from the bench harness itself;
+# -benchtime counts iterations, not seconds, so the step stays fast and the
+# recorded numbers are comparable run to run on the same host.
+go test -run '^$' -bench 'BenchmarkUarch' -benchtime 5x -benchmem . \
+    | go run scripts/uarch-bench-json.go > BENCH_uarch.json
+
 echo "== paperbench quick benchmark (BENCH_paperbench.json)"
 go run ./cmd/paperbench -scale quick -exp all -seed 1 -q \
     -manifest BENCH_paperbench.json -results BENCH_paperbench_results.json \
@@ -36,6 +43,6 @@ go run ./cmd/paperbench -scale quick -exp all -seed 1 -q \
 
 echo "== validate emitted JSON"
 go run scripts/validate-json.go BENCH_paperbench.json BENCH_paperbench_results.json \
-    BENCH_guardrail_sweep.json BENCH_fleet_rollout.json
+    BENCH_guardrail_sweep.json BENCH_fleet_rollout.json BENCH_uarch.json
 
 echo "check.sh: all clean"

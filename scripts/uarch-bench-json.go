@@ -1,0 +1,103 @@
+//go:build ignore
+
+// uarch-bench-json converts `go test -bench 'BenchmarkUarch' -benchmem`
+// output on stdin into BENCH_uarch.json on stdout, so check.sh records the
+// cycle-model's throughput trajectory per PR alongside the other BENCH
+// files. Run it as
+//
+//	go test -run '^$' -bench 'BenchmarkUarch' -benchmem . | go run scripts/uarch-bench-json.go
+//
+// It validates as it parses: every benchmark line must carry the custom
+// instrs/s and ns/instr metrics plus allocs/op, and at least one benchmark
+// must be present, otherwise it exits nonzero without emitting anything.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type bench struct {
+	Iterations     int64   `json:"iterations"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	InstrsPerSec   float64 `json:"instructions_per_sec"`
+	NsPerInstr     float64 `json:"ns_per_instr"`
+	BytesPerOp     float64 `json:"bytes_per_op"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	HasInstrs      bool    `json:"-"`
+	HasNsPerInstr  bool    `json:"-"`
+	HasAllocsPerOp bool    `json:"-"`
+}
+
+func main() {
+	out := map[string]*bench{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Strip the -GOMAXPROCS suffix go test appends on multi-CPU hosts.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := &bench{}
+		b.Iterations, _ = strconv.ParseInt(fields[1], 10, 64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				fail("%s: bad metric value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "instrs/s":
+				b.InstrsPerSec = v
+				b.HasInstrs = true
+			case "ns/instr":
+				b.NsPerInstr = v
+				b.HasNsPerInstr = true
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+				b.HasAllocsPerOp = true
+			}
+		}
+		if !b.HasInstrs || !b.HasNsPerInstr {
+			fail("%s: missing instrs/s or ns/instr custom metrics (stale bench harness?)", name)
+		}
+		if !b.HasAllocsPerOp {
+			fail("%s: missing allocs/op (run with -benchmem)", name)
+		}
+		out[name] = b
+	}
+	if err := sc.Err(); err != nil {
+		fail("reading stdin: %v", err)
+	}
+	if len(out) == 0 {
+		fail("no Benchmark lines found on stdin")
+	}
+	doc := map[string]any{
+		"schema":     "uarch-bench/v1",
+		"benchmarks": out,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(doc); err != nil {
+		fail("encoding: %v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "uarch-bench-json: "+format+"\n", args...)
+	os.Exit(1)
+}
