@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeDoc drops a JSON document into the test dir and returns its path.
+func writeDoc(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// diff runs obsdiff with args and returns (exit status, combined output).
+func diff(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String() + errb.String()
+}
+
+const uarchBase = `{"schema":"uarch-bench/v1","benchmarks":{
+	"A":{"ns_per_op":1000,"ns_per_instr":10,"allocs_per_op":0},
+	"B":{"ns_per_op":2000,"ns_per_instr":20,"allocs_per_op":3}}}`
+
+func TestUarchClean(t *testing.T) {
+	base := writeDoc(t, "base.json", uarchBase)
+	cur := writeDoc(t, "cur.json", `{"schema":"uarch-bench/v1","benchmarks":{
+		"A":{"ns_per_op":1100,"ns_per_instr":11,"allocs_per_op":0},
+		"B":{"ns_per_op":1500,"ns_per_instr":15,"allocs_per_op":3}}}`)
+	code, out := diff(t, "-tol", "0.5", base, cur)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, out)
+	}
+}
+
+func TestUarchTimingRegression(t *testing.T) {
+	base := writeDoc(t, "base.json", uarchBase)
+	cur := writeDoc(t, "cur.json", `{"schema":"uarch-bench/v1","benchmarks":{
+		"A":{"ns_per_op":5000,"ns_per_instr":50,"allocs_per_op":0},
+		"B":{"ns_per_op":2000,"ns_per_instr":20,"allocs_per_op":3}}}`)
+	code, out := diff(t, "-tol", "0.5", base, cur)
+	if code != 1 || !strings.Contains(out, "A.ns_per_op") {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+}
+
+func TestUarchAllocRegressionExact(t *testing.T) {
+	base := writeDoc(t, "base.json", uarchBase)
+	cur := writeDoc(t, "cur.json", `{"schema":"uarch-bench/v1","benchmarks":{
+		"A":{"ns_per_op":1000,"ns_per_instr":10,"allocs_per_op":1},
+		"B":{"ns_per_op":2000,"ns_per_instr":20,"allocs_per_op":3}}}`)
+	code, out := diff(t, base, cur)
+	if code != 1 || !strings.Contains(out, "A.allocs_per_op") {
+		t.Fatalf("alloc growth must regress: exit %d:\n%s", code, out)
+	}
+}
+
+func TestUarchMissingBenchmarkWarnsOnly(t *testing.T) {
+	base := writeDoc(t, "base.json", uarchBase)
+	cur := writeDoc(t, "cur.json", `{"schema":"uarch-bench/v1","benchmarks":{
+		"A":{"ns_per_op":1000,"ns_per_instr":10,"allocs_per_op":0},
+		"C":{"ns_per_op":1,"ns_per_instr":1,"allocs_per_op":0}}}`)
+	code, out := diff(t, base, cur)
+	if code != 0 || !strings.Contains(out, "WARN") {
+		t.Fatalf("one-sided benchmarks must warn, not fail: exit %d:\n%s", code, out)
+	}
+}
+
+const manifestBase = `{"tool":"paperbench","seed":1,"wall_seconds":10,
+	"counters":{"core.deployments":50,"dataset.cache.hits":7,"parallel.inflight.peak":4},
+	"histograms":{"uarch.execute.batch":{"count":100,"p50_ms":1,"p95_ms":2,"p99_ms":3}}}`
+
+func TestManifestCounterDriftFails(t *testing.T) {
+	base := writeDoc(t, "base.json", manifestBase)
+	cur := writeDoc(t, "cur.json", `{"tool":"paperbench","seed":1,"wall_seconds":10,
+		"counters":{"core.deployments":49,"dataset.cache.hits":7,"parallel.inflight.peak":4},
+		"histograms":{"uarch.execute.batch":{"count":100,"p50_ms":1,"p95_ms":2,"p99_ms":3}}}`)
+	code, out := diff(t, base, cur)
+	if code != 1 || !strings.Contains(out, "counters.core.deployments") {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+}
+
+func TestManifestSkipGlobs(t *testing.T) {
+	base := writeDoc(t, "base.json", manifestBase)
+	// Cache hits and pool peak change; both match default skip globs.
+	cur := writeDoc(t, "cur.json", `{"tool":"paperbench","seed":1,"wall_seconds":12,
+		"counters":{"core.deployments":50,"dataset.cache.hits":0,"parallel.inflight.peak":1},
+		"histograms":{"uarch.execute.batch":{"count":100,"p50_ms":1.2,"p95_ms":2.1,"p99_ms":3}}}`)
+	code, out := diff(t, base, cur)
+	if code != 0 {
+		t.Fatalf("skip-glob keys must not fail: exit %d:\n%s", code, out)
+	}
+}
+
+func TestManifestHistogramPercentileRegression(t *testing.T) {
+	base := writeDoc(t, "base.json", manifestBase)
+	cur := writeDoc(t, "cur.json", `{"tool":"paperbench","seed":1,"wall_seconds":10,
+		"counters":{"core.deployments":50,"dataset.cache.hits":7,"parallel.inflight.peak":4},
+		"histograms":{"uarch.execute.batch":{"count":100,"p50_ms":9,"p95_ms":2,"p99_ms":3}}}`)
+	code, out := diff(t, "-tol", "0.5", base, cur)
+	if code != 1 || !strings.Contains(out, "uarch.execute.batch.p50_ms") {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	// A faster percentile never regresses.
+	cur2 := writeDoc(t, "cur2.json", `{"tool":"paperbench","seed":1,"wall_seconds":10,
+		"counters":{"core.deployments":50,"dataset.cache.hits":7,"parallel.inflight.peak":4},
+		"histograms":{"uarch.execute.batch":{"count":100,"p50_ms":0.1,"p95_ms":0.2,"p99_ms":0.3}}}`)
+	if code, out := diff(t, base, cur2); code != 0 {
+		t.Fatalf("speedup flagged: exit %d:\n%s", code, out)
+	}
+}
+
+func TestManifestWallSecondsWarnOnly(t *testing.T) {
+	base := writeDoc(t, "base.json", manifestBase)
+	cur := writeDoc(t, "cur.json", `{"tool":"paperbench","seed":1,"wall_seconds":100,
+		"counters":{"core.deployments":50,"dataset.cache.hits":7,"parallel.inflight.peak":4},
+		"histograms":{"uarch.execute.batch":{"count":100,"p50_ms":1,"p95_ms":2,"p99_ms":3}}}`)
+	code, out := diff(t, base, cur)
+	if code != 0 || !strings.Contains(out, "wall_seconds") {
+		t.Fatalf("wall_seconds must warn, not fail: exit %d:\n%s", code, out)
+	}
+}
+
+const resultsBase = `{"tool":"paperbench","results":[
+	{"name":"table3","seconds":5,"metrics":{"pgos.00":0.95,"ops.00":6051}},
+	{"name":"fig7","seconds":1,"metrics":{"mean_residency":0.48}}]}`
+
+func TestResultsMetricDriftFails(t *testing.T) {
+	base := writeDoc(t, "base.json", resultsBase)
+	cur := writeDoc(t, "cur.json", `{"tool":"paperbench","results":[
+		{"name":"table3","seconds":5,"metrics":{"pgos.00":0.90,"ops.00":6051}},
+		{"name":"fig7","seconds":1,"metrics":{"mean_residency":0.48}}]}`)
+	code, out := diff(t, base, cur)
+	if code != 1 || !strings.Contains(out, "table3.pgos.00") {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+}
+
+func TestResultsSecondsWarnOnly(t *testing.T) {
+	base := writeDoc(t, "base.json", resultsBase)
+	cur := writeDoc(t, "cur.json", `{"tool":"paperbench","results":[
+		{"name":"table3","seconds":50,"metrics":{"pgos.00":0.95,"ops.00":6051}},
+		{"name":"fig7","seconds":1,"metrics":{"mean_residency":0.48}}]}`)
+	code, out := diff(t, base, cur)
+	if code != 0 || !strings.Contains(out, "table3.seconds") {
+		t.Fatalf("slow experiment must warn, not fail: exit %d:\n%s", code, out)
+	}
+}
+
+func TestSchemaMismatch(t *testing.T) {
+	base := writeDoc(t, "base.json", uarchBase)
+	cur := writeDoc(t, "cur.json", resultsBase)
+	if code, _ := diff(t, base, cur); code != 2 {
+		t.Fatalf("schema mismatch must exit 2, got %d", code)
+	}
+}
+
+func TestIdenticalFilesClean(t *testing.T) {
+	for _, doc := range []string{uarchBase, manifestBase, resultsBase} {
+		base := writeDoc(t, "base.json", doc)
+		cur := writeDoc(t, "cur.json", doc)
+		if code, out := diff(t, base, cur); code != 0 {
+			t.Fatalf("identical files differ: %s\n%s", doc[:40], out)
+		}
+	}
+}

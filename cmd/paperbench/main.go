@@ -23,10 +23,18 @@
 // that frontier as JSON.
 //
 // Observability (see README "Observability"): -manifest writes a JSON run
-// manifest (per-experiment spans, counters, run metadata), -results writes
-// machine-readable per-experiment metrics, and -cpuprofile/-memprofile
-// write standard pprof profiles. None of these perturb experiment output:
-// stdout is byte-identical with and without them at any worker count.
+// manifest (per-experiment spans, counters, latency-histogram percentiles,
+// run metadata), -results writes machine-readable per-experiment metrics,
+// -events writes the structured sim-time event log (guardrail trips, fault
+// injections, CRC rejections, ring promotions/rollbacks, flight-recorder
+// incident dumps) as deterministically ordered JSONL, -trace writes the
+// span tree as Chrome trace-event JSON loadable in Perfetto, -debug-addr
+// serves live /metrics, /healthz, and /debug/pprof while the run is in
+// flight, and -cpuprofile/-memprofile write standard pprof profiles. None
+// of these perturb experiment output: stdout is byte-identical with and
+// without them at any worker count. Note that experiments replayed from a
+// -checkpoint emit no events (like counters, events record live work
+// only).
 //
 // Robustness (see README "Robustness"): -checkpoint DIR persists each
 // completed experiment's output and metrics atomically under DIR. A run
@@ -57,6 +65,9 @@ func main() {
 	flag.StringVar(&opts.checkpointDir, "checkpoint", "", "persist completed experiments under this directory and resume from it")
 	flag.StringVar(&opts.sweepJSONPath, "sweepjson", "", "write the guardrail-sweep frontier as JSON to this file")
 	flag.StringVar(&opts.rolloutJSONPath, "rolloutjson", "", "write the fleet-rollout frontier as JSON to this file")
+	flag.StringVar(&opts.eventsPath, "events", "", "write the structured event log (guardrail trips, fault injections, ring promotions) as JSONL to this file")
+	flag.StringVar(&opts.tracePath, "trace", "", "write the span tree as Chrome trace-event JSON (Perfetto-loadable) to this file")
+	flag.StringVar(&opts.debugAddr, "debug-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address while running (e.g. localhost:6060)")
 	flag.Parse()
 	opts.args = os.Args[1:]
 

@@ -37,6 +37,9 @@ type benchOpts struct {
 	checkpointDir   string
 	sweepJSONPath   string
 	rolloutJSONPath string
+	eventsPath      string
+	tracePath       string
+	debugAddr       string
 	args            []string
 
 	scaleOverride *experiments.Scale
@@ -78,6 +81,20 @@ func run(opts benchOpts, stdout, stderr io.Writer) error {
 	})
 	obs.SetCurrent(run)
 	results := obs.NewResults("paperbench")
+	if opts.eventsPath != "" {
+		obs.SetEventLog(obs.NewEventLog())
+		defer obs.SetEventLog(nil)
+	}
+	if opts.debugAddr != "" {
+		dbg, err := obs.StartDebugServer(opts.debugAddr)
+		if err != nil {
+			return err
+		}
+		if !opts.quiet {
+			fmt.Fprintf(stderr, "# debug endpoint: http://%s (/metrics /healthz /debug/pprof/)\n", dbg.Addr())
+		}
+		defer dbg.Close()
+	}
 
 	var ckpt *experiments.Checkpoint
 	if opts.checkpointDir != "" {
@@ -622,6 +639,16 @@ func run(opts benchOpts, stdout, stderr io.Writer) error {
 	}
 	if opts.resultsPath != "" {
 		if err := results.WriteFile(opts.resultsPath); err != nil {
+			return err
+		}
+	}
+	if opts.tracePath != "" {
+		if err := manifest.WriteChromeTrace(opts.tracePath); err != nil {
+			return err
+		}
+	}
+	if opts.eventsPath != "" {
+		if err := obs.CurrentEventLog().WriteFile(opts.eventsPath); err != nil {
 			return err
 		}
 	}

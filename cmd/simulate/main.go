@@ -6,39 +6,101 @@
 //
 //	simulate -corpus spec -app 654.roms_s -intervals 20
 //	simulate -corpus hdtr -apps 40 -oracle
+//	simulate -corpus spec -oracle -events ev.jsonl -trace trace.json
+//
+// Observability: -events writes a structured event log of the run
+// (trace.simulated records) as deterministically ordered JSONL, and
+// -trace writes the run's span tree as Chrome trace-event JSON loadable
+// in Perfetto. Neither flag perturbs stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"clustergate/internal/dataset"
+	"clustergate/internal/obs"
 	"clustergate/internal/trace"
 )
 
+// opts carries one simulate invocation's flags.
+type opts struct {
+	corpus     string
+	apps       int
+	app        string
+	intervals  int
+	oracle     bool
+	psla       float64
+	seed       int64
+	eventsPath string
+	tracePath  string
+}
+
 func main() {
-	corpusFlag := flag.String("corpus", "spec", "corpus: hdtr or spec")
-	apps := flag.Int("apps", 60, "HDTR application count")
-	app := flag.String("app", "", "application name prefix to simulate (first match)")
-	intervals := flag.Int("intervals", 15, "intervals to print")
-	oracle := flag.Bool("oracle", false, "print oracle low-power residency per application")
-	psla := flag.Float64("psla", 0.9, "SLA performance threshold")
-	seed := flag.Int64("seed", 1, "generation seed")
+	var o opts
+	flag.StringVar(&o.corpus, "corpus", "spec", "corpus: hdtr or spec")
+	flag.IntVar(&o.apps, "apps", 60, "HDTR application count")
+	flag.StringVar(&o.app, "app", "", "application name prefix to simulate (first match)")
+	flag.IntVar(&o.intervals, "intervals", 15, "intervals to print")
+	flag.BoolVar(&o.oracle, "oracle", false, "print oracle low-power residency per application")
+	flag.Float64Var(&o.psla, "psla", 0.9, "SLA performance threshold")
+	flag.Int64Var(&o.seed, "seed", 1, "generation seed")
+	flag.StringVar(&o.eventsPath, "events", "", "write the structured event log as JSONL to this file")
+	flag.StringVar(&o.tracePath, "trace", "", "write the span tree as Chrome trace-event JSON (Perfetto-loadable) to this file")
 	flag.Parse()
 
-	var corpus *trace.Corpus
-	if *corpusFlag == "hdtr" {
-		corpus = trace.BuildHDTR(trace.HDTRConfig{Apps: *apps, InstrsPerTrace: 250_000, Seed: *seed})
-	} else {
-		corpus = trace.BuildSPEC(trace.SPECConfig{TracesPerWorkload: 1, Seed: *seed})
+	run := obs.NewRun(obs.Info{Tool: "simulate", Args: os.Args[1:], Seed: o.seed})
+	obs.SetCurrent(run)
+	if o.eventsPath != "" {
+		obs.SetEventLog(obs.NewEventLog())
 	}
-	cfg := dataset.DefaultConfig()
-	sla := dataset.SLA{PSLA: *psla}
 
-	if *oracle {
+	code, err := simulate(o, os.Stdout)
+
+	// Observability outputs are written on every exit path, including
+	// usage errors, so a failed run still leaves its forensics behind.
+	if o.tracePath != "" {
+		if werr := run.Finish().WriteChromeTrace(o.tracePath); werr != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", werr)
+			code = 1
+		}
+	}
+	if o.eventsPath != "" {
+		if werr := obs.CurrentEventLog().WriteFile(o.eventsPath); werr != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", werr)
+			code = 1
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	if code != 0 {
+		os.Exit(code)
+	}
+}
+
+// simulate runs the selected report; stdout ordering is deterministic
+// (oracle groups print in sorted name order).
+func simulate(o opts, stdout io.Writer) (int, error) {
+	sp := obs.Start("corpus.build")
+	var corpus *trace.Corpus
+	if o.corpus == "hdtr" {
+		corpus = trace.BuildHDTR(trace.HDTRConfig{Apps: o.apps, InstrsPerTrace: 250_000, Seed: o.seed})
+	} else {
+		corpus = trace.BuildSPEC(trace.SPECConfig{TracesPerWorkload: 1, Seed: o.seed})
+	}
+	sp.End()
+	cfg := dataset.DefaultConfig()
+	sla := dataset.SLA{PSLA: o.psla}
+
+	if o.oracle {
+		sp := obs.Start("simulate.corpus")
 		tel := dataset.SimulateCorpus(corpus, cfg)
+		sp.End()
 		byApp := map[string][]*dataset.TraceTelemetry{}
 		for _, tt := range tel {
 			key := tt.Benchmark
@@ -47,30 +109,38 @@ func main() {
 			}
 			byApp[key] = append(byApp[key], tt)
 		}
-		for name, group := range byApp {
-			fmt.Printf("%-28s residency %5.1f%%\n", name, 100*dataset.OracleResidency(group, sla))
+		names := make([]string, 0, len(byApp))
+		for name := range byApp {
+			names = append(names, name)
 		}
-		return
+		sort.Strings(names)
+		for _, name := range names {
+			group := byApp[name]
+			obs.Emit("simulate", int64(len(group)), "oracle.residency", map[string]any{"app": name})
+			fmt.Fprintf(stdout, "%-28s residency %5.1f%%\n", name, 100*dataset.OracleResidency(group, sla))
+		}
+		return 0, nil
 	}
 
-	if *app == "" {
-		fmt.Fprintln(os.Stderr, "pass -app NAME or -oracle")
-		os.Exit(2)
+	if o.app == "" {
+		return 2, fmt.Errorf("pass -app NAME or -oracle")
 	}
 	for _, tr := range corpus.Traces {
-		if !strings.HasPrefix(tr.App.Name, *app) && !strings.HasPrefix(tr.App.Benchmark, *app) {
+		if !strings.HasPrefix(tr.App.Name, o.app) && !strings.HasPrefix(tr.App.Benchmark, o.app) {
 			continue
 		}
+		sp := obs.Start("simulate.trace")
 		tt := dataset.SimulateTrace(tr, cfg)
-		fmt.Printf("trace %s — %d intervals of %d instructions\n",
+		sp.End()
+		obs.Emit("simulate", int64(tt.Intervals()), "trace.simulated", map[string]any{"trace": tt.TraceName})
+		fmt.Fprintf(stdout, "trace %s — %d intervals of %d instructions\n",
 			tt.TraceName, tt.Intervals(), cfg.Interval)
-		fmt.Printf("%-5s %-8s %-8s %-7s %-6s\n", "int", "hi IPC", "lo IPC", "ratio", "gate?")
-		for i := 0; i < tt.Intervals() && i < *intervals; i++ {
+		fmt.Fprintf(stdout, "%-5s %-8s %-8s %-7s %-6s\n", "int", "hi IPC", "lo IPC", "ratio", "gate?")
+		for i := 0; i < tt.Intervals() && i < o.intervals; i++ {
 			hi, lo := tt.HighPerf[i].IPC, tt.LowPower[i].IPC
-			fmt.Printf("%-5d %-8.2f %-8.2f %-7.3f %d\n", i, hi, lo, lo/hi, sla.Label(hi, lo))
+			fmt.Fprintf(stdout, "%-5d %-8.2f %-8.2f %-7.3f %d\n", i, hi, lo, lo/hi, sla.Label(hi, lo))
 		}
-		return
+		return 0, nil
 	}
-	fmt.Fprintf(os.Stderr, "no trace matches %q\n", *app)
-	os.Exit(1)
+	return 1, fmt.Errorf("no trace matches %q", o.app)
 }

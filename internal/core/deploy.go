@@ -63,6 +63,19 @@ func DeployWithOptions(g *GatingController, tr *trace.Trace, ref *dataset.TraceT
 	}
 	ti := opts.Injector.ForTrace(tr.Seed)
 
+	// Flight recorder + event log: only active when the process has an
+	// event log installed (-events), so ordinary runs pay a single atomic
+	// load. Everything recorded is derived from sim state — the interval
+	// index is the clock — so event files are identical at any worker
+	// count.
+	scope := "deploy/" + tr.Name
+	var flight *obs.Flight
+	if obs.EventsActive() {
+		flight = obs.NewFlight(scope, obs.DefaultFlightCap)
+	}
+	tripsSeen := 0
+	var injectedSeen int64
+
 	core := uarch.NewCoreInMode(cfg.Core, uarch.ModeHighPerf)
 	s := trace.NewStream(tr)
 	buf := make([]trace.Instruction, g.Interval)
@@ -126,8 +139,12 @@ func DeployWithOptions(g *GatingController, tr *trace.Trace, ref *dataset.TraceT
 			// DRAM-derate faults perturb real execution, not just the
 			// telemetry view: memory-port throughput degrades for this
 			// interval, so IPC, power, and every downstream counter shift.
+			// MemDerate counts the injection, so it is read exactly once per
+			// interval; the flight recorder reuses this value.
+			derate := 1.0
 			if ti != nil {
-				core.SetMemDerate(ti.MemDerate(gidx))
+				derate = ti.MemDerate(gidx)
+				core.SetMemDerate(derate)
 			}
 			kk := s.Read(buf)
 			if kk == 0 {
@@ -160,6 +177,47 @@ func DeployWithOptions(g *GatingController, tr *trace.Trace, ref *dataset.TraceT
 			if state != nil {
 				state.observeInterval(observed, prevObserved, gated)
 				state.tick()
+			}
+			if flight != nil {
+				sample := obs.FlightSample{
+					T:     int64(gidx),
+					Power: pm.Energy(telemetry.BaseToEvents(trueBase), core.Mode()),
+				}
+				if delta.Cycles > 0 {
+					sample.IPC = float64(delta.Instrs) / float64(delta.Cycles)
+				}
+				if derate != 1 {
+					sample.MemDerate = derate
+				}
+				if gated {
+					sample.Gated = 1
+				}
+				if state != nil {
+					sample.Backoff = state.backoff
+					sample.Trips = state.trips
+				}
+				flight.Record(sample)
+				if state != nil && state.trips > tripsSeen {
+					obs.Emit(scope, int64(gidx), "guardrail.trip", map[string]any{
+						"reason":  state.reason,
+						"trip":    state.trips,
+						"backoff": state.cfg.BackoffIntervals,
+					})
+					if tripsSeen == 0 {
+						// First trip of this deployment: freeze the flight
+						// recorder's pre-incident window into the event log.
+						flight.DumpIncident("guardrail.incident", map[string]any{"reason": state.reason})
+					}
+					tripsSeen = state.trips
+				}
+				if ti != nil {
+					if inj := ti.Injected(); inj > injectedSeen {
+						obs.Emit(scope, int64(gidx), "fault.injected", map[string]any{
+							"count": inj - injectedSeen,
+						})
+						injectedSeen = inj
+					}
+				}
 			}
 			prevTrue = trueBase
 			prevObserved = observed

@@ -101,7 +101,8 @@ type guardrailState struct {
 	implausible int // consecutive implausible telemetry intervals
 	backoff     int // intervals remaining in forced high-perf
 	trips       int
-	blackouts   int // intervals overridden by safe-mode-on-blackout
+	blackouts   int    // intervals overridden by safe-mode-on-blackout
+	reason      string // what the latest trip fired on, for the event log
 }
 
 // trip forces the safe mode for the backoff period and records the event.
@@ -141,6 +142,7 @@ func (s *guardrailState) observe(base []float64) {
 	if busyFrac >= s.cfg.SaturationThreshold && readyWait >= s.cfg.ReadyWaitPerInstr {
 		s.degraded++
 		if s.degraded >= s.cfg.TripIntervals {
+			s.reason = "gated-saturation"
 			s.trip()
 		}
 	} else {
@@ -157,6 +159,7 @@ func (s *guardrailState) observeInterval(observed, prevObserved []float64, gated
 		s.implausible++
 		s.degraded = 0
 		if s.implausible >= s.cfg.TripIntervals {
+			s.reason = "implausible-telemetry"
 			s.trip()
 			s.implausible = 0
 		}

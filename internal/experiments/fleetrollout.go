@@ -156,6 +156,7 @@ func FleetRollout(e *Env, g *core.GatingController) (*FleetRolloutResult, error)
 		func(k int) (FleetRolloutRow, error) {
 			a := arms[k]
 			good := a.cfg
+			good.Name = "fleet/" + a.Key + "/good"
 			good.Seed = e.Seed + int64(k)
 			good.Workers = e.Scale.Workers
 			gr, err := fleet.Run(good, img.Bytes(), wl)
@@ -165,6 +166,7 @@ func FleetRollout(e *Env, g *core.GatingController) (*FleetRolloutResult, error)
 			// The bad-image counterfactual runs over a clean transport so
 			// the blast radius isolates the semantic failure.
 			badCfg := a.cfg
+			badCfg.Name = "fleet/" + a.Key + "/bad"
 			badCfg.Seed = e.Seed + int64(k)
 			badCfg.Workers = e.Scale.Workers
 			badCfg.CorruptProb = 0

@@ -105,3 +105,77 @@ func TestObservabilityDoesNotPerturbOutput(t *testing.T) {
 		t.Errorf("cold run recorded simulation but no cache activity: %v", m1.Counters)
 	}
 }
+
+// TestObservabilityEventLogDeterminism extends the non-perturbation
+// guarantee to the full recorder stack over the fleet-rollout study: with
+// an event log, flight recorders, and latency histograms all live,
+// experiment output stays byte-identical to an uninstrumented run at
+// workers 1 and 4 — and the rendered event log itself is byte-identical
+// across worker counts, because events carry only sim-derived values and
+// are sorted at dump time.
+func TestObservabilityEventLogDeterminism(t *testing.T) {
+	render := func(workers int, instrumented bool) (stdout, events []byte, m *obs.Manifest) {
+		t.Helper()
+		e, g := fleetTestEnv(t, workers)
+		e.Scale.FleetMachines = 12
+		var run *obs.Run
+		if instrumented {
+			run = obs.NewRun(obs.Info{Tool: "test", Seed: 7, Workers: workers})
+			obs.SetEventLog(obs.NewEventLog())
+		}
+		obs.SetCurrent(run)
+		defer obs.SetCurrent(nil)
+		defer obs.SetEventLog(nil)
+
+		r, err := FleetRollout(e, g)
+		if err != nil {
+			t.Fatalf("workers=%d instrumented=%v: %v", workers, instrumented, err)
+		}
+		var buf bytes.Buffer
+		PrintFleetRollout(&buf, r)
+		if !instrumented {
+			return buf.Bytes(), nil, nil
+		}
+		var ev bytes.Buffer
+		if err := obs.CurrentEventLog().WriteJSONL(&ev); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), ev.Bytes(), run.Finish()
+	}
+
+	bare, _, _ := render(1, false)
+	out1, ev1, m1 := render(1, true)
+	out4, ev4, m4 := render(4, true)
+
+	if !bytes.Equal(bare, out1) {
+		t.Errorf("recorders-on workers=1 output differs from uninstrumented:\n%s\nvs\n%s", out1, bare)
+	}
+	if !bytes.Equal(bare, out4) {
+		t.Errorf("recorders-on workers=4 output differs from uninstrumented:\n%s\nvs\n%s", out4, bare)
+	}
+	if !bytes.Equal(ev1, ev4) {
+		t.Errorf("event log not byte-identical across worker counts:\n%s\nvs\n%s", ev1, ev4)
+	}
+	if len(ev1) == 0 {
+		t.Fatal("instrumented rollout study produced an empty event log")
+	}
+	// The study must have exercised the interesting event paths: CRC
+	// rejections (verified arms under 20%/45% corruption), ring promotions
+	// (gated arms of a healthy image), and the rollback of the bad image.
+	for _, kind := range []string{"fleet.crc.reject", "fleet.ring.promote", "fleet.ring.halt", "fleet.rollback"} {
+		if !bytes.Contains(ev1, []byte(`"kind":"`+kind+`"`)) {
+			t.Errorf("event log missing %q events", kind)
+		}
+	}
+	// The manifests must carry the latency histograms the study exercises.
+	for _, m := range []*obs.Manifest{m1, m4} {
+		for _, h := range []string{
+			"fleet.flash.latency", "fleet.soak.duration",
+			"parallel.task.latency", "uarch.execute.batch",
+		} {
+			if s, ok := m.Histograms[h]; !ok || s.Count <= 0 {
+				t.Errorf("manifest missing histogram %q (have %v)", h, m.Histograms)
+			}
+		}
+	}
+}

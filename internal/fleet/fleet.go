@@ -67,6 +67,11 @@ type GatePolicy struct {
 
 // Config describes one rollout.
 type Config struct {
+	// Name scopes this rollout's event-log entries and flight-recorder
+	// samples (e.g. "fleet/verified-gated/good"); empty selects
+	// "rollout-seed<Seed>". Purely observational — it never affects the
+	// Result.
+	Name string
 	// Machines is the fleet size.
 	Machines int
 	// Rings are the staged ring sizes, canary first; they must sum to
@@ -225,7 +230,9 @@ type Result struct {
 	TimeSteps int
 }
 
-// Rollout observability, for run manifests.
+// Rollout observability, for run manifests: transport counters plus
+// latency histograms for individual flash attempts and whole-machine
+// soaks (the two wall-clock phases of a ring).
 var (
 	flashAttempts   = obs.NewCounter("fleet.flash.attempts")
 	flashRetries    = obs.NewCounter("fleet.flash.retries")
@@ -233,6 +240,8 @@ var (
 	machinesExposed = obs.NewCounter("fleet.machines.exposed")
 	rollbacks       = obs.NewCounter("fleet.rollbacks")
 	rollbackFlashes = obs.NewCounter("fleet.rollback.flashes")
+	flashLatency    = obs.NewHistogram("fleet.flash.latency")
+	soakDuration    = obs.NewHistogram("fleet.soak.duration")
 )
 
 // validate checks the configuration and applies defaults in place.

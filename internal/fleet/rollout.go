@@ -39,6 +39,11 @@ type rollout struct {
 	img []byte
 	wl  Workload
 
+	// scope names this rollout in the event log; flight is the per-ring
+	// health flight recorder, nil unless an event log is installed.
+	scope  string
+	flight *obs.Flight
+
 	// Pristine-image soak results are memoised per trace index: every
 	// machine that installed an uncorrupted payload runs the identical
 	// controller, so one deployment per unique trace covers them all.
@@ -71,6 +76,13 @@ func Run(cfg Config, img []byte, wl Workload) (*Result, error) {
 		return nil, err
 	}
 	ro := &rollout{cfg: cfg, img: img, wl: wl, memo: map[int]soakHealth{}}
+	ro.scope = cfg.Name
+	if ro.scope == "" {
+		ro.scope = fmt.Sprintf("rollout-seed%d", cfg.Seed)
+	}
+	if obs.EventsActive() {
+		ro.flight = obs.NewFlight(ro.scope, obs.DefaultFlightCap)
+	}
 	res := &Result{GateFailedRing: -1, Machines: make([]Machine, cfg.Machines)}
 	rings := cfg.ringLayout()
 	for ri, ring := range rings {
@@ -103,6 +115,22 @@ func Run(cfg Config, img []byte, wl Workload) (*Result, error) {
 		}
 		rep.Promoted = failure == ""
 		rep.GateFailure = failure
+		// Ring health into the flight recorder and event log; everything
+		// recorded is Result-derived, so files are worker-count independent.
+		ro.flight.Record(obs.FlightSample{
+			T: int64(ri), Installed: rep.Installed, Exposed: rep.Exposed,
+			Trips: rep.Trips, Windows: rep.SLAWindows, Violations: rep.SLAViolations,
+		})
+		if obs.EventsActive() {
+			if failure == "" {
+				obs.Emit(ro.scope, int64(ri), "fleet.ring.promote", map[string]any{
+					"size": rep.Size, "installed": rep.Installed,
+				})
+			} else {
+				obs.Emit(ro.scope, int64(ri), "fleet.ring.halt", map[string]any{"reason": failure})
+				ro.flight.DumpIncident("fleet.incident", map[string]any{"reason": failure})
+			}
+		}
 		res.Rings = append(res.Rings, rep)
 		if failure != "" {
 			res.RolledBack = true
@@ -153,6 +181,7 @@ func (ro *rollout) flashRing(ring []int, rep *RingReport, res *Result) ([]flashO
 			a := attempts[j]
 			attempts[j]++
 			flashAttempts.Inc()
+			defer func(t0 time.Time) { flashLatency.Observe(time.Since(t0)) }(time.Now())
 			// Transient flash failure: scheduled to never hit a machine's
 			// final attempt, so retries always absorb it and only CRC
 			// rejections can exhaust a machine.
@@ -177,6 +206,9 @@ func (ro *rollout) flashRing(ring []int, rep *RingReport, res *Result) ([]flashO
 				if err != nil {
 					rejectsBy[j]++
 					crcRejections.Inc()
+					if obs.EventsActive() {
+						obs.Emit(ro.scope, int64(m), "fleet.crc.reject", map[string]any{"attempt": a})
+					}
 					if a >= ro.cfg.FlashRetries {
 						// Out of attempts: the machine keeps its old image.
 						return flashOutcome{}, nil
@@ -276,6 +308,7 @@ func (ro *rollout) soakRing(ring []int, outs []flashOutcome, rep *RingReport, re
 // controller) counts as a crash, not a rollout error — a down machine is
 // exactly the health signal the gate exists to catch.
 func (ro *rollout) deployHealth(g *core.GatingController, ti int) soakHealth {
+	defer func(t0 time.Time) { soakDuration.Observe(time.Since(t0)) }(time.Now())
 	gr := ro.cfg.Guardrail
 	r, err := core.DeployWithOptions(g, ro.wl.Traces[ti], ro.wl.Tel[ti],
 		ro.wl.Cfg, ro.wl.PM, core.DeployOptions{Guardrail: &gr})
@@ -416,5 +449,10 @@ func (ro *rollout) rollback(res *Result) {
 	}
 	res.RollbackFlashes = len(ids)
 	rollbackFlashes.Add(int64(len(ids)))
+	if obs.EventsActive() {
+		obs.Emit(ro.scope, int64(res.GateFailedRing), "fleet.rollback", map[string]any{
+			"machines": len(ids),
+		})
+	}
 	res.TimeSteps += waves(len(ids), ro.cfg.FlashPerStep)
 }

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// DebugServer is the optional long-run introspection endpoint: a plain
+// stdlib HTTP server exposing Prometheus-style /metrics (counters,
+// gauges, histogram percentiles), /healthz, and the standard net/pprof
+// handlers under /debug/pprof/. It reads the same atomic instruments the
+// manifest does, so scraping never perturbs a run.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer listens on addr (host:port; port 0 picks a free one)
+// and serves in a background goroutine until Close.
+func StartDebugServer(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", metricsHandler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the server's bound address (useful with port 0).
+func (s *DebugServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// promName maps a registry name to a Prometheus-safe metric name.
+func promName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return "clustergate_" + b.String()
+}
+
+// metricsHandler renders every registered instrument in the Prometheus
+// text exposition format: counters as counters, gauge levels and peaks
+// as gauges, and histograms as count/sum plus percentile-estimate
+// gauges. Names are emitted in sorted order so scrapes are stable.
+func metricsHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	registry.mu.Lock()
+	counters := make(map[string]int64, len(registry.counters))
+	for name, c := range registry.counters {
+		counters[name] = c.v.Load()
+	}
+	type gaugeVal struct{ cur, peak int64 }
+	gauges := make(map[string]gaugeVal, len(registry.gauges))
+	for name, g := range registry.gauges {
+		gauges[name] = gaugeVal{g.cur.Load(), g.peak.Load()}
+	}
+	hists := make(map[string]histCounts, len(registry.hists))
+	for name, h := range registry.hists {
+		hists[name] = h.counts()
+	}
+	registry.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		p := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, counters[name])
+	}
+	for _, name := range sortedKeys(gauges) {
+		p := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", p, p, gauges[name].cur)
+		fmt.Fprintf(w, "# TYPE %s_peak gauge\n%s_peak %d\n", p, p, gauges[name].peak)
+	}
+	for _, name := range sortedKeys(hists) {
+		p := promName(name)
+		s := hists[name].snapshot()
+		fmt.Fprintf(w, "# TYPE %s_count counter\n%s_count %d\n", p, p, s.Count)
+		fmt.Fprintf(w, "# TYPE %s_sum_ms counter\n%s_sum_ms %g\n", p, p, float64(hists[name].sumNS)/1e6)
+		for _, q := range []struct {
+			suffix string
+			v      float64
+		}{{"p50_ms", s.P50MS}, {"p95_ms", s.P95MS}, {"p99_ms", s.P99MS}, {"max_ms", s.MaxMS}} {
+			fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %g\n", p, q.suffix, p, q.suffix, q.v)
+		}
+	}
+}
+
+// sortedKeys returns a map's keys in sorted order; metrics and manifest
+// writers iterate maps only through it so rendered output is byte-stable.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one structured, sim-time event: a guardrail trip, a fault
+// injection, a CRC rejection, a ring promotion or rollback. Events carry
+// no wall-clock state — Scope names the deterministic context that
+// produced them (a trace deployment, a rollout arm), T is that context's
+// own logical clock (interval index, ring index), and Attrs hold only
+// values derived from the simulation — so an event log's contents are a
+// pure function of the run's inputs, never of scheduling.
+type Event struct {
+	Scope string         `json:"scope"`
+	T     int64          `json:"t"`
+	Kind  string         `json:"kind"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// EventLog collects events from concurrently executing instrumented code
+// and renders them as deterministically ordered JSONL: lines are sorted
+// by (scope, t, kind, rendered attributes), so two runs that emit the
+// same event multiset — which every experiment in this repo does at any
+// worker count — write byte-identical logs regardless of goroutine
+// arrival order. A nil EventLog no-ops on every method.
+type EventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewEventLog returns an empty event log.
+func NewEventLog() *EventLog { return &EventLog{} }
+
+// Emit appends one event. Attrs may be nil; the map is retained, so
+// callers must not mutate it afterwards.
+func (l *EventLog) Emit(scope string, t int64, kind string, attrs map[string]any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.events = append(l.events, Event{Scope: scope, T: t, Kind: kind, Attrs: attrs})
+	l.mu.Unlock()
+}
+
+// Len returns the number of events collected so far.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns the collected events in deterministic order.
+func (l *EventLog) Events() []Event {
+	evs, _ := l.sorted()
+	return evs
+}
+
+// sorted snapshots and deterministically orders the log. The rendered
+// attribute string of each event (encoding/json sorts map keys) breaks
+// ties between events at the same (scope, t, kind); events identical in
+// all four components are interchangeable, so their relative order never
+// affects the rendered log.
+func (l *EventLog) sorted() ([]Event, []string) {
+	if l == nil {
+		return nil, nil
+	}
+	l.mu.Lock()
+	evs := make([]Event, len(l.events))
+	copy(evs, l.events)
+	l.mu.Unlock()
+
+	keys := make([]string, len(evs))
+	for i := range evs {
+		b, err := json.Marshal(evs[i].Attrs)
+		if err != nil {
+			b = []byte(err.Error())
+		}
+		keys[i] = string(b)
+	}
+	idx := make([]int, len(evs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ea, eb := &evs[idx[a]], &evs[idx[b]]
+		if ea.Scope != eb.Scope {
+			return ea.Scope < eb.Scope
+		}
+		if ea.T != eb.T {
+			return ea.T < eb.T
+		}
+		if ea.Kind != eb.Kind {
+			return ea.Kind < eb.Kind
+		}
+		return keys[idx[a]] < keys[idx[b]]
+	})
+	outE := make([]Event, len(evs))
+	outK := make([]string, len(evs))
+	for i, j := range idx {
+		outE[i] = evs[j]
+		outK[i] = keys[j]
+	}
+	return outE, outK
+}
+
+// WriteJSONL writes the log as deterministically ordered JSONL, one
+// event per line.
+func (l *EventLog) WriteJSONL(w io.Writer) error {
+	evs, _ := l.sorted()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range evs {
+		if err := enc.Encode(&evs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the log as JSONL to path.
+func (l *EventLog) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := l.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// curLog is the process's active event log; package-level Emit routes
+// through it, exactly like Run and Start.
+var curLog atomic.Pointer[EventLog]
+
+// SetEventLog installs (or, with nil, clears) the process's active event
+// log.
+func SetEventLog(l *EventLog) { curLog.Store(l) }
+
+// CurrentEventLog returns the active event log, or nil when none is
+// installed.
+func CurrentEventLog() *EventLog { return curLog.Load() }
+
+// EventsActive reports whether an event log is installed. Emission sites
+// inside hot loops check it before building attribute maps, so the event
+// layer costs one atomic pointer load when off.
+func EventsActive() bool { return curLog.Load() != nil }
+
+// Emit appends one event to the active event log; a no-op when none is
+// installed.
+func Emit(scope string, t int64, kind string, attrs map[string]any) {
+	curLog.Load().Emit(scope, t, kind, attrs)
+}

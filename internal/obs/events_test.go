@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestEventLogDeterministicOrder(t *testing.T) {
+	// Two logs fed the same events in different arrival orders must render
+	// byte-identically: this is what makes event files worker-count
+	// independent.
+	evs := []Event{
+		{Scope: "deploy/b", T: 3, Kind: "guardrail.trip", Attrs: map[string]any{"reason": "gated-saturation"}},
+		{Scope: "deploy/a", T: 7, Kind: "fault.injected"},
+		{Scope: "deploy/a", T: 2, Kind: "guardrail.trip"},
+		{Scope: "deploy/a", T: 2, Kind: "fault.injected", Attrs: map[string]any{"class": "stuck"}},
+	}
+	render := func(order []int) string {
+		l := NewEventLog()
+		for _, i := range order {
+			e := evs[i]
+			l.Emit(e.Scope, e.T, e.Kind, e.Attrs)
+		}
+		var buf bytes.Buffer
+		if err := l.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := render([]int{0, 1, 2, 3})
+	b := render([]int{3, 2, 1, 0})
+	if a != b {
+		t.Fatalf("event order not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	lines := strings.Split(strings.TrimSpace(a), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	// Sorted by (scope, t, kind): deploy/a t=2 fault before trip, then t=7,
+	// then deploy/b.
+	for i, want := range []string{
+		`"scope":"deploy/a","t":2,"kind":"fault.injected"`,
+		`"scope":"deploy/a","t":2,"kind":"guardrail.trip"`,
+		`"scope":"deploy/a","t":7,"kind":"fault.injected"`,
+		`"scope":"deploy/b","t":3,"kind":"guardrail.trip"`,
+	} {
+		if !strings.Contains(lines[i], want) {
+			t.Errorf("line %d = %s, want it to contain %s", i, lines[i], want)
+		}
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Emit("x", 1, "k", nil) // must not panic
+	if l.Len() != 0 {
+		t.Fatal("nil log has events")
+	}
+	// Package-level Emit with no installed log is a no-op.
+	SetEventLog(nil)
+	if EventsActive() {
+		t.Fatal("EventsActive with no log installed")
+	}
+	Emit("x", 1, "k", nil)
+}
+
+func TestEventLogInstall(t *testing.T) {
+	l := NewEventLog()
+	SetEventLog(l)
+	defer SetEventLog(nil)
+	if !EventsActive() || CurrentEventLog() != l {
+		t.Fatal("SetEventLog did not install")
+	}
+	Emit("scope", 5, "kind", map[string]any{"n": 1})
+	if l.Len() != 1 {
+		t.Fatalf("len = %d, want 1", l.Len())
+	}
+	path := t.TempDir() + "/events.jsonl"
+	if err := l.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"kind":"kind"`)) {
+		t.Fatalf("file missing event: %s", b)
+	}
+}
+
+func TestFlightRing(t *testing.T) {
+	f := NewFlight("test", 4)
+	for i := 0; i < 10; i++ {
+		f.Record(FlightSample{T: int64(i), IPC: float64(i)})
+	}
+	if f.Total() != 10 {
+		t.Fatalf("total = %d, want 10", f.Total())
+	}
+	samples := f.Samples()
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4 (ring capacity)", len(samples))
+	}
+	for i, s := range samples {
+		if want := int64(6 + i); s.T != want {
+			t.Fatalf("sample %d has t=%d, want %d (oldest-first)", i, s.T, want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 4 {
+		t.Fatalf("JSONL has %d lines, want 4", got)
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *Flight
+	f.Record(FlightSample{T: 1})
+	if f.Total() != 0 || len(f.Samples()) != 0 {
+		t.Fatal("nil flight is not inert")
+	}
+	f.DumpIncident("k", nil)
+}
+
+func TestFlightDumpIncident(t *testing.T) {
+	l := NewEventLog()
+	SetEventLog(l)
+	defer SetEventLog(nil)
+	f := NewFlight("deploy/trace-x", 8)
+	f.Record(FlightSample{T: 1, IPC: 1.5})
+	f.Record(FlightSample{T: 2, IPC: 0.2, Gated: 1})
+	f.DumpIncident("guardrail.trip", map[string]any{"reason": "gated-saturation"})
+	if l.Len() != 1 {
+		t.Fatalf("len = %d, want 1 incident event", l.Len())
+	}
+	ev := l.Events()[0]
+	if ev.Scope != "deploy/trace-x" || ev.T != 2 || ev.Kind != "guardrail.trip" {
+		t.Fatalf("incident event = %+v", ev)
+	}
+	if _, ok := ev.Attrs["samples"]; !ok {
+		t.Fatal("incident event missing flight samples")
+	}
+	// With no event log installed, DumpIncident is a pure no-op.
+	SetEventLog(nil)
+	f.DumpIncident("again", nil)
+	if l.Len() != 1 {
+		t.Fatal("DumpIncident emitted without an active log")
+	}
+}

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram("test.hist.basics")
+	if NewHistogram("test.hist.basics") != h {
+		t.Fatal("NewHistogram did not return the registered instance")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	h.Observe(64 * time.Millisecond)
+	if h.Count() != 101 {
+		t.Fatalf("count = %d, want 101", h.Count())
+	}
+	s := h.counts().snapshot()
+	if s.Count != 101 {
+		t.Fatalf("snapshot count = %d, want 101", s.Count)
+	}
+	// 1ms lands in the [2^19, 2^20) ns bucket: estimates must sit within
+	// a factor of ~1.5 of the true value.
+	for name, v := range map[string]float64{"p50": s.P50MS, "p95": s.P95MS} {
+		if v < 0.5 || v > 1.6 {
+			t.Errorf("%s = %v ms, want ≈1 ms", name, v)
+		}
+	}
+	// The single 64ms outlier is past the 99th percentile of 101 samples,
+	// so p99 stays near 1ms while max reflects the outlier's bucket.
+	if s.P99MS > 2 {
+		t.Errorf("p99 = %v ms, want ≈1 ms", s.P99MS)
+	}
+	if s.MaxMS < 60 || s.MaxMS > 140 {
+		t.Errorf("max = %v ms, want within a bucket of 64 ms", s.MaxMS)
+	}
+	if s.MeanMS < 1.0 || s.MeanMS > 2.2 {
+		t.Errorf("mean = %v ms, want ≈1.6 ms", s.MeanMS)
+	}
+}
+
+func TestHistogramNilAndNegative(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	h.ObserveNS(-5)
+	if h.Count() != 0 || h.Name() != "" {
+		t.Fatal("nil histogram is not inert")
+	}
+	r := NewHistogram("test.hist.negative")
+	r.ObserveNS(-100)
+	if got := r.counts().snapshot(); got.Count != 1 || got.P50MS != 0 {
+		t.Fatalf("negative sample snapshot = %+v, want count 1 at 0 ms", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("test.hist.concurrent")
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveNS(int64(1000 + g*i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+}
+
+func TestRunHistogramDeltas(t *testing.T) {
+	h := NewHistogram("test.hist.deltas")
+	h.Observe(time.Millisecond) // pre-run sample must not appear in the manifest
+	run := NewRun(Info{Tool: "test"})
+	h.Observe(2 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	m := run.Finish()
+	snap, ok := m.Histograms["test.hist.deltas"]
+	if !ok {
+		t.Fatalf("manifest missing histogram (have %v)", m.Histograms)
+	}
+	if snap.Count != 2 {
+		t.Fatalf("delta count = %d, want 2 (pre-run sample excluded)", snap.Count)
+	}
+	// A run with no samples for a histogram must not list it.
+	empty := NewRun(Info{Tool: "test"})
+	if m2 := empty.Finish(); len(m2.Histograms) != 0 {
+		for name := range m2.Histograms {
+			if name == "test.hist.deltas" {
+				t.Fatal("idle histogram appeared in manifest")
+			}
+		}
+	}
+}
+
+// TestManifestBytesStable locks the satellite contract: manifests are
+// byte-stable — counter and histogram maps render in sorted key order
+// (encoding/json sorts map keys), so identical values produce identical
+// files no matter the registry's map iteration order.
+func TestManifestBytesStable(t *testing.T) {
+	for _, n := range []string{"test.stable.zz", "test.stable.aa", "test.stable.mm"} {
+		NewCounter(n)
+		NewHistogram("h" + n)
+	}
+	run := NewRun(Info{Tool: "stable", Seed: 3})
+	for _, n := range []string{"test.stable.zz", "test.stable.aa", "test.stable.mm"} {
+		NewCounter(n).Add(7)
+		NewHistogram("h" + n).Observe(time.Millisecond)
+	}
+	sp := run.Start("phase")
+	sp.End()
+	m := run.Finish()
+
+	dir := t.TempDir()
+	p1, p2 := dir+"/m1.json", dir+"/m2.json"
+	if err := m.WriteFile(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile(p2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := readFileT(t, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := readFileT(t, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("two WriteFile calls of one manifest differ")
+	}
+	// Counter keys must appear in sorted order in the rendered JSON.
+	ia := bytes.Index(b1, []byte("test.stable.aa"))
+	im := bytes.Index(b1, []byte("test.stable.mm"))
+	iz := bytes.Index(b1, []byte("test.stable.zz"))
+	if ia < 0 || im < 0 || iz < 0 || !(ia < im && im < iz) {
+		t.Fatalf("counter keys not sorted in manifest (positions %d %d %d)", ia, im, iz)
+	}
+}
+
+func readFileT(t *testing.T, path string) ([]byte, error) {
+	t.Helper()
+	return os.ReadFile(path)
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	run := NewRun(Info{Tool: "tracer"})
+	outer := run.Start("outer")
+	inner := run.Start("inner")
+	leafA := run.StartLeaf("leaf-a")
+	leafB := run.StartLeaf("leaf-b")
+	time.Sleep(time.Millisecond)
+	leafA.End()
+	leafB.End()
+	inner.End()
+	outer.End()
+	m := run.Finish()
+
+	tr := m.chromeEvents()
+	if tr.TraceEvents[0].Ph != "M" || tr.TraceEvents[0].Args["name"] != "tracer" {
+		t.Fatalf("first event should be process_name metadata, got %+v", tr.TraceEvents[0])
+	}
+	var names []string
+	byName := map[string]traceEvent{}
+	for _, e := range tr.TraceEvents[1:] {
+		if e.Ph != "X" {
+			t.Errorf("span event with ph %q, want X", e.Ph)
+		}
+		if e.Dur < 0 || e.Ts < 0 {
+			t.Errorf("negative ts/dur: %+v", e)
+		}
+		names = append(names, e.Name)
+		byName[e.Name] = e
+	}
+	for _, want := range []string{"outer", "inner", "leaf-a", "leaf-b"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("trace missing span %q (have %v)", want, names)
+		}
+	}
+	// inner nests inside outer, so the greedy lanes must separate them;
+	// the two concurrent leaves must not share a lane either.
+	if byName["outer"].Tid == byName["inner"].Tid {
+		t.Error("parent and child share a trace lane")
+	}
+	if byName["leaf-a"].Tid == byName["leaf-b"].Tid {
+		t.Error("concurrent leaves share a trace lane")
+	}
+
+	path := t.TempDir() + "/trace.json"
+	if err := m.WriteChromeTrace(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := readFileT(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"traceEvents"`)) {
+		t.Fatal("trace file missing traceEvents envelope")
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	NewCounter("test.debug.counter").Add(5)
+	NewHistogram("test.debug.hist").Observe(3 * time.Millisecond)
+	s, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if got := get("/healthz"); !strings.Contains(got, "ok") {
+		t.Fatalf("/healthz = %q", got)
+	}
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"clustergate_test_debug_counter 5",
+		"clustergate_test_debug_hist_count 1",
+		"clustergate_test_debug_hist_p50_ms",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	// Sorted rendering: two scrapes are byte-identical when idle.
+	if again := get("/metrics"); again != metrics {
+		t.Error("idle /metrics scrapes differ")
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "profile") {
+		t.Error("/debug/pprof/ index looks wrong")
+	}
+}
+
+func ExampleHistogram() {
+	h := NewHistogram("example.latency")
+	for i := 0; i < 10; i++ {
+		h.ObserveNS(int64(i+1) * 1_000_000)
+	}
+	fmt.Println(h.Count())
+	// Output: 10
+}

@@ -1,8 +1,14 @@
-// Package obs is the repo's lightweight observability layer: atomic
-// counters and gauges for hot-path event counts, hierarchical spans for
-// wall-clock timing, and a Run object that snapshots everything — plus
-// run metadata (seed, scale, workers, GOMAXPROCS, go version, start/end
-// time) — into a machine-readable JSON run manifest.
+// Package obs is the repo's observability subsystem: atomic counters and
+// gauges for hot-path event counts, lock-free fixed-bucket latency
+// histograms with percentile snapshots, hierarchical spans for
+// wall-clock timing (exportable as Chrome trace-event JSON for
+// Perfetto), a structured sim-time event log rendered as
+// deterministically ordered JSONL, bounded flight recorders that keep
+// the last N sim-time samples before any incident, an optional debug
+// HTTP endpoint (/metrics, /healthz, net/pprof), and a Run object that
+// snapshots everything — plus run metadata (seed, scale, workers,
+// GOMAXPROCS, go version, start/end time) — into a machine-readable JSON
+// run manifest.
 //
 // Two contracts shape the design:
 //
@@ -102,9 +108,11 @@ var registry = struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 }{
 	counters: map[string]*Counter{},
 	gauges:   map[string]*Gauge{},
+	hists:    map[string]*Histogram{},
 }
 
 // NewCounter returns the process-wide counter with the given name,

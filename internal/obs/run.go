@@ -64,13 +64,15 @@ type Run struct {
 	end   time.Time
 	roots []*Span
 	cur   *Span
-	base  map[string]int64 // counter snapshot at run start
+	base  map[string]int64      // counter snapshot at run start
+	hbase map[string]histCounts // histogram snapshot at run start
 }
 
 // NewRun starts a run: records its start time and baselines the counter
-// registry so the manifest reports deltas attributable to this run.
+// and histogram registries so the manifest reports deltas attributable
+// to this run.
 func NewRun(info Info) *Run {
-	return &Run{info: info, start: time.Now(), base: Snapshot()}
+	return &Run{info: info, start: time.Now(), base: Snapshot(), hbase: histSnapshots()}
 }
 
 // Start opens a nested span: its parent is the newest unfinished span
@@ -131,10 +133,20 @@ func (r *Run) Finish() *Manifest {
 	}
 	r.mu.Unlock()
 
+	// Counter and histogram maps are rendered through encoding/json,
+	// which sorts map keys, so manifests are byte-stable for identical
+	// values regardless of registry iteration order (locked by
+	// TestManifestBytesStable).
 	m.Counters = map[string]int64{}
 	for name, v := range Snapshot() {
 		if d := v - r.base[name]; d != 0 {
 			m.Counters[name] = d
+		}
+	}
+	m.Histograms = map[string]HistogramSnapshot{}
+	for name, hc := range histSnapshots() {
+		if d := hc.sub(r.hbase[name]); d.count > 0 {
+			m.Histograms[name] = d.snapshot()
 		}
 	}
 	return m
@@ -174,6 +186,9 @@ type Manifest struct {
 	WallSeconds float64          `json:"wall_seconds"`
 	Spans       []*SpanRecord    `json:"spans,omitempty"`
 	Counters    map[string]int64 `json:"counters,omitempty"`
+	// Histograms are the run's latency-histogram deltas (samples observed
+	// during this run only), keyed by instrument name.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // SpanRecord is one span in the manifest; times are milliseconds relative

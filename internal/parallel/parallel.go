@@ -21,17 +21,21 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"clustergate/internal/obs"
 )
 
 // Pool observability: every task executed (serial or pooled) bumps
-// tasksExecuted, and inflight tracks how many tasks are running at once —
-// its peak lands in run manifests as "parallel.inflight.peak", the
-// measured (not configured) parallelism of a run.
+// tasksExecuted and records its wall latency, and inflight tracks how many
+// tasks are running at once — its peak lands in run manifests as
+// "parallel.inflight.peak", the measured (not configured) parallelism of a
+// run, while the latency histogram's percentiles expose task skew (one
+// slow trace serialising a fan-out).
 var (
 	tasksExecuted = obs.NewCounter("parallel.tasks")
 	inflight      = obs.NewGauge("parallel.inflight")
+	taskLatency   = obs.NewHistogram("parallel.task.latency")
 )
 
 // Workers resolves a worker-count knob: n > 0 selects exactly n workers,
@@ -60,7 +64,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			inflight.Inc()
+			t0 := time.Now()
 			err := fn(i)
+			taskLatency.Observe(time.Since(t0))
 			inflight.Dec()
 			tasksExecuted.Inc()
 			if err != nil {
@@ -89,7 +95,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 					return
 				}
 				inflight.Inc()
+				t0 := time.Now()
 				err := fn(int(i))
+				taskLatency.Observe(time.Since(t0))
 				inflight.Dec()
 				tasksExecuted.Inc()
 				if err != nil {

@@ -1,17 +1,22 @@
 package uarch
 
 import (
+	"time"
+
 	"clustergate/internal/obs"
 	"clustergate/internal/trace"
 )
 
 // Simulation throughput observability: instructions executed and
-// retirement cycles advanced, summed over every Core in the process. One
-// atomic add per Execute batch (typically 10k instructions), so the cost
-// is invisible next to the timing model itself.
+// retirement cycles advanced, summed over every Core in the process, plus
+// a wall-latency histogram per Execute batch (one batch ≈ one telemetry
+// interval, a few chunks). Two atomic adds and two clock reads per batch
+// (typically 10k instructions), so the cost is invisible next to the
+// timing model itself.
 var (
 	instrsSimulated = obs.NewCounter("uarch.instructions")
 	cyclesSimulated = obs.NewCounter("uarch.cycles")
+	executeLatency  = obs.NewHistogram("uarch.execute.batch")
 )
 
 const (
@@ -298,6 +303,7 @@ func (c *Core) Execute(batch []trace.Instruction) {
 	}
 	before := c.retireMax
 	total := len(batch)
+	t0 := time.Now()
 	c.scratch.grow(execChunk)
 
 	if total > execChunk && probePoolReady() {
@@ -311,6 +317,7 @@ func (c *Core) Execute(batch []trace.Instruction) {
 			batch = batch[n:]
 		}
 	}
+	executeLatency.Observe(time.Since(t0))
 	instrsSimulated.Add(int64(total))
 	cyclesSimulated.Add(int64(c.retireMax - before))
 }

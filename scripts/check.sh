@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Pre-PR gate: static checks, race-detector runs of the packages the
 # parallel engine and observability layer touch, and a timed quick-scale
-# paperbench run whose manifest seeds the performance trajectory. Run
-# from the repository root before sending a change; the full suite is
+# paperbench run whose manifest seeds the performance trajectory. The
+# previous run's checked-in BENCH baselines are stashed before
+# regeneration and diffed against the fresh artifacts with cmd/obsdiff,
+# so counter drift and catastrophic slowdowns fail the gate. Run from the
+# repository root before sending a change; the full suite is
 # `go test ./...`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,7 +28,16 @@ echo "== go test -race (worker pool + observability + robustness packages)"
 # internal/core under -race runs ~10 min on a 1-core container; give it
 # headroom beyond go test's default 10m timeout.
 go test -race -timeout 25m ./internal/parallel/... ./internal/dataset/... ./internal/obs/... \
-    ./internal/fault/... ./internal/mcu/... ./internal/core/... ./internal/fleet/...
+    ./internal/fault/... ./internal/mcu/... ./internal/core/... ./internal/fleet/... \
+    ./cmd/obsdiff/...
+
+# Stash the checked-in baselines before the steps below regenerate the
+# BENCH files in place; obsdiff compares fresh against stashed at the end.
+baseline_dir=$(mktemp -d)
+trap 'rm -rf "$baseline_dir"' EXIT
+for f in BENCH_uarch.json BENCH_paperbench.json BENCH_paperbench_results.json; do
+    [ -f "$f" ] && cp "$f" "$baseline_dir/$f"
+done
 
 echo "== uarch Execute benchmark (BENCH_uarch.json)"
 # Custom metrics (instrs/s, ns/instr) come from the bench harness itself;
@@ -39,10 +51,27 @@ go run ./cmd/paperbench -scale quick -exp all -seed 1 -q \
     -manifest BENCH_paperbench.json -results BENCH_paperbench_results.json \
     -sweepjson BENCH_guardrail_sweep.json \
     -rolloutjson BENCH_fleet_rollout.json \
+    -events BENCH_events.jsonl \
+    -trace BENCH_trace.json \
     > /dev/null
 
 echo "== validate emitted JSON"
 go run scripts/validate-json.go BENCH_paperbench.json BENCH_paperbench_results.json \
-    BENCH_guardrail_sweep.json BENCH_fleet_rollout.json BENCH_uarch.json
+    BENCH_guardrail_sweep.json BENCH_fleet_rollout.json BENCH_uarch.json \
+    BENCH_events.jsonl BENCH_trace.json
+
+echo "== obsdiff perf gate (fresh run vs checked-in baselines)"
+# -tol 1.0 allows timing to double before failing: the quick run shares a
+# container with whatever else CI is doing, so this is a coarse net for
+# catastrophic regressions, not a microbenchmark. Counters and experiment
+# metrics are held (near-)exact — see cmd/obsdiff for the tolerances and
+# the default skip globs (cache-state and core-count dependent keys).
+for f in BENCH_uarch.json BENCH_paperbench.json BENCH_paperbench_results.json; do
+    if [ -f "$baseline_dir/$f" ]; then
+        go run ./cmd/obsdiff -tol 1.0 "$baseline_dir/$f" "$f"
+    else
+        echo "obsdiff: no baseline for $f (first run?); skipping"
+    fi
+done
 
 echo "check.sh: all clean"
