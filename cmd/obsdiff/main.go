@@ -9,8 +9,8 @@
 //	obsdiff [-tol F] [-ctol F] [-mtol F] [-skip GLOBS] BASELINE CURRENT
 //
 // The two files must be the same schema; obsdiff detects it from the
-// content (uarch-bench/v1, a results file's "results" array, or a run
-// manifest's "counters"). Three tolerances, one per value class:
+// content (uarch-bench/v1, surrogate-bench/v1, a results file's "results"
+// array, or a run manifest's "counters"). Three tolerances, one per value class:
 //
 //   - Timing (ns_per_op, histogram percentiles, wall_seconds): noisy,
 //     gated at -tol relative slowdown (default 0.5 = flag a >1.5×
@@ -93,6 +93,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch bs {
 	case "uarch-bench":
 		d.diffUarch(base, cur)
+	case "surrogate-bench":
+		d.diffSurrogate(base, cur)
 	case "results":
 		d.diffResults(base, cur)
 	case "manifest":
@@ -125,6 +127,9 @@ func load(p string) (map[string]any, error) {
 func schema(doc map[string]any) string {
 	if s, _ := doc["schema"].(string); strings.HasPrefix(s, "uarch-bench/") {
 		return "uarch-bench"
+	}
+	if s, _ := doc["schema"].(string); strings.HasPrefix(s, "surrogate-bench/") {
+		return "surrogate-bench"
 	}
 	if _, ok := doc["results"]; ok {
 		return "results"
@@ -250,6 +255,38 @@ func (d *differ) diffUarch(base, cur map[string]any) {
 					d.drifted(name+"."+k, bv, cv, d.tol.counter)
 				}
 			}
+		}
+	}
+}
+
+// diffSurrogate compares surrogate-bench/v1 files: per-deploy timings at
+// the timing tolerance, the surrogate's error percentiles as one-sided
+// accuracy gates (err_p95 may not grow past the timing tolerance — error
+// shrinking never flags), and a within_budget verdict that flipped to
+// false is always a regression.
+func (d *differ) diffSurrogate(base, cur map[string]any) {
+	for _, k := range []string{"exact_ns_per_deploy", "surrogate_ns_per_deploy"} {
+		if bv, ok := num(base, k); ok {
+			if cv, ok := num(cur, k); ok {
+				d.slower(k, bv, cv)
+			}
+		}
+	}
+	for _, k := range []string{"err_p95", "err_max"} {
+		if bv, ok := num(base, k); ok {
+			if cv, ok := num(cur, k); ok {
+				d.slower(k, bv, cv)
+			}
+		}
+	}
+	if bw, ok := base["within_budget"].(bool); ok {
+		if cw, ok := cur["within_budget"].(bool); ok && bw && !cw {
+			d.fail("within_budget", 1, 0, "surrogate fell out of its error budget")
+		}
+	}
+	if bv, ok := num(base, "pred_agreement"); ok {
+		if cv, ok := num(cur, "pred_agreement"); ok && cv < bv-0.05 {
+			d.warn("pred_agreement %.3f -> %.3f (warn-only)", bv, cv)
 		}
 	}
 }

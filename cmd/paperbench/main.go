@@ -22,6 +22,18 @@
 // policy's blast radius for a semantically bad image; -rolloutjson writes
 // that frontier as JSON.
 //
+// Simulation oracle (see docs/SURROGATE.md): -sim selects how deployments
+// are simulated. "exact" (the default) runs the cycle model and is
+// byte-identical to earlier releases at any worker count. "surrogate"
+// trains an analytic-plus-ML surrogate on the training corpus and replays
+// deployments through it (~10-40x faster on soak-dominated paths).
+// "validate" runs the surrogate but re-runs a seeded sample of
+// deployments exactly, reports the relative-IPC error distribution on
+// stderr, and fails the run when the p95 error exceeds the 5% budget.
+// The surrogate-bench experiment (never part of -exp all) times exact
+// versus surrogate deployments head to head; -surrogatejson writes its
+// speedup and error figures as JSON.
+//
 // Observability (see README "Observability"): -manifest writes a JSON run
 // manifest (per-experiment spans, counters, latency-histogram percentiles,
 // run metadata), -results writes machine-readable per-experiment metrics,
@@ -68,6 +80,8 @@ func main() {
 	flag.StringVar(&opts.eventsPath, "events", "", "write the structured event log (guardrail trips, fault injections, ring promotions) as JSONL to this file")
 	flag.StringVar(&opts.tracePath, "trace", "", "write the span tree as Chrome trace-event JSON (Perfetto-loadable) to this file")
 	flag.StringVar(&opts.debugAddr, "debug-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address while running (e.g. localhost:6060)")
+	flag.StringVar(&opts.simMode, "sim", "exact", "simulation oracle: exact, surrogate, or validate (surrogate + seeded exact spot checks)")
+	flag.StringVar(&opts.surrogateJSONPath, "surrogatejson", "", "write the surrogate-bench speedup/error figures as JSON to this file")
 	flag.Parse()
 	opts.args = os.Args[1:]
 

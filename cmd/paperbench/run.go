@@ -11,10 +11,12 @@ import (
 	"strings"
 	"time"
 
+	"clustergate/internal/core"
 	"clustergate/internal/dataset"
 	"clustergate/internal/experiments"
 	"clustergate/internal/obs"
 	"clustergate/internal/report"
+	"clustergate/internal/surrogate"
 )
 
 // benchOpts carries one paperbench invocation's configuration. The two
@@ -23,24 +25,26 @@ import (
 // errInjectedCrash before starting experiment failAfter+1, simulating a
 // mid-sweep kill for checkpoint-resume tests.
 type benchOpts struct {
-	scaleName       string
-	cacheDir        string
-	seed            int64
-	exps            string
-	svgDir          string
-	quiet           bool
-	workers         int
-	manifestPath    string
-	resultsPath     string
-	cpuProfile      string
-	memProfile      string
-	checkpointDir   string
-	sweepJSONPath   string
-	rolloutJSONPath string
-	eventsPath      string
-	tracePath       string
-	debugAddr       string
-	args            []string
+	scaleName         string
+	cacheDir          string
+	seed              int64
+	exps              string
+	svgDir            string
+	quiet             bool
+	workers           int
+	manifestPath      string
+	resultsPath       string
+	cpuProfile        string
+	memProfile        string
+	checkpointDir     string
+	sweepJSONPath     string
+	rolloutJSONPath   string
+	eventsPath        string
+	tracePath         string
+	debugAddr         string
+	simMode           string
+	surrogateJSONPath string
+	args              []string
 
 	scaleOverride *experiments.Scale
 	failAfter     int
@@ -143,6 +147,39 @@ func run(opts benchOpts, stdout, stderr io.Writer) error {
 	}
 	if err := ckpt.SaveCacheManifest(dataset.RecordedCacheFiles()); err != nil {
 		return err
+	}
+
+	// Simulation-oracle selection (-sim). The env above is always built
+	// exactly — the surrogate trains on that exact telemetry — and only
+	// deployments made after this point route through the oracle.
+	simMode := core.SimMode(opts.simMode)
+	if opts.simMode == "" {
+		simMode = core.SimExact
+	}
+	switch simMode {
+	case core.SimExact, core.SimSurrogate, core.SimValidate:
+	default:
+		return fmt.Errorf("unknown -sim mode %q (want exact, surrogate, or validate)", opts.simMode)
+	}
+	var surModel *surrogate.Model
+	var surOracle *surrogate.Oracle
+	if simMode != core.SimExact || want["surrogate-bench"] {
+		t0 := time.Now()
+		surModel, err = surrogate.Train(env.HDTR, env.HDTRTel, env.Cfg, surrogate.TrainOptions{
+			Workers: scale.Workers,
+			Seed:    opts.seed,
+		})
+		if err != nil {
+			return fmt.Errorf("training surrogate: %w", err)
+		}
+		if !opts.quiet {
+			fmt.Fprintf(stderr, "# surrogate: %s backend, %d samples, holdout MAE %.4f p95 %.4f in %.1fs\n",
+				surModel.Backend, surModel.Samples, surModel.HoldoutMAE, surModel.HoldoutP95, time.Since(t0).Seconds())
+		}
+	}
+	if simMode != core.SimExact {
+		surOracle = surrogate.NewOracle(surModel, simMode, surrogate.OracleOptions{Seed: opts.seed})
+		env.Sim = surOracle
 	}
 
 	// runExp wraps one experiment with a span, a timed results entry, and
@@ -619,8 +656,49 @@ func run(opts benchOpts, stdout, stderr io.Writer) error {
 		})
 	}
 
+	// surrogate-bench is opt-in only (never part of -exp all): its stdout is
+	// deterministic, but it exists to measure wall-clock, which belongs in
+	// -surrogatejson, not in the byte-identical experiment stream.
+	if want["surrogate-bench"] {
+		runExp("surrogate-bench", true, func(w io.Writer) (map[string]float64, error) {
+			g, err := experiments.BuildGeneralBestRF(env)
+			if err != nil {
+				return nil, err
+			}
+			r, err := experiments.SurrogateBench(env, surModel, g, 0.05)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintSurrogateBench(w, r)
+			fmt.Fprintln(w)
+			if opts.surrogateJSONPath != "" {
+				if err := writeSurrogateJSON(opts.surrogateJSONPath, r); err != nil {
+					return nil, err
+				}
+			}
+			return map[string]float64{
+				"err.p50":    r.ErrP50,
+				"err.p95":    r.ErrP95,
+				"err.max":    r.ErrMax,
+				"pred.agree": r.PredAgree,
+			}, nil
+		})
+	}
+
 	if runErr != nil {
 		return runErr
+	}
+
+	// In validate mode the run fails loudly when the surrogate drifted past
+	// its error budget; the spot-check distribution goes to stderr either
+	// way so CI logs always show how close the margin was.
+	if surOracle != nil && surOracle.Mode() == core.SimValidate {
+		rep := surOracle.Report()
+		fmt.Fprintf(stderr, "# surrogate validate: %d spot checks, rel IPC err p50 %.4f p95 %.4f max %.4f (budget %.2f)\n",
+			rep.Samples, rep.P50, rep.P95Err, rep.Max, rep.Budget)
+		if err := surOracle.Check(); err != nil {
+			return err
+		}
 	}
 
 	if !opts.quiet {
@@ -700,6 +778,33 @@ func writeSweepJSON(path string, r *experiments.GuardrailSweepResult) error {
 // JSON (the -rolloutjson flag), for CI validation and downstream tooling.
 func writeRolloutJSON(path string, r *experiments.FleetRolloutResult) error {
 	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// writeSurrogateJSON persists the surrogate-bench comparison (speedup,
+// error distribution, agreement) as machine-readable JSON for CI gating;
+// timings live here and never on stdout.
+func writeSurrogateJSON(path string, r *experiments.SurrogateBenchResult) error {
+	out := map[string]any{
+		"schema":                  "surrogate-bench/v1",
+		"traces":                  r.Traces,
+		"deploys":                 r.Deploys,
+		"exact_ns_per_deploy":     r.ExactNSPerDeploy,
+		"surrogate_ns_per_deploy": r.ReplayNSPerDeploy,
+		"speedup":                 r.Speedup,
+		"err_p50":                 r.ErrP50,
+		"err_p95":                 r.ErrP95,
+		"err_max":                 r.ErrMax,
+		"pred_agreement":          r.PredAgree,
+		"samples":                 r.TrainSamples,
+		"backend":                 r.TrainBackend,
+		"budget":                  r.Budget,
+		"within_budget":           r.WithinBudget,
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}

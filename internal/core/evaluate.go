@@ -1,12 +1,8 @@
 package core
 
 import (
-	"fmt"
-	"sort"
-
 	"clustergate/internal/dataset"
 	"clustergate/internal/metrics"
-	"clustergate/internal/parallel"
 	"clustergate/internal/power"
 	"clustergate/internal/trace"
 )
@@ -138,49 +134,9 @@ func (s *Summary) MeanBenchmarkPPWGain() float64 {
 // cfg.Workers workers; the floating-point aggregation then folds the
 // ordered results serially, keeping the summary bit-identical at any
 // worker count.
+//
+// It is the exact-oracle path of EvaluateOnCorpusOracle.
 func EvaluateOnCorpus(g *GatingController, corpus *trace.Corpus, tel []*dataset.TraceTelemetry,
 	cfg dataset.Config, pm *power.Model) (*Summary, error) {
-	if len(corpus.Traces) != len(tel) {
-		return nil, fmt.Errorf("core: %d traces but %d telemetry records", len(corpus.Traces), len(tel))
-	}
-	win := g.Window()
-	sum := &Summary{Controller: g.Name}
-	byBench := map[string]*BenchResult{}
-
-	runs, err := parallel.Map(cfg.Workers, len(corpus.Traces), func(i int) (*DeploymentResult, error) {
-		r, err := Deploy(g, corpus.Traces[i], tel[i], cfg, pm)
-		if err != nil {
-			return nil, fmt.Errorf("core: deploying %s: %w", corpus.Traces[i].Name, err)
-		}
-		return r, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	for i, tr := range corpus.Traces {
-		r := runs[i]
-		sum.Overall.fold(r, win)
-		key := tr.App.Benchmark
-		if key == "" {
-			key = tr.App.Name
-		}
-		b := byBench[key]
-		if b == nil {
-			b = &BenchResult{Name: key}
-			byBench[key] = b
-		}
-		b.fold(r, win)
-	}
-
-	sum.Overall.Name = "overall"
-	sum.Overall.finish()
-	for _, b := range byBench {
-		b.finish()
-		sum.PerBenchmark = append(sum.PerBenchmark, b)
-	}
-	sort.Slice(sum.PerBenchmark, func(i, j int) bool {
-		return sum.PerBenchmark[i].Name < sum.PerBenchmark[j].Name
-	})
-	return sum, nil
+	return EvaluateOnCorpusOracle(ExactOracle{}, g, corpus, tel, cfg, pm)
 }

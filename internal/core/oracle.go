@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"clustergate/internal/dataset"
+	"clustergate/internal/parallel"
+	"clustergate/internal/power"
+	"clustergate/internal/trace"
+)
+
+// SimMode names the simulation path a SimOracle runs deployments on.
+type SimMode string
+
+// The three oracle modes: exact is today's cycle-level simulator
+// (byte-identical to calling Deploy directly), surrogate is the spliced-
+// replay fast path, and validate is the fast path plus seeded exact spot
+// checks that enforce an error budget.
+const (
+	SimExact     SimMode = "exact"
+	SimSurrogate SimMode = "surrogate"
+	SimValidate  SimMode = "validate"
+)
+
+// SimOracle is the single seam through which the soak-dominated paths —
+// corpus evaluation, guardrail and fleet sweeps, pristine soaks — reach
+// the simulator, so exact/surrogate/validate mode selection lives in one
+// place. Deploy runs one closed-loop deployment; SimulateCorpus records
+// fixed-mode telemetry (always on the exact simulator — recordings are
+// the surrogate's own input, so there is no fast path for them).
+type SimOracle interface {
+	Mode() SimMode
+	Deploy(g *GatingController, tr *trace.Trace, ref *dataset.TraceTelemetry,
+		cfg dataset.Config, pm *power.Model, opts DeployOptions) (*GuardedDeploymentResult, error)
+	SimulateCorpus(c *trace.Corpus, cfg dataset.Config, cacheDir string) ([]*dataset.TraceTelemetry, error)
+}
+
+// ExactOracle is the exact cycle-level simulator behind the SimOracle
+// seam: thin delegation to DeployWithOptions and the memoised corpus
+// simulator, byte-identical to calling them directly.
+type ExactOracle struct{}
+
+// Mode returns SimExact.
+func (ExactOracle) Mode() SimMode { return SimExact }
+
+// Deploy delegates to DeployWithOptions.
+func (ExactOracle) Deploy(g *GatingController, tr *trace.Trace, ref *dataset.TraceTelemetry,
+	cfg dataset.Config, pm *power.Model, opts DeployOptions) (*GuardedDeploymentResult, error) {
+	return DeployWithOptions(g, tr, ref, cfg, pm, opts)
+}
+
+// SimulateCorpus delegates to the memoised exact simulator; an empty
+// cacheDir simulates without touching disk.
+func (ExactOracle) SimulateCorpus(c *trace.Corpus, cfg dataset.Config, cacheDir string) ([]*dataset.TraceTelemetry, error) {
+	return dataset.SimulateCorpusCached(c, cfg, cacheDir)
+}
+
+// EvaluateOnCorpusOracle is EvaluateOnCorpus with the per-trace
+// deployments routed through a SimOracle; with ExactOracle it is
+// byte-identical to EvaluateOnCorpus.
+func EvaluateOnCorpusOracle(oracle SimOracle, g *GatingController, corpus *trace.Corpus,
+	tel []*dataset.TraceTelemetry, cfg dataset.Config, pm *power.Model) (*Summary, error) {
+	if len(corpus.Traces) != len(tel) {
+		return nil, fmt.Errorf("core: %d traces but %d telemetry records", len(corpus.Traces), len(tel))
+	}
+	win := g.Window()
+	sum := &Summary{Controller: g.Name}
+	byBench := map[string]*BenchResult{}
+
+	runs, err := parallel.Map(cfg.Workers, len(corpus.Traces), func(i int) (*DeploymentResult, error) {
+		r, err := oracle.Deploy(g, corpus.Traces[i], tel[i], cfg, pm, DeployOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("core: deploying %s: %w", corpus.Traces[i].Name, err)
+		}
+		return &r.DeploymentResult, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i, tr := range corpus.Traces {
+		r := runs[i]
+		sum.Overall.fold(r, win)
+		key := tr.App.Benchmark
+		if key == "" {
+			key = tr.App.Name
+		}
+		b := byBench[key]
+		if b == nil {
+			b = &BenchResult{Name: key}
+			byBench[key] = b
+		}
+		b.fold(r, win)
+	}
+
+	sum.Overall.Name = "overall"
+	sum.Overall.finish()
+	for _, b := range byBench {
+		b.finish()
+		sum.PerBenchmark = append(sum.PerBenchmark, b)
+	}
+	sort.Slice(sum.PerBenchmark, func(i, j int) bool {
+		return sum.PerBenchmark[i].Name < sum.PerBenchmark[j].Name
+	})
+	return sum, nil
+}

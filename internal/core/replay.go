@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"clustergate/internal/dataset"
+	"clustergate/internal/power"
+	"clustergate/internal/telemetry"
+	"clustergate/internal/trace"
+	"clustergate/internal/uarch"
+)
+
+// IntervalModel supplies per-interval base-signal vectors for spliced
+// replay: given the global interval index, the mode in effect, the DRAM
+// derate factor for the interval, and the number of intervals since the
+// last mode switch (SteadySinceSwitch when no switch is in flight), it
+// returns an estimate of what the exact simulator's ExtractBase delta
+// would have been. The surrogate package implements it by splicing
+// recorded fixed-mode telemetry and correcting with a learned residual.
+//
+// Implementations must be deterministic and must not retain or mutate the
+// returned slice after handing it over; ReplayDeploy treats it as owned.
+type IntervalModel interface {
+	IntervalBase(gidx int, mode uarch.Mode, derate float64, sinceSwitch int) []float64
+}
+
+// SteadySinceSwitch is the sinceSwitch value ReplayDeploy passes once a
+// deployment is past any mode-switch transient (including the initial
+// warmed-up high-performance state).
+const SteadySinceSwitch = 1 << 20
+
+// ReplayDeploy runs the closed-loop deployment control logic — decision
+// pipeline, guardrail, fault injection, RNG-perturbed telemetry snapshots
+// — at interval granularity, sourcing per-interval event vectors from an
+// IntervalModel instead of executing instructions through the cycle
+// model. It is a transliteration of DeployWithOptions with the uarch core
+// replaced by the model: the windowing, the two-window decision pipeline,
+// the guardrail/backoff state machine, the blackout policy, the fault
+// schedule clock, and the deployment RNG consumption are all identical,
+// so with a perfect model the result is identical too.
+//
+// Replay records no flight-recorder samples or events: the fast path is a
+// screening tool, and incident forensics belong to the exact simulator.
+func ReplayDeploy(g *GatingController, tr *trace.Trace, ref *dataset.TraceTelemetry,
+	cfg dataset.Config, pm *power.Model, opts DeployOptions, im IntervalModel) (*GuardedDeploymentResult, error) {
+	if tr.Name != ref.TraceName {
+		return nil, fmt.Errorf("core: trace %q does not match telemetry %q", tr.Name, ref.TraceName)
+	}
+	k := g.Granularity / g.Interval
+	if k <= 0 {
+		return nil, fmt.Errorf("core: invalid granularity/interval %d/%d", g.Granularity, g.Interval)
+	}
+
+	var state *guardrailState
+	if opts.Guardrail != nil {
+		gr := *opts.Guardrail
+		gr.defaults()
+		state = &guardrailState{cfg: gr}
+	}
+	ti := opts.Injector.ForTrace(tr.Seed)
+
+	res := &GuardedDeploymentResult{}
+	rng := newDeployRNG(tr.Seed)
+	nWindows := ref.Intervals() / k
+
+	// applied[w] is the configuration actually in effect during window w
+	// (1 = gated), or -1 for windows the replay never reached.
+	applied := make([]int8, nWindows)
+	for i := range applied {
+		applied[i] = -1
+	}
+
+	var window [][]float64
+	var prevTrue, prevObserved []float64
+	lowIntervals, totalIntervals := 0, 0
+	// pending[w] is the mode decided for window w (two windows ahead).
+	pending := make(map[int]uarch.Mode)
+	prevPred := 0
+	gidx := 0 // global interval index, the fault schedule's clock
+	mode := uarch.ModeHighPerf
+	sinceSwitch := SteadySinceSwitch
+
+	for w := 0; w < nWindows; w++ {
+		// Apply the decision made two windows ago (Figure 3 pipeline),
+		// overridden to the safe mode while the guardrail backoff holds.
+		if m, ok := pending[w]; ok {
+			if state != nil && state.backoff > 0 {
+				m = uarch.ModeHighPerf
+			}
+			if m != mode {
+				res.Switches++
+				mode = m
+				sinceSwitch = 0
+			}
+			delete(pending, w)
+		}
+		if mode == uarch.ModeLowPower {
+			applied[w] = 1
+		} else {
+			applied[w] = 0
+		}
+
+		window = window[:0]
+		windowDropped := false
+		for i := 0; i < k; i++ {
+			derate := 1.0
+			if ti != nil {
+				derate = ti.MemDerate(gidx)
+			}
+			trueBase := im.IntervalBase(gidx, mode, derate, sinceSwitch)
+			observed := trueBase
+			if ti != nil {
+				o, _, dropped := ti.Telemetry(gidx, trueBase, prevTrue)
+				observed = o
+				if dropped {
+					windowDropped = true
+					if state != nil {
+						state.noteBlackout()
+					}
+				}
+			}
+			window = append(window, observed)
+			res.Adaptive.Add(pm, telemetry.BaseToEvents(trueBase), mode)
+			gated := mode == uarch.ModeLowPower
+			if gated {
+				lowIntervals++
+			}
+			if state != nil {
+				state.observeInterval(observed, prevObserved, gated)
+				state.tick()
+			}
+			prevTrue = trueBase
+			prevObserved = observed
+			totalIntervals++
+			gidx++
+			if sinceSwitch < SteadySinceSwitch {
+				sinceSwitch++
+			}
+		}
+
+		// The recordings only hold full intervals, so the replayed stream
+		// never runs dry inside the window loop; the len(window) < k exit
+		// of the exact path is unreachable here.
+
+		// Predict for window w+2 from window w's observed telemetry.
+		if w+2 < nWindows {
+			agg, per := g.windowVectors(window, rng)
+			pred := g.decide(mode, agg, per)
+			if ti != nil {
+				if windowDropped {
+					if state != nil && state.cfg.SafeModeOnBlackout {
+						pred = 0
+					} else {
+						pred = prevPred
+					}
+				}
+				pred, _ = ti.Prediction(w, pred, prevPred)
+			}
+			res.Pred = append(res.Pred, pred)
+			res.Truth = append(res.Truth, windowTruth(ref, w+2, k, g.SLA))
+			prevPred = pred
+			if pred == 1 {
+				pending[w+2] = uarch.ModeLowPower
+			} else {
+				pending[w+2] = uarch.ModeHighPerf
+			}
+		}
+	}
+
+	// Reference span: the recorded always-high run.
+	for i := 0; i < totalIntervals && i < len(ref.HighPerf); i++ {
+		res.Reference.Add(pm, telemetry.BaseToEvents(ref.HighPerf[i].Base), uarch.ModeHighPerf)
+	}
+	if totalIntervals > 0 {
+		res.LowResidency = float64(lowIntervals) / float64(totalIntervals)
+	}
+
+	res.Eff = make([]int, len(res.Pred))
+	for idx := range res.Pred {
+		if w := idx + 2; w < nWindows && applied[w] >= 0 {
+			res.Eff[idx] = int(applied[w])
+		} else {
+			res.Eff[idx] = res.Pred[idx]
+		}
+	}
+
+	if state != nil {
+		res.GuardrailTrips = state.trips
+		res.BlackoutOverrides = state.blackouts
+	}
+	res.InjectedFaults = ti.Injected()
+	return res, nil
+}

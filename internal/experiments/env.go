@@ -14,6 +14,7 @@ import (
 	"io"
 	"time"
 
+	"clustergate/internal/core"
 	"clustergate/internal/counters"
 	"clustergate/internal/dataset"
 	"clustergate/internal/mcu"
@@ -125,8 +126,23 @@ type Env struct {
 	// ExpertColumns are the Eyerman et al. counters CHARSTAR uses.
 	ExpertColumns []int
 
+	// Sim is the simulation oracle every experiment deployment routes
+	// through; nil selects the exact simulator. paperbench installs a
+	// surrogate oracle here under -sim surrogate|validate.
+	Sim core.SimOracle
+
 	// Log receives progress lines; nil silences them.
 	Log io.Writer
+}
+
+// SimOracle returns the environment's simulation oracle, defaulting to
+// the exact simulator. Experiments must reach Deploy/SimulateCorpus
+// through it so exact/surrogate/validate selection stays in one place.
+func (e *Env) SimOracle() core.SimOracle {
+	if e.Sim != nil {
+		return e.Sim
+	}
+	return core.ExactOracle{}
 }
 
 // NewEnv builds corpora, simulates telemetry (memoised under cacheDir),
@@ -170,7 +186,7 @@ func NewEnvLogged(scale Scale, cacheDir string, seed int64, log io.Writer) (*Env
 	var err error
 	start := time.Now()
 	simSpan := obs.Start("env/hdtr-telemetry")
-	e.HDTRTel, err = dataset.SimulateCorpusCached(e.HDTR, e.Cfg, cacheDir)
+	e.HDTRTel, err = e.SimOracle().SimulateCorpus(e.HDTR, e.Cfg, cacheDir)
 	simSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: HDTR telemetry: %w", err)
@@ -179,7 +195,7 @@ func NewEnvLogged(scale Scale, cacheDir string, seed int64, log io.Writer) (*Env
 
 	start = time.Now()
 	simSpan = obs.Start("env/spec-telemetry")
-	e.SPECTel, err = dataset.SimulateCorpusCached(e.SPEC, e.Cfg, cacheDir)
+	e.SPECTel, err = e.SimOracle().SimulateCorpus(e.SPEC, e.Cfg, cacheDir)
 	simSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: SPEC telemetry: %w", err)

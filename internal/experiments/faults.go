@@ -335,7 +335,7 @@ func deployTracesFaulted(e *Env, g *core.GatingController, traces []*trace.Trace
 				taskFaults.Add(1)
 				return nil, err
 			}
-			return core.DeployWithOptions(g, traces[i], tel[i], e.Cfg, e.PM, opts)
+			return e.SimOracle().Deploy(g, traces[i], tel[i], e.Cfg, e.PM, opts)
 		})
 	if err != nil {
 		return nil, err

@@ -134,7 +134,7 @@ func FleetRollout(e *Env, g *core.GatingController) (*FleetRolloutResult, error)
 		return nil, fmt.Errorf("experiments: fleet size %d not divisible by 12", n)
 	}
 	traces, tel := sweepSubset(e)
-	wl := fleet.Workload{Traces: traces, Tel: tel, Cfg: e.Cfg, PM: e.PM}
+	wl := fleet.Workload{Traces: traces, Tel: tel, Cfg: e.Cfg, PM: e.PM, Oracle: e.SimOracle()}
 
 	var img bytes.Buffer
 	if err := core.SaveController(&img, g); err != nil {

@@ -28,7 +28,7 @@ func GuardrailStudy(e *Env, g *core.GatingController) (*GuardrailResult, error) 
 	defer obs.Start("guardrail.study").End()
 	res := &GuardrailResult{Model: g.Name, BareWorst: 1, GuardedWorst: 1}
 
-	bare, err := core.EvaluateOnCorpus(g, e.SPEC, e.SPECTel, e.Cfg, e.PM)
+	bare, err := core.EvaluateOnCorpusOracle(e.SimOracle(), g, e.SPEC, e.SPECTel, e.Cfg, e.PM)
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +49,7 @@ func GuardrailStudy(e *Env, g *core.GatingController) (*GuardrailResult, error) 
 	byBench := map[string]*agg{}
 	gr := core.DefaultGuardrail()
 	for i, tr := range e.SPEC.Traces {
-		r, err := core.DeployGuarded(g, gr, tr, e.SPECTel[i], e.Cfg, e.PM)
+		r, err := e.SimOracle().Deploy(g, tr, e.SPECTel[i], e.Cfg, e.PM, core.DeployOptions{Guardrail: &gr})
 		if err != nil {
 			return nil, err
 		}

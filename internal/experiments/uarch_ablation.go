@@ -60,7 +60,10 @@ func UarchAblations(e *Env, tracesPerBenchmark int) ([]UarchAblationRow, error) 
 		v := variants[i]
 		cfg := e.Cfg
 		v.mutate(&cfg.Core)
-		tel := dataset.SimulateCorpus(sample, cfg)
+		tel, err := e.SimOracle().SimulateCorpus(sample, cfg, "")
+		if err != nil {
+			return UarchAblationRow{}, err
+		}
 		row := UarchAblationRow{Label: v.label}
 		row.Residency = dataset.OracleResidency(tel, dataset.SLA{PSLA: 0.9})
 		var ipcSum float64

@@ -128,6 +128,10 @@ type Workload struct {
 	Tel    []*dataset.TraceTelemetry
 	Cfg    dataset.Config
 	PM     *power.Model
+	// Oracle runs the soak deployments; nil selects the exact simulator.
+	// Surrogate oracles make pristine-image soaks cheap while keeping the
+	// health-gate decision logic unchanged.
+	Oracle core.SimOracle
 }
 
 // Machine is one machine's end-of-rollout state.

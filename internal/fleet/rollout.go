@@ -310,7 +310,11 @@ func (ro *rollout) soakRing(ring []int, outs []flashOutcome, rep *RingReport, re
 func (ro *rollout) deployHealth(g *core.GatingController, ti int) soakHealth {
 	defer func(t0 time.Time) { soakDuration.Observe(time.Since(t0)) }(time.Now())
 	gr := ro.cfg.Guardrail
-	r, err := core.DeployWithOptions(g, ro.wl.Traces[ti], ro.wl.Tel[ti],
+	oracle := ro.wl.Oracle
+	if oracle == nil {
+		oracle = core.ExactOracle{}
+	}
+	r, err := oracle.Deploy(g, ro.wl.Traces[ti], ro.wl.Tel[ti],
 		ro.wl.Cfg, ro.wl.PM, core.DeployOptions{Guardrail: &gr})
 	if err != nil {
 		return soakHealth{crashed: true}

@@ -1,0 +1,263 @@
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"clustergate/internal/ml"
+)
+
+// RegNode is one regression-tree node. Leaves have Feature == -1 and carry
+// the mean training target of the samples that reached them.
+type RegNode struct {
+	Feature   int // -1 for leaves
+	Threshold float64
+	Left      int32 // child indices into RegTree.Nodes
+	Right     int32
+	Value     float64 // leaf mean target
+}
+
+// RegTree is a CART regression tree stored as a flat node array, grown
+// greedily by sum-of-squared-error reduction — the regression counterpart
+// of the classification Tree.
+type RegTree struct {
+	Nodes    []RegNode
+	MaxDepth int
+}
+
+// Predict returns the leaf value for x.
+func (t *RegTree) Predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		n := &t.Nodes[i]
+		if n.Feature < 0 {
+			return n.Value
+		}
+		if x[n.Feature] <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// RegTreeConfig controls regression-tree growth.
+type RegTreeConfig struct {
+	MaxDepth int
+	// MinSamplesSplit stops splitting below this node population. Zero
+	// selects 8.
+	MinSamplesSplit int
+	// FeatureFrac subsamples features per split (random-forest style);
+	// zero or ≥1 considers all features.
+	FeatureFrac float64
+	Seed        int64
+}
+
+// TrainRegTree grows a single regression tree on the dataset.
+func TrainRegTree(cfg RegTreeConfig, tune *ml.RegDataset) (*RegTree, error) {
+	if err := tune.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxDepth <= 0 {
+		return nil, fmt.Errorf("forest: MaxDepth must be positive")
+	}
+	if cfg.MinSamplesSplit == 0 {
+		cfg.MinSamplesSplit = 8
+	}
+	idx := make([]int, tune.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	g := &regGrower{
+		cfg:  cfg,
+		data: tune,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	t := &RegTree{MaxDepth: cfg.MaxDepth}
+	g.tree = t
+	g.grow(idx, 0)
+	return t, nil
+}
+
+type regGrower struct {
+	cfg  RegTreeConfig
+	data *ml.RegDataset
+	rng  *rand.Rand
+	tree *RegTree
+}
+
+// grow builds the subtree over samples idx at the given depth and returns
+// its root node index.
+func (g *regGrower) grow(idx []int, depth int) int32 {
+	node := int32(len(g.tree.Nodes))
+	g.tree.Nodes = append(g.tree.Nodes, RegNode{Feature: -1})
+
+	var sum float64
+	for _, i := range idx {
+		sum += g.data.Y[i]
+	}
+	g.tree.Nodes[node].Value = sum / float64(len(idx))
+
+	if depth >= g.cfg.MaxDepth || len(idx) < g.cfg.MinSamplesSplit {
+		return node
+	}
+
+	feat, thr, ok := g.bestSplit(idx)
+	if !ok {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if g.data.X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return node
+	}
+	l := g.grow(left, depth+1)
+	r := g.grow(right, depth+1)
+	n := &g.tree.Nodes[node]
+	n.Feature = feat
+	n.Threshold = thr
+	n.Left = l
+	n.Right = r
+	return node
+}
+
+// bestSplit finds the (feature, threshold) pair minimising the summed
+// per-side squared error over a feature subsample. Per-side SSE comes from
+// running sums: SSE = Σy² − (Σy)²/n.
+func (g *regGrower) bestSplit(idx []int) (feat int, thr float64, ok bool) {
+	nFeat := len(g.data.X[0])
+	features := make([]int, nFeat)
+	for i := range features {
+		features[i] = i
+	}
+	if f := g.cfg.FeatureFrac; f > 0 && f < 1 {
+		g.rng.Shuffle(nFeat, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		k := int(float64(nFeat)*f + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		features = features[:k]
+	}
+
+	type pair struct {
+		v, y float64
+	}
+	vals := make([]pair, len(idx))
+	bestGain := math.Inf(-1)
+	total := len(idx)
+	var totalSum, totalSq float64
+	for _, i := range idx {
+		y := g.data.Y[i]
+		totalSum += y
+		totalSq += y * y
+	}
+	parentSSE := totalSq - totalSum*totalSum/float64(total)
+
+	for _, f := range features {
+		for k, i := range idx {
+			vals[k] = pair{g.data.X[i][f], g.data.Y[i]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+
+		var leftSum, leftSq float64
+		leftN := 0
+		for k := 0; k < len(vals)-1; k++ {
+			leftSum += vals[k].y
+			leftSq += vals[k].y * vals[k].y
+			leftN++
+			if vals[k].v == vals[k+1].v {
+				continue // cannot split between equal values
+			}
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			rightN := total - leftN
+			sse := (leftSq - leftSum*leftSum/float64(leftN)) +
+				(rightSq - rightSum*rightSum/float64(rightN))
+			gain := parentSSE - sse
+			if gain > bestGain {
+				bestGain = gain
+				feat = f
+				thr = (vals[k].v + vals[k+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	if bestGain <= 1e-12 {
+		return 0, 0, false
+	}
+	return feat, thr, ok
+}
+
+// RegForest is a bagged ensemble of regression trees; Predict averages the
+// trees' leaf values.
+type RegForest struct {
+	Trees []*RegTree
+}
+
+// RegConfig controls regression-forest training.
+type RegConfig struct {
+	NumTrees int
+	MaxDepth int
+	// BagFrac is the bootstrap sample fraction per tree. Zero selects 1.0.
+	BagFrac float64
+	// FeatureFrac per split. Zero selects sqrt(features)/features.
+	FeatureFrac float64
+	Seed        int64
+}
+
+// TrainReg fits a regression forest to the tuning set.
+func TrainReg(cfg RegConfig, tune *ml.RegDataset) (*RegForest, error) {
+	if err := tune.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NumTrees <= 0 || cfg.MaxDepth <= 0 {
+		return nil, fmt.Errorf("forest: NumTrees and MaxDepth must be positive")
+	}
+	if cfg.BagFrac == 0 {
+		cfg.BagFrac = 1
+	}
+	featureFrac := cfg.FeatureFrac
+	if featureFrac == 0 {
+		n := len(tune.X[0])
+		featureFrac = math.Sqrt(float64(n)) / float64(n)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &RegForest{}
+	for t := 0; t < cfg.NumTrees; t++ {
+		// Bootstrap sample.
+		n := int(float64(tune.Len()) * cfg.BagFrac)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(tune.Len())
+		}
+		bag := tune.Subset(idx)
+		tree, err := TrainRegTree(RegTreeConfig{
+			MaxDepth:        cfg.MaxDepth,
+			FeatureFrac:     featureFrac,
+			MinSamplesSplit: 8,
+			Seed:            rng.Int63(),
+		}, bag)
+		if err != nil {
+			return nil, err
+		}
+		f.Trees = append(f.Trees, tree)
+	}
+	return f, nil
+}
+
+// Predict returns the mean leaf value across the ensemble.
+func (f *RegForest) Predict(x []float64) float64 {
+	var sum float64
+	for _, t := range f.Trees {
+		sum += t.Predict(x)
+	}
+	return sum / float64(len(f.Trees))
+}

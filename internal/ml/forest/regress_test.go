@@ -1,0 +1,110 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clustergate/internal/ml"
+)
+
+// synthStep draws a noisy step-plus-slope target a depth-limited tree can
+// carve up well.
+func synthStep(n int, seed int64) *ml.RegDataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &ml.RegDataset{}
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		y := x[0] + 0.02*rng.NormFloat64()
+		if x[1] > 0.5 {
+			y += 2
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+func meanOf(d *ml.RegDataset) float64 {
+	var s float64
+	for _, y := range d.Y {
+		s += y
+	}
+	return s / float64(d.Len())
+}
+
+type constReg struct{ v float64 }
+
+func (c constReg) Predict(x []float64) float64 { return c.v }
+
+func TestRegTreeBeatsMeanBaseline(t *testing.T) {
+	tune := synthStep(600, 1)
+	held := synthStep(200, 2)
+	tree, err := TrainRegTree(RegTreeConfig{MaxDepth: 6}, tune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeMAE := ml.MAE(tree, held)
+	meanMAE := ml.MAE(constReg{v: meanOf(tune)}, held)
+	if treeMAE >= meanMAE/2 {
+		t.Fatalf("tree MAE %.3f not well below mean baseline %.3f", treeMAE, meanMAE)
+	}
+}
+
+func TestRegForestBeatsSingleTree(t *testing.T) {
+	tune := synthStep(600, 3)
+	held := synthStep(200, 4)
+	f, err := TrainReg(RegConfig{NumTrees: 20, MaxDepth: 6, Seed: 5}, tune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ml.MAE(f, held); got > 0.25 {
+		t.Fatalf("forest MAE %.3f too high on synthetic step data", got)
+	}
+}
+
+func TestRegForestDeterministic(t *testing.T) {
+	tune := synthStep(300, 6)
+	a, err := TrainReg(RegConfig{NumTrees: 8, MaxDepth: 5, Seed: 9}, tune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainReg(RegConfig{NumTrees: 8, MaxDepth: 5, Seed: 9}, tune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, 0.7, 0.1}
+	if pa, pb := a.Predict(x), b.Predict(x); pa != pb {
+		t.Fatalf("same-seed forests disagree: %v vs %v", pa, pb)
+	}
+}
+
+func TestRegTreePureLeaf(t *testing.T) {
+	// Constant target: no split has positive gain, so the tree is a
+	// single mean leaf.
+	d := &ml.RegDataset{}
+	for i := 0; i < 32; i++ {
+		d.X = append(d.X, []float64{float64(i)})
+		d.Y = append(d.Y, 1.5)
+	}
+	tree, err := TrainRegTree(RegTreeConfig{MaxDepth: 4}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Nodes) != 1 {
+		t.Fatalf("constant target grew %d nodes, want 1", len(tree.Nodes))
+	}
+	if math.Abs(tree.Predict([]float64{99})-1.5) > 1e-12 {
+		t.Fatalf("leaf value %v, want 1.5", tree.Predict([]float64{99}))
+	}
+}
+
+func TestRegTreeRejectsBadConfig(t *testing.T) {
+	d := &ml.RegDataset{X: [][]float64{{1}}, Y: []float64{1}}
+	if _, err := TrainRegTree(RegTreeConfig{}, d); err == nil {
+		t.Fatal("zero MaxDepth not rejected")
+	}
+	if _, err := TrainReg(RegConfig{NumTrees: 0, MaxDepth: 3}, d); err == nil {
+		t.Fatal("zero NumTrees not rejected")
+	}
+}

@@ -1,0 +1,96 @@
+package linear
+
+import (
+	"fmt"
+	"math"
+
+	"clustergate/internal/ml"
+)
+
+// Ridge is a closed-form ridge regression model: w·x + b with an L2
+// penalty on w (the intercept is not regularised). With the surrogate's
+// dozen-odd features the normal equations are tiny, so the fit is exact
+// Gaussian elimination rather than an iterative solver.
+type Ridge struct {
+	W []float64
+	B float64
+}
+
+// Predict returns the linear estimate for x.
+func (r *Ridge) Predict(x []float64) float64 {
+	z := r.B
+	for i, v := range r.W {
+		z += v * x[i]
+	}
+	return z
+}
+
+// RidgeConfig controls the ridge fit.
+type RidgeConfig struct {
+	// Lambda is the L2 penalty. Zero selects 1e-3.
+	Lambda float64
+}
+
+// TrainRidge solves (XᵀX + λI) w = Xᵀy on the bias-augmented design
+// matrix by Gaussian elimination with partial pivoting.
+func TrainRidge(cfg RidgeConfig, tune *ml.RegDataset) (*Ridge, error) {
+	if err := tune.Validate(); err != nil {
+		return nil, err
+	}
+	lambda := cfg.Lambda
+	if lambda == 0 {
+		lambda = 1e-3
+	}
+	d := len(tune.X[0])
+	n := d + 1 // last column is the intercept
+
+	// Normal equations on the augmented design matrix.
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n+1) // last column holds Xᵀy
+	}
+	row := make([]float64, n)
+	for s, x := range tune.X {
+		copy(row, x)
+		row[d] = 1
+		y := tune.Y[s]
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			a[i][n] += row[i] * y
+		}
+	}
+	for i := 0; i < d; i++ { // leave the intercept unpenalised
+		a[i][i] += lambda
+	}
+
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		if math.Abs(a[col][col]) < 1e-12 {
+			return nil, fmt.Errorf("linear: singular normal equations at column %d", col)
+		}
+		inv := 1 / a[col][col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] * inv
+			for c := col; c <= n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	w := make([]float64, d)
+	for i := 0; i < d; i++ {
+		w[i] = a[i][n] / a[i][i]
+	}
+	return &Ridge{W: w, B: a[d][n] / a[d][d]}, nil
+}

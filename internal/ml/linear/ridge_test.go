@@ -1,0 +1,62 @@
+package linear
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clustergate/internal/ml"
+)
+
+func TestRidgeRecoversLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := &ml.RegDataset{}
+	for i := 0; i < 400; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, 3*x[0]-2*x[1]+0.5*x[2]+1.25)
+	}
+	r, err := TrainRidge(RidgeConfig{Lambda: 1e-8}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, -2, 0.5}
+	for i, w := range want {
+		if math.Abs(r.W[i]-w) > 1e-3 {
+			t.Errorf("W[%d] = %v, want %v", i, r.W[i], w)
+		}
+	}
+	if math.Abs(r.B-1.25) > 1e-3 {
+		t.Errorf("B = %v, want 1.25", r.B)
+	}
+	if mae := ml.MAE(r, d); mae > 1e-3 {
+		t.Errorf("in-sample MAE %v on noiseless linear data", mae)
+	}
+}
+
+func TestRidgeShrinksWithLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := &ml.RegDataset{}
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64()}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, 5*x[0])
+	}
+	loose, err := TrainRidge(RidgeConfig{Lambda: 1e-8}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := TrainRidge(RidgeConfig{Lambda: 1e4}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tight.W[0]) >= math.Abs(loose.W[0]) {
+		t.Fatalf("heavy penalty did not shrink the weight: %v vs %v", tight.W[0], loose.W[0])
+	}
+}
+
+func TestRidgeRejectsDegenerateData(t *testing.T) {
+	if _, err := TrainRidge(RidgeConfig{}, &ml.RegDataset{}); err == nil {
+		t.Fatal("empty dataset not rejected")
+	}
+}

@@ -1,0 +1,68 @@
+package ml
+
+import "fmt"
+
+// Regressor is a trained regression model: Predict returns the model's
+// real-valued estimate for a feature vector. The simulator surrogate uses
+// regressors to predict the residual between its analytical interval
+// estimate and the exact cycle model.
+type Regressor interface {
+	Predict(x []float64) float64
+}
+
+// RegDataset is a regression dataset. Rows of X are feature vectors;
+// Y[i] is the real-valued target for sample i.
+type RegDataset struct {
+	X [][]float64
+	Y []float64
+}
+
+// Len returns the number of samples.
+func (d *RegDataset) Len() int { return len(d.X) }
+
+// Validate checks the dataset for shape consistency.
+func (d *RegDataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("ml: %d feature rows but %d targets", len(d.X), len(d.Y))
+	}
+	if len(d.X) == 0 {
+		return fmt.Errorf("ml: empty regression dataset")
+	}
+	w := len(d.X[0])
+	for i, row := range d.X {
+		if len(row) != w {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), w)
+		}
+	}
+	return nil
+}
+
+// Subset returns a view dataset containing the given sample indices.
+func (d *RegDataset) Subset(idx []int) *RegDataset {
+	out := &RegDataset{
+		X: make([][]float64, 0, len(idx)),
+		Y: make([]float64, 0, len(idx)),
+	}
+	for _, i := range idx {
+		out.X = append(out.X, d.X[i])
+		out.Y = append(out.Y, d.Y[i])
+	}
+	return out
+}
+
+// MAE returns the mean absolute prediction error of a regressor on a
+// dataset, or 0 for an empty dataset.
+func MAE(m Regressor, d *RegDataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	var sum float64
+	for i, x := range d.X {
+		e := m.Predict(x) - d.Y[i]
+		if e < 0 {
+			e = -e
+		}
+		sum += e
+	}
+	return sum / float64(d.Len())
+}

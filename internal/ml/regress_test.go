@@ -1,0 +1,43 @@
+package ml
+
+import "testing"
+
+func TestRegDatasetValidate(t *testing.T) {
+	d := &RegDataset{X: [][]float64{{1, 2}, {3, 4}}, Y: []float64{1, 2}}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &RegDataset{X: [][]float64{{1, 2}}, Y: []float64{1, 2}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched rows/targets not rejected")
+	}
+	ragged := &RegDataset{X: [][]float64{{1, 2}, {3}}, Y: []float64{1, 2}}
+	if err := ragged.Validate(); err == nil {
+		t.Fatal("ragged rows not rejected")
+	}
+	if err := (&RegDataset{}).Validate(); err == nil {
+		t.Fatal("empty dataset not rejected")
+	}
+}
+
+func TestRegDatasetSubset(t *testing.T) {
+	d := &RegDataset{X: [][]float64{{0}, {1}, {2}}, Y: []float64{0, 10, 20}}
+	s := d.Subset([]int{2, 0})
+	if s.Len() != 2 || s.Y[0] != 20 || s.Y[1] != 0 {
+		t.Fatalf("unexpected subset: %+v", s)
+	}
+}
+
+type meanModel struct{ v float64 }
+
+func (m meanModel) Predict(x []float64) float64 { return m.v }
+
+func TestMAE(t *testing.T) {
+	d := &RegDataset{X: [][]float64{{0}, {0}}, Y: []float64{1, 3}}
+	if got := MAE(meanModel{v: 2}, d); got != 1 {
+		t.Fatalf("MAE = %v, want 1", got)
+	}
+	if got := MAE(meanModel{}, &RegDataset{}); got != 0 {
+		t.Fatalf("MAE on empty dataset = %v, want 0", got)
+	}
+}

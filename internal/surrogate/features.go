@@ -1,0 +1,84 @@
+package surrogate
+
+// Base-vector indices the surrogate reads, kept in sync with
+// telemetry.BaseNames extraction order (guarded by a test).
+const (
+	idxUopCacheMisses  = 0
+	idxStall           = 5
+	idxUopCacheHits    = 9
+	idxMispredicts     = 12
+	idxL2Misses        = 15
+	idxInstrs          = 16
+	idxBusy            = 27
+	idxReadyWait       = 28
+	idxCrossForwards   = 32
+	idxModeSwitches    = 36
+	idxRegTransferUops = 37
+	idxPrefetchFills   = 38
+	idxCycles          = 39
+)
+
+// FeatureNames lists the residual model's inputs, in extraction order.
+// Changing this list (or the extraction math) requires bumping
+// FeatureVersion; the golden fixture in testdata locks the schema.
+var FeatureNames = []string{
+	"ipc",                     // recorded steady-state IPC in the replayed mode
+	"busy_frac",               // busy cycles / cycles
+	"ready_wait_per_instr",    // operand-wait pressure
+	"l2_miss_per_kinstr",      // demand DRAM traffic
+	"dram_fill_per_kinstr",    // demand + prefetch DRAM traffic
+	"mispred_per_kinstr",      // redirect pressure
+	"uop_cache_miss_frac",     // front-end locality
+	"cross_forward_per_instr", // inter-cluster dependency traffic
+	"gated",                   // 1 when replaying low-power mode
+	"since_switch",            // intervals since last mode switch, capped at 8
+	"other_ipc_ratio",         // other mode's recorded IPC / this mode's
+	"derate",                  // DRAM derate factor for the interval
+}
+
+// sinceSwitchCap bounds the since_switch feature: past a few intervals the
+// µarch state (caches, predictor) has converged to the new mode's steady
+// state and the distinction carries no signal.
+const sinceSwitchCap = 8
+
+// Features extracts the residual model's input vector from a recorded
+// steady-state base vector plus the replay context. base is the recorded
+// fixed-mode interval for the mode being replayed (pre-splice), gated
+// marks low-power mode, and otherIPCRatio is the companion recording's
+// IPC divided by this one's.
+func Features(base []float64, gated bool, sinceSwitch int, otherIPCRatio, derate float64) []float64 {
+	instrs := base[idxInstrs]
+	cycles := base[idxCycles]
+	if instrs <= 0 {
+		instrs = 1
+	}
+	if cycles <= 0 {
+		cycles = 1
+	}
+	uopAcc := base[idxUopCacheMisses] + base[idxUopCacheHits]
+	if uopAcc <= 0 {
+		uopAcc = 1
+	}
+	f := make([]float64, 0, len(FeatureNames))
+	f = append(f,
+		base[idxInstrs]/cycles,
+		base[idxBusy]/cycles,
+		base[idxReadyWait]/instrs,
+		1000*base[idxL2Misses]/instrs,
+		1000*(base[idxL2Misses]+base[idxPrefetchFills])/instrs,
+		1000*base[idxMispredicts]/instrs,
+		base[idxUopCacheMisses]/uopAcc,
+		base[idxCrossForwards]/instrs,
+	)
+	if gated {
+		f = append(f, 1)
+	} else {
+		f = append(f, 0)
+	}
+	ss := sinceSwitch
+	if ss > sinceSwitchCap {
+		ss = sinceSwitchCap
+	}
+	f = append(f, float64(ss), otherIPCRatio, derate)
+	return f
+}

@@ -1,0 +1,21 @@
+package surrogate
+
+// splitmix is a stateless splitmix64 hash step, the package's source of
+// deterministic pseudo-randomness: forced-schedule derate patterns and
+// validate-mode spot-check selection derive from it, so both are
+// worker-count and iteration-order independent.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash01 maps a hash chain over the given words into [0, 1).
+func hash01(words ...uint64) float64 {
+	h := uint64(0x737572726f67617f) // package tag
+	for _, w := range words {
+		h = splitmix(h ^ w)
+	}
+	return float64(h>>11) / float64(1<<53)
+}

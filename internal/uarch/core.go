@@ -253,21 +253,27 @@ func (c *Core) SetMode(m Mode) {
 		return
 	}
 	c.ev.ModeSwitches++
-	if m == ModeLowPower {
-		uops := avgRegTransfers
-		if uops > c.cfg.MaxRegTransfers {
-			uops = c.cfg.MaxRegTransfers
-		}
-		cost := uint64(uops/c.cfg.ClusterIssueWidth + 4)
-		c.ev.RegTransferUops += uint64(uops)
-		c.ev.SwitchCycles += cost
-		c.fc += cost
-	} else {
-		c.ev.SwitchCycles += 2
-		c.fc += 2
-	}
+	cycles, uops := SwitchCost(c.cfg, m)
+	c.ev.RegTransferUops += uint64(uops)
+	c.ev.SwitchCycles += uint64(cycles)
+	c.fc += uint64(cycles)
 	c.mode = m
 	c.applyMode()
+}
+
+// SwitchCost returns the cycle and register-transfer-µop cost SetMode
+// charges for a transition into mode m. The surrogate's analytical layer
+// uses it to patch mode-switch transients onto spliced steady-state
+// recordings, so the microcode cost model lives in exactly one place.
+func SwitchCost(cfg Config, m Mode) (cycles, regTransferUops int) {
+	if m == ModeLowPower {
+		uops := avgRegTransfers
+		if uops > cfg.MaxRegTransfers {
+			uops = cfg.MaxRegTransfers
+		}
+		return uops/cfg.ClusterIssueWidth + 4, uops
+	}
+	return 2, 0
 }
 
 // execChunk is the number of instructions processed per pass sweep. The

@@ -35,7 +35,7 @@ go test -race -timeout 25m ./internal/parallel/... ./internal/dataset/... ./inte
 # BENCH files in place; obsdiff compares fresh against stashed at the end.
 baseline_dir=$(mktemp -d)
 trap 'rm -rf "$baseline_dir"' EXIT
-for f in BENCH_uarch.json BENCH_paperbench.json BENCH_paperbench_results.json; do
+for f in BENCH_uarch.json BENCH_paperbench.json BENCH_paperbench_results.json BENCH_surrogate.json; do
     [ -f "$f" ] && cp "$f" "$baseline_dir/$f"
 done
 
@@ -55,10 +55,19 @@ go run ./cmd/paperbench -scale quick -exp all -seed 1 -q \
     -trace BENCH_trace.json \
     > /dev/null
 
+echo "== surrogate benchmark (BENCH_surrogate.json)"
+# Trains the analytic+ML surrogate on the quick-scale corpus, then times
+# exact vs surrogate deployments head to head. Timings and the error
+# distribution land in BENCH_surrogate.json only (stdout is deterministic),
+# and obsdiff gates error drift below just like timing drift.
+go run ./cmd/paperbench -scale quick -exp surrogate-bench -seed 1 -q \
+    -surrogatejson BENCH_surrogate.json \
+    > /dev/null
+
 echo "== validate emitted JSON"
 go run scripts/validate-json.go BENCH_paperbench.json BENCH_paperbench_results.json \
     BENCH_guardrail_sweep.json BENCH_fleet_rollout.json BENCH_uarch.json \
-    BENCH_events.jsonl BENCH_trace.json
+    BENCH_surrogate.json BENCH_events.jsonl BENCH_trace.json
 
 echo "== obsdiff perf gate (fresh run vs checked-in baselines)"
 # -tol 1.0 allows timing to double before failing: the quick run shares a
@@ -66,7 +75,7 @@ echo "== obsdiff perf gate (fresh run vs checked-in baselines)"
 # catastrophic regressions, not a microbenchmark. Counters and experiment
 # metrics are held (near-)exact — see cmd/obsdiff for the tolerances and
 # the default skip globs (cache-state and core-count dependent keys).
-for f in BENCH_uarch.json BENCH_paperbench.json BENCH_paperbench_results.json; do
+for f in BENCH_uarch.json BENCH_paperbench.json BENCH_paperbench_results.json BENCH_surrogate.json; do
     if [ -f "$baseline_dir/$f" ]; then
         go run ./cmd/obsdiff -tol 1.0 "$baseline_dir/$f" "$f"
     else

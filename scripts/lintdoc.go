@@ -3,7 +3,10 @@
 // lintdoc enforces the repo's documentation floor: every internal package
 // must carry a package comment, and the cross-cutting infrastructure
 // packages whose APIs other layers build on (internal/parallel,
-// internal/obs, internal/fault) must document every exported symbol.
+// internal/obs, internal/fault, internal/surrogate, internal/ml/linear)
+// must document every exported symbol. It also walks the top-level
+// markdown docs (README.md, ARCHITECTURE.md, EXPERIMENTS.md, DESIGN.md,
+// docs/*.md) and fails on relative links whose targets do not exist.
 // Used by check.sh; run it as
 //
 //	go run scripts/lintdoc.go
@@ -18,15 +21,18 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 )
 
 // fullDocPackages must document every exported symbol, not just the
 // package.
 var fullDocPackages = map[string]bool{
-	"internal/parallel": true,
-	"internal/obs":      true,
-	"internal/fault":    true,
+	"internal/parallel":  true,
+	"internal/obs":       true,
+	"internal/fault":     true,
+	"internal/surrogate": true,
+	"internal/ml/linear": true,
 }
 
 func main() {
@@ -66,13 +72,57 @@ func main() {
 		}
 	}
 
+	docs, linkViolations := checkMarkdownLinks()
+	violations = append(violations, linkViolations...)
+
 	if len(violations) > 0 {
 		for _, v := range violations {
 			fmt.Fprintln(os.Stderr, "lintdoc:", v)
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("lintdoc: %d internal packages documented\n", len(dirs))
+	fmt.Printf("lintdoc: %d internal packages documented, %d markdown docs link-checked\n", len(dirs), docs)
+}
+
+// mdLink matches inline markdown links [text](target). Reference-style
+// links and autolinks are out of scope — the repo's docs use inline form.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdownLinks verifies that every relative link in the top-level
+// docs and docs/ resolves to an existing file or directory. External
+// schemes and pure fragments are skipped; a #fragment suffix on a
+// relative target is stripped before the existence check.
+func checkMarkdownLinks() (docs int, violations []string) {
+	files := []string{"README.md", "ARCHITECTURE.md", "EXPERIMENTS.md", "DESIGN.md"}
+	extra, _ := filepath.Glob("docs/*.md")
+	files = append(files, extra...)
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			continue // absent top-level docs are not an error
+		}
+		docs++
+		for _, line := range strings.Split(string(b), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+					strings.HasPrefix(target, "mailto:") {
+					continue
+				}
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(f), target)
+				if _, err := os.Stat(resolved); err != nil {
+					violations = append(violations, fmt.Sprintf("%s: broken relative link %q", f, m[1]))
+				}
+			}
+		}
+	}
+	return docs, violations
 }
 
 // hasPackageDoc reports whether any file of the package carries a package

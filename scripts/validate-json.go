@@ -60,6 +60,9 @@ func validate(path string) error {
 		if events, ok := v["traceEvents"].([]any); ok {
 			return validateChromeTrace(path, events)
 		}
+		if s, ok := v["schema"].(string); ok && strings.HasPrefix(s, "surrogate-bench/") {
+			return validateSurrogateBench(path, v)
+		}
 		fmt.Printf("%s: valid JSON object, %d top-level keys\n", path, len(v))
 	case []any:
 		fmt.Printf("%s: valid JSON array, %d elements\n", path, len(v))
@@ -106,6 +109,36 @@ func validateEventLog(path string, data []byte) error {
 		return err
 	}
 	fmt.Printf("%s: valid event log, %d events, deterministically ordered\n", path, n)
+	return nil
+}
+
+// validateSurrogateBench checks the BENCH_surrogate.json artifact: every
+// numeric field the obsdiff gate reads must be present and finite, and
+// the within_budget verdict must be a bool.
+func validateSurrogateBench(path string, v map[string]any) error {
+	numeric := []string{
+		"traces", "deploys",
+		"exact_ns_per_deploy", "surrogate_ns_per_deploy", "speedup",
+		"err_p50", "err_p95", "err_max", "pred_agreement",
+		"samples", "budget",
+	}
+	for _, k := range numeric {
+		n, ok := v[k].(float64)
+		if !ok {
+			return fmt.Errorf("missing or non-numeric field %q", k)
+		}
+		if n != n || n < 0 {
+			return fmt.Errorf("field %q is negative or NaN: %v", k, n)
+		}
+	}
+	if _, ok := v["backend"].(string); !ok {
+		return fmt.Errorf("missing backend")
+	}
+	if _, ok := v["within_budget"].(bool); !ok {
+		return fmt.Errorf("missing or non-bool within_budget")
+	}
+	fmt.Printf("%s: valid surrogate bench, %.0fx speedup, p95 err %.4f\n",
+		path, v["speedup"].(float64), v["err_p95"].(float64))
 	return nil
 }
 
