@@ -9,8 +9,9 @@
 //	obsdiff [-tol F] [-ctol F] [-mtol F] [-skip GLOBS] BASELINE CURRENT
 //
 // The two files must be the same schema; obsdiff detects it from the
-// content (uarch-bench/v1, surrogate-bench/v1, a results file's "results"
-// array, or a run manifest's "counters"). Three tolerances, one per value class:
+// content (uarch-bench/v1, surrogate-bench/v1, ctrlplane-bench/v1, a
+// results file's "results" array, or a run manifest's "counters"). Three
+// tolerances, one per value class:
 //
 //   - Timing (ns_per_op, histogram percentiles, wall_seconds): noisy,
 //     gated at -tol relative slowdown (default 0.5 = flag a >1.5×
@@ -95,6 +96,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		d.diffUarch(base, cur)
 	case "surrogate-bench":
 		d.diffSurrogate(base, cur)
+	case "ctrlplane-bench":
+		d.diffCtrlplane(base, cur)
 	case "results":
 		d.diffResults(base, cur)
 	case "manifest":
@@ -130,6 +133,9 @@ func schema(doc map[string]any) string {
 	}
 	if s, _ := doc["schema"].(string); strings.HasPrefix(s, "surrogate-bench/") {
 		return "surrogate-bench"
+	}
+	if s, _ := doc["schema"].(string); strings.HasPrefix(s, "ctrlplane-bench/") {
+		return "ctrlplane-bench"
 	}
 	if _, ok := doc["results"]; ok {
 		return "results"
@@ -287,6 +293,52 @@ func (d *differ) diffSurrogate(base, cur map[string]any) {
 	if bv, ok := num(base, "pred_agreement"); ok {
 		if cv, ok := num(cur, "pred_agreement"); ok && cv < bv-0.05 {
 			d.warn("pred_agreement %.3f -> %.3f (warn-only)", bv, cv)
+		}
+	}
+}
+
+// diffCtrlplane compares ctrlplane-bench/v1 files: throughput
+// (machines/sec, decisions/sec) as one-sided gates at the timing
+// tolerance — a drop beyond tolerance is a regression, gains never flag —
+// the p95 decision latency likewise one-sided upward, wall clock
+// warn-only, and campaign-outcome verdicts (completed, bad_caught) that
+// flipped to false always regressions. Volume fields (machines,
+// intervals, decisions) are deterministic and gated at the counter
+// tolerance.
+func (d *differ) diffCtrlplane(base, cur map[string]any) {
+	for _, k := range []string{"machines_per_sec", "decisions_per_sec"} {
+		if bv, ok := num(base, k); ok {
+			if cv, ok := num(cur, k); ok {
+				if r := relDelta(bv, cv); r < -d.tol.timing {
+					d.fail(k, bv, cv, fmt.Sprintf("%.0f%% slower > %.0f%% tolerance", -100*r, 100*d.tol.timing))
+				}
+			}
+		}
+	}
+	if bv, ok := num(base, "p95_decision_ms"); ok {
+		if cv, ok := num(cur, "p95_decision_ms"); ok {
+			d.slower("p95_decision_ms", bv, cv)
+		}
+	}
+	for _, k := range []string{"machines", "shards", "ticks", "intervals", "decisions"} {
+		if bv, ok := num(base, k); ok {
+			if cv, ok := num(cur, k); ok {
+				d.drifted(k, bv, cv, d.tol.counter)
+			}
+		}
+	}
+	for _, k := range []string{"completed", "bad_caught"} {
+		if bw, ok := base[k].(bool); ok {
+			if cw, ok := cur[k].(bool); ok && bw && !cw {
+				d.fail(k, 1, 0, "campaign verdict flipped to false")
+			}
+		}
+	}
+	if bv, ok := num(base, "wall_seconds"); ok {
+		if cv, ok := num(cur, "wall_seconds"); ok {
+			if r := relDelta(bv, cv); r > d.tol.timing {
+				d.warn("wall_seconds %.1fs -> %.1fs (%.0f%% slower; warn-only)", bv, cv, 100*r)
+			}
 		}
 	}
 }

@@ -130,6 +130,64 @@ func TestManifestWallSecondsWarnOnly(t *testing.T) {
 	}
 }
 
+const ctrlplaneBase = `{"schema":"ctrlplane-bench/v1","machines":10000,"shards":8,
+	"ticks":30,"intervals":500000,"decisions":500010,"wall_seconds":5,
+	"machines_per_sec":4000,"decisions_per_sec":200000,"p95_decision_ms":0.5,
+	"completed":true,"bad_caught":true}`
+
+func TestCtrlplaneThroughputDropFails(t *testing.T) {
+	base := writeDoc(t, "base.json", ctrlplaneBase)
+	cur := writeDoc(t, "cur.json", `{"schema":"ctrlplane-bench/v1","machines":10000,"shards":8,
+		"ticks":30,"intervals":500000,"decisions":500010,"wall_seconds":20,
+		"machines_per_sec":1000,"decisions_per_sec":50000,"p95_decision_ms":0.5,
+		"completed":true,"bad_caught":true}`)
+	code, out := diff(t, "-tol", "0.5", base, cur)
+	if code != 1 || !strings.Contains(out, "machines_per_sec") || !strings.Contains(out, "decisions_per_sec") {
+		t.Fatalf("throughput drop must regress: exit %d:\n%s", code, out)
+	}
+	// Faster is never a regression: quadruple throughput, clean exit.
+	cur2 := writeDoc(t, "cur2.json", `{"schema":"ctrlplane-bench/v1","machines":10000,"shards":8,
+		"ticks":30,"intervals":500000,"decisions":500010,"wall_seconds":1,
+		"machines_per_sec":16000,"decisions_per_sec":800000,"p95_decision_ms":0.1,
+		"completed":true,"bad_caught":true}`)
+	if code, out := diff(t, "-tol", "0.5", base, cur2); code != 0 {
+		t.Fatalf("speedup flagged: exit %d:\n%s", code, out)
+	}
+}
+
+func TestCtrlplaneLatencyAndVolumeGates(t *testing.T) {
+	base := writeDoc(t, "base.json", ctrlplaneBase)
+	// p95 decision latency blowing past the timing tolerance fails.
+	cur := writeDoc(t, "cur.json", `{"schema":"ctrlplane-bench/v1","machines":10000,"shards":8,
+		"ticks":30,"intervals":500000,"decisions":500010,"wall_seconds":5,
+		"machines_per_sec":4000,"decisions_per_sec":200000,"p95_decision_ms":5,
+		"completed":true,"bad_caught":true}`)
+	code, out := diff(t, "-tol", "0.5", base, cur)
+	if code != 1 || !strings.Contains(out, "p95_decision_ms") {
+		t.Fatalf("latency growth must regress: exit %d:\n%s", code, out)
+	}
+	// Deterministic volume fields drifting fails at the counter tolerance.
+	cur2 := writeDoc(t, "cur2.json", `{"schema":"ctrlplane-bench/v1","machines":10000,"shards":8,
+		"ticks":30,"intervals":499000,"decisions":500010,"wall_seconds":5,
+		"machines_per_sec":4000,"decisions_per_sec":200000,"p95_decision_ms":0.5,
+		"completed":true,"bad_caught":true}`)
+	if code, out := diff(t, base, cur2); code != 1 || !strings.Contains(out, "intervals") {
+		t.Fatalf("interval drift must regress: exit %d:\n%s", code, out)
+	}
+}
+
+func TestCtrlplaneVerdictFlipFails(t *testing.T) {
+	base := writeDoc(t, "base.json", ctrlplaneBase)
+	cur := writeDoc(t, "cur.json", `{"schema":"ctrlplane-bench/v1","machines":10000,"shards":8,
+		"ticks":30,"intervals":500000,"decisions":500010,"wall_seconds":5,
+		"machines_per_sec":4000,"decisions_per_sec":200000,"p95_decision_ms":0.5,
+		"completed":true,"bad_caught":false}`)
+	code, out := diff(t, base, cur)
+	if code != 1 || !strings.Contains(out, "bad_caught") {
+		t.Fatalf("bad_caught flip must regress: exit %d:\n%s", code, out)
+	}
+}
+
 const resultsBase = `{"tool":"paperbench","results":[
 	{"name":"table3","seconds":5,"metrics":{"pgos.00":0.95,"ops.00":6051}},
 	{"name":"fig7","seconds":1,"metrics":{"mean_residency":0.48}}]}`
@@ -165,7 +223,7 @@ func TestSchemaMismatch(t *testing.T) {
 }
 
 func TestIdenticalFilesClean(t *testing.T) {
-	for _, doc := range []string{uarchBase, manifestBase, resultsBase} {
+	for _, doc := range []string{uarchBase, manifestBase, resultsBase, ctrlplaneBase} {
 		base := writeDoc(t, "base.json", doc)
 		cur := writeDoc(t, "cur.json", doc)
 		if code, out := diff(t, base, cur); code != 0 {

@@ -11,7 +11,7 @@
 //
 // Experiments: corpus, table3, table4, fig4, fig5, fig6, fig7, fig8, fig9,
 // fig10, table5, table6, granularity, guardrail, guardrail-sweep, faults,
-// fleet-rollout, uarch, dvfs, ablations, all. The guardrail-sweep study
+// fleet-rollout, ctrlplane-soak, uarch, dvfs, ablations, all. The guardrail-sweep study
 // deploys a guarded-budget controller under every fault class across a
 // grid of guardrail configurations and prints the exposure/PPW tuning
 // frontier; -sweepjson additionally writes the frontier as JSON. The
@@ -20,7 +20,13 @@
 // health gates × transport corruption rates) and prints the
 // machines-exposed versus time-to-full-fleet frontier, including each
 // policy's blast radius for a semantically bad image; -rolloutjson writes
-// that frontier as JSON.
+// that frontier as JSON. The ctrlplane-soak study drives a staged
+// campaign across a simulated datacenter (10k-100k machines by scale)
+// through the internal/ctrlplane service — pipelined rings, quorum
+// promotion with straggler re-flash, continuous telemetry ingest — plus
+// the bad-image counterfactual the canary must catch; -ctrlplanejson
+// writes its throughput figures (machines/sec, decisions/sec, p95
+// decision latency) as JSON, which is the only place wall-clock appears.
 //
 // Simulation oracle (see docs/SURROGATE.md): -sim selects how deployments
 // are simulated. "exact" (the default) runs the cycle model and is
@@ -77,6 +83,7 @@ func main() {
 	flag.StringVar(&opts.checkpointDir, "checkpoint", "", "persist completed experiments under this directory and resume from it")
 	flag.StringVar(&opts.sweepJSONPath, "sweepjson", "", "write the guardrail-sweep frontier as JSON to this file")
 	flag.StringVar(&opts.rolloutJSONPath, "rolloutjson", "", "write the fleet-rollout frontier as JSON to this file")
+	flag.StringVar(&opts.ctrlplaneJSONPath, "ctrlplanejson", "", "write the ctrlplane-soak throughput figures as JSON to this file")
 	flag.StringVar(&opts.eventsPath, "events", "", "write the structured event log (guardrail trips, fault injections, ring promotions) as JSONL to this file")
 	flag.StringVar(&opts.tracePath, "trace", "", "write the span tree as Chrome trace-event JSON (Perfetto-loadable) to this file")
 	flag.StringVar(&opts.debugAddr, "debug-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address while running (e.g. localhost:6060)")

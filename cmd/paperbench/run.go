@@ -39,6 +39,7 @@ type benchOpts struct {
 	checkpointDir     string
 	sweepJSONPath     string
 	rolloutJSONPath   string
+	ctrlplaneJSONPath string
 	eventsPath        string
 	tracePath         string
 	debugAddr         string
@@ -596,6 +597,40 @@ func run(opts benchOpts, stdout, stderr io.Writer) error {
 			return m, nil
 		})
 	}
+	if sel("ctrlplane-soak") {
+		runExp("ctrlplane-soak", false, func(w io.Writer) (map[string]float64, error) {
+			g, err := experiments.BuildGeneralBestRF(env)
+			if err != nil {
+				return nil, err
+			}
+			r, err := experiments.CtrlplaneSoak(env, g)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintCtrlplane(w, r)
+			fmt.Fprintln(w)
+			if opts.ctrlplaneJSONPath != "" {
+				if err := writeCtrlplaneJSON(opts.ctrlplaneJSONPath, r); err != nil {
+					return nil, err
+				}
+			}
+			m := map[string]float64{
+				"machines":       float64(r.Machines),
+				"good.ticks":     float64(r.Good.Ticks),
+				"good.flashed":   float64(r.Good.Flashed),
+				"good.exposed":   float64(r.Good.Exposed),
+				"good.decisions": float64(r.Good.Decisions),
+				"bad.flashed":    float64(r.Bad.Flashed),
+			}
+			if r.Good.Completed {
+				m["good.completed"] = 1
+			}
+			if r.Bad.RolledBack {
+				m["bad.caught"] = 1
+			}
+			return m, nil
+		})
+	}
 	if sel("uarch") {
 		runExp("uarch", false, func(w io.Writer) (map[string]float64, error) {
 			rows, err := experiments.UarchAblations(env, 2)
@@ -778,6 +813,31 @@ func writeSweepJSON(path string, r *experiments.GuardrailSweepResult) error {
 // JSON (the -rolloutjson flag), for CI validation and downstream tooling.
 func writeRolloutJSON(path string, r *experiments.FleetRolloutResult) error {
 	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// writeCtrlplaneJSON persists the ctrlplane-soak throughput figures
+// (machines/sec, decisions/sec, p95 decision latency) as machine-readable
+// JSON for CI gating; timings live here and never on stdout.
+func writeCtrlplaneJSON(path string, r *experiments.CtrlplaneResult) error {
+	out := map[string]any{
+		"schema":            "ctrlplane-bench/v1",
+		"machines":          r.Machines,
+		"shards":            r.Shards,
+		"ticks":             r.Good.Ticks,
+		"intervals":         r.Good.Intervals,
+		"decisions":         r.Good.Decisions,
+		"wall_seconds":      r.WallSeconds,
+		"machines_per_sec":  r.MachinesPerSec,
+		"decisions_per_sec": r.DecisionsPerSec,
+		"p95_decision_ms":   r.P95DecisionMS,
+		"completed":         r.Good.Completed,
+		"bad_caught":        r.Bad.RolledBack,
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}

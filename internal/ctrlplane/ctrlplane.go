@@ -1,0 +1,682 @@
+// Package ctrlplane is the fleet adaptation control plane: a long-running,
+// sharded service that drives staged controller rollouts across a simulated
+// datacenter while continuously ingesting the fleet's health telemetry.
+// Where internal/fleet runs one rollout as a batch function, ctrlplane runs
+// the same flash/soak/gate steps (the reusable step layer in
+// internal/fleet/steps.go) as a control loop over logical ticks:
+//
+//   - every tick, machines in soaking rings stream telemetry intervals
+//     into a central ingest layer — batched, pushed through bounded
+//     per-shard queues with backpressure, folded by per-shard consumers;
+//   - the decider (one serial pass per tick) reads the sharded health
+//     state and drives the ring state machine: flash ring N while ring
+//     N−1 soaks (pipelined rings), promote a ring on a quorum of installs
+//     with a straggler re-flash pass, halt and roll the whole fleet back
+//     on a gate failure.
+//
+// Determinism matches the rest of the repo: every transport draw and every
+// telemetry interval is a pure hash of (seed, machine, tick), ingest folds
+// commute, and all control decisions happen in the serial decider at the
+// tick barrier — so the Report and the event log are byte-identical at any
+// Workers/Shards setting. Wall-clock throughput (machines/sec,
+// decisions/sec) is reported separately by the experiment layer and never
+// enters the Report.
+package ctrlplane
+
+import (
+	"fmt"
+	"sync"
+
+	"clustergate/internal/core"
+	"clustergate/internal/fleet"
+	"clustergate/internal/obs"
+	"clustergate/internal/parallel"
+)
+
+// Hash salts for the control plane's own draw domains, disjoint from the
+// fleet transport salts by construction (fresh seeds, not new phases — a
+// third flash phase would collide with the next machine's install key).
+const (
+	saltTel     = 0x74656c65 // "tele": telemetry window picks
+	saltReflash = 0x72666c73 // "rfls": straggler re-flash schedules
+)
+
+// Config describes one control-plane deployment campaign.
+type Config struct {
+	// Name scopes the campaign's event-log entries; empty selects
+	// "ctrlplane-seed<Seed>". Purely observational.
+	Name string
+	// Machines is the datacenter size.
+	Machines int
+	// Shards is the ingest fan-in width: machine m reports to shard
+	// m % Shards, each shard owning a bounded queue and one consumer.
+	// Zero selects 8; values above Machines clamp. Purely an ingest
+	// concurrency knob — never affects the Report.
+	Shards int
+	// Workers bounds the flash and telemetry fan-outs as in
+	// parallel.ForEach: 0 selects all cores, 1 the serial path. Results
+	// are identical at any setting.
+	Workers int
+	// Seed drives every transport decision and telemetry draw.
+	Seed int64
+	// RingFracs are the staged ring sizes as fleet fractions, canary
+	// first; they must sum to ~1. Empty selects {0.01, 0.09, 0.30, 0.60}.
+	RingFracs []float64
+	// Quorum is the installed fraction a ring needs to be promoted to
+	// soaking despite stragglers; stragglers get one re-flash pass. Zero
+	// selects 0.95.
+	Quorum float64
+	// SoakTicks is how many ticks a ring streams telemetry before its
+	// health gate is evaluated. Zero selects 3.
+	SoakTicks int
+	// FlashPerTick bounds how many machines the infrastructure flashes
+	// per tick; zero flashes a whole ring in one tick.
+	FlashPerTick int
+	// IntervalsPerTick is how many telemetry intervals each soaking
+	// machine streams per tick. Zero selects 2.
+	IntervalsPerTick int
+	// BatchSize is the ingest batch size in intervals; zero selects 256.
+	BatchSize int
+	// QueueDepth is each shard queue's capacity in batches — the
+	// backpressure bound on how far producers can run ahead of their
+	// consumer. Zero selects 4.
+	QueueDepth int
+	// MaxTicks bounds the campaign; zero derives a bound from the ring
+	// layout with slack. Run returns an error if the bound is hit.
+	MaxTicks int
+	// Gate is the ring-promotion policy, evaluated on ingested telemetry.
+	Gate fleet.GatePolicy
+	// Guardrail instruments every soak deployment.
+	Guardrail core.Guardrail
+	// Verify, CorruptProb, CorruptBits, FlashFailProb, and FlashRetries
+	// parameterise the flash transport model; see fleet.Config.
+	Verify        bool
+	CorruptProb   float64
+	CorruptBits   int
+	FlashFailProb float64
+	FlashRetries  int
+}
+
+// validate checks the configuration and applies defaults in place.
+func (c *Config) validate(wl *fleet.Workload) error {
+	if c.Machines <= 0 {
+		return fmt.Errorf("ctrlplane: %d machines", c.Machines)
+	}
+	if len(wl.Traces) == 0 || len(wl.Traces) != len(wl.Tel) {
+		return fmt.Errorf("ctrlplane: workload has %d traces, %d telemetry records",
+			len(wl.Traces), len(wl.Tel))
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Shards > c.Machines {
+		c.Shards = c.Machines
+	}
+	if len(c.RingFracs) == 0 {
+		c.RingFracs = []float64{0.01, 0.09, 0.30, 0.60}
+	}
+	var sum float64
+	for i, f := range c.RingFracs {
+		if f <= 0 {
+			return fmt.Errorf("ctrlplane: ring %d has fraction %v", i, f)
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("ctrlplane: ring fractions sum to %v, want 1", sum)
+	}
+	if len(c.RingFracs) > c.Machines {
+		return fmt.Errorf("ctrlplane: %d rings for %d machines", len(c.RingFracs), c.Machines)
+	}
+	if c.Quorum == 0 {
+		c.Quorum = 0.95
+	}
+	if c.Quorum < 0 || c.Quorum > 1 {
+		return fmt.Errorf("ctrlplane: quorum %v", c.Quorum)
+	}
+	if c.SoakTicks <= 0 {
+		c.SoakTicks = 3
+	}
+	if c.IntervalsPerTick <= 0 {
+		c.IntervalsPerTick = 2
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4
+	}
+	if c.CorruptBits == 0 {
+		c.CorruptBits = 4
+	}
+	return nil
+}
+
+// ringLayout expands RingFracs into per-ring machine ID ranges, assigning
+// IDs ring by ring; rounding residue lands in the last ring.
+func (c *Config) ringLayout() [][]int {
+	sizes := make([]int, len(c.RingFracs))
+	assigned := 0
+	for i, f := range c.RingFracs {
+		s := int(f * float64(c.Machines))
+		if s < 1 {
+			s = 1
+		}
+		if i == len(c.RingFracs)-1 || assigned+s > c.Machines-(len(c.RingFracs)-1-i) {
+			s = c.Machines - assigned - (len(c.RingFracs) - 1 - i)
+		}
+		sizes[i] = s
+		assigned += s
+	}
+	out := make([][]int, len(sizes))
+	id := 0
+	for i, s := range sizes {
+		ring := make([]int, s)
+		for j := range ring {
+			ring[j] = id
+			id++
+		}
+		out[i] = ring
+	}
+	return out
+}
+
+// maxTicks derives the campaign bound: flash waves plus soak ticks per
+// ring, plus generous slack for pipeline stalls.
+func (c *Config) maxTicks(rings [][]int) int {
+	if c.MaxTicks > 0 {
+		return c.MaxTicks
+	}
+	t := 0
+	for _, r := range rings {
+		t += waves(len(r), c.FlashPerTick) + c.SoakTicks + 1
+	}
+	return t + 8
+}
+
+// waves is how many ticks flashing n machines takes at perTick machines
+// per tick (perTick 0 flashes them all in one tick).
+func waves(n, perTick int) int {
+	if n == 0 {
+		return 0
+	}
+	if perTick <= 0 {
+		return 1
+	}
+	return (n + perTick - 1) / perTick
+}
+
+// ringState is one ring's position in the rollout state machine.
+type ringState int
+
+// Ring states: a ring waits (pending), flashes over one or more ticks,
+// soaks while streaming telemetry, and ends promoted — unless the campaign
+// halts first.
+const (
+	ringPending ringState = iota
+	ringFlashing
+	ringSoaking
+	ringPromoted
+)
+
+// ringCtl is one ring's control state, owned by the serial decider (the
+// flash step folds into it from the same goroutine).
+type ringCtl struct {
+	index    int
+	machines []int
+	state    ringState
+	// flashedUpTo is the next machine offset to flash; soakStart the tick
+	// the ring entered soaking.
+	flashedUpTo int
+	soakStart   int
+	// Transport accounting, folded from flash outcomes.
+	installed, rejected, flashCrashes          int
+	rejectedAttempts, flashRetries, crcRejects int
+	flashAttempts                              int
+	reflashed, reflashRecovered                int
+	// Quorum is recorded at the transport decision for the report.
+	quorumNum, quorumDen int
+	gateFailure          string
+	flashDoneTick        int
+	promotedTick         int
+}
+
+// machineCtl is one machine's base state: written by the flash step's
+// serial fold, read by telemetry producers.
+type machineCtl struct {
+	ring       int
+	flashed    bool // ever installed the new image
+	installed  bool // currently running it
+	corrupt    bool
+	crashed    bool
+	rejected   bool
+	rolledBack bool
+	// profile is the machine's memoised soak behaviour, the source its
+	// synthesized telemetry streams from; nil until installed with a
+	// decodable controller.
+	profile     *fleet.SoakProfile
+	crashReason string
+}
+
+// Ingest observability: interval and batch volume, decision throughput,
+// and the per-batch fold latency behind the bench's p95.
+var (
+	intervalsIngested = obs.NewCounter("ctrlplane.intervals.ingested")
+	batchesIngested   = obs.NewCounter("ctrlplane.batches")
+	decisionsMade     = obs.NewCounter("ctrlplane.decisions")
+	decisionLatency   = obs.NewHistogram("ctrlplane.decision.latency")
+)
+
+// Service is one control-plane campaign: construct with New, drive with
+// Run (or Tick for tests), then Close. Not safe for concurrent use — the
+// control loop itself is the single caller; concurrency lives inside the
+// ingest and flash layers.
+type Service struct {
+	cfg   Config
+	scope string
+
+	spec, reflash fleet.FlashSpec
+	soaker        *fleet.Soaker
+
+	machines []machineCtl
+	rings    []*ringCtl
+	shards   []*shard
+
+	tick                             int
+	halted                           bool
+	haltRing                         int
+	haltReason                       string
+	rolledBack                       bool
+	rollbackFlashes, rollbackRetries int
+	gateEvals                        int64
+
+	// pending counts pushed-but-unfolded ingest batches; Wait is the tick
+	// barrier between the telemetry step and the decider.
+	pending sync.WaitGroup
+	// consumers joins the per-shard consumer goroutines on Close.
+	consumers sync.WaitGroup
+	closed    bool
+}
+
+// New builds a Service over the workload (machine m soaks trace
+// m % len(Traces)) and the sealed controller image, and starts its ingest
+// consumers. Callers must Close it (Run does so itself).
+func New(cfg Config, img []byte, wl fleet.Workload) (*Service, error) {
+	if err := cfg.validate(&wl); err != nil {
+		return nil, err
+	}
+	s := &Service{cfg: cfg, haltRing: -1}
+	s.scope = cfg.Name
+	if s.scope == "" {
+		s.scope = fmt.Sprintf("ctrlplane-seed%d", cfg.Seed)
+	}
+	s.spec = fleet.FlashSpec{
+		Seed: cfg.Seed, Img: img, Verify: cfg.Verify,
+		CorruptProb: cfg.CorruptProb, CorruptBits: cfg.CorruptBits,
+		FailProb: cfg.FlashFailProb, Retries: cfg.FlashRetries,
+		Scope: s.scope,
+	}
+	// The straggler re-flash pass draws a fresh schedule by salting the
+	// seed; reusing the install phase with the same seed would replay the
+	// exact CRC rejections that exhausted the machine.
+	s.reflash = s.spec
+	s.reflash.Seed = cfg.Seed ^ saltReflash
+	s.soaker = fleet.NewSoaker(wl, cfg.Guardrail)
+
+	s.machines = make([]machineCtl, cfg.Machines)
+	for i, ring := range cfg.ringLayout() {
+		rc := &ringCtl{index: i, machines: ring, flashDoneTick: -1, promotedTick: -1}
+		s.rings = append(s.rings, rc)
+		for _, m := range ring {
+			s.machines[m].ring = i
+		}
+	}
+	s.rings[0].state = ringFlashing
+
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = newShard(cfg, len(s.rings))
+		s.consumers.Add(1)
+		go s.consume(s.shards[i])
+	}
+	return s, nil
+}
+
+// Done reports the campaign reached a terminal state: every ring promoted,
+// or halted by a gate.
+func (s *Service) Done() bool {
+	if s.halted {
+		return true
+	}
+	for _, r := range s.rings {
+		if r.state != ringPromoted {
+			return false
+		}
+	}
+	return true
+}
+
+// Run drives the control loop to completion and returns the Report,
+// closing the service. It errors only if the campaign exceeds its tick
+// bound without reaching a terminal state.
+func (s *Service) Run() (*Report, error) {
+	max := s.cfg.maxTicks(s.ringMachineLists())
+	for !s.Done() && s.tick < max {
+		s.Tick()
+	}
+	s.Close()
+	if !s.Done() {
+		return nil, fmt.Errorf("ctrlplane: campaign did not terminate within %d ticks", max)
+	}
+	return s.report(), nil
+}
+
+// ringMachineLists adapts the ring control list back to machine-ID slices
+// for the tick-bound estimate.
+func (s *Service) ringMachineLists() [][]int {
+	out := make([][]int, len(s.rings))
+	for i, r := range s.rings {
+		out[i] = r.machines
+	}
+	return out
+}
+
+// Tick advances the control loop one logical interval: flash the active
+// ring's next wave, stream soaking machines' telemetry through ingest,
+// wait for the ingest barrier, then run the serial decider.
+func (s *Service) Tick() {
+	if s.Done() || s.closed {
+		return
+	}
+	s.flashStep()
+	s.telemetryStep()
+	s.pending.Wait()
+	s.decideStep()
+	s.tick++
+}
+
+// Close shuts the ingest queues and joins the consumers. Idempotent.
+func (s *Service) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		sh.q.Close()
+	}
+	s.consumers.Wait()
+}
+
+// flashStep flashes the next wave of the flashing ring (at most one ring
+// flashes at a time) and folds the outcomes serially in machine order.
+func (s *Service) flashStep() {
+	var rc *ringCtl
+	for _, r := range s.rings {
+		if r.state == ringFlashing {
+			rc = r
+			break
+		}
+	}
+	if rc == nil || rc.flashedUpTo >= len(rc.machines) {
+		return
+	}
+	wave := rc.machines[rc.flashedUpTo:]
+	if s.cfg.FlashPerTick > 0 && len(wave) > s.cfg.FlashPerTick {
+		wave = wave[:s.cfg.FlashPerTick]
+	}
+	rc.flashedUpTo += len(wave)
+	outs := s.flashWave(&s.spec, wave, fleet.PhaseInstall)
+	for j, fo := range outs {
+		s.foldFlash(rc, wave[j], fo)
+	}
+	if rc.flashedUpTo == len(rc.machines) {
+		rc.flashDoneTick = s.tick
+	}
+}
+
+// flashed carries one flash outcome plus the soak profile computed for it.
+type flashed struct {
+	out     fleet.FlashOutcome
+	profile *fleet.SoakProfile
+}
+
+// flashWave flashes the wave through the worker pool, computing each
+// installed machine's soak profile in the same task (pristine profiles are
+// memoised in the Soaker, so the per-machine cost after the first is a map
+// hit). Outcomes are pure functions of (seed, machine), so the fold order
+// — machine order, serial — fully determines the control state.
+func (s *Service) flashWave(spec *fleet.FlashSpec, wave []int, phase int) []flashed {
+	outs, _ := parallel.Map(s.cfg.Workers, len(wave), func(j int) (flashed, error) {
+		m := wave[j]
+		fo := spec.Flash(m, phase)
+		f := flashed{out: fo}
+		if fo.Installed && !fo.Crashed && fo.Ctrl != nil {
+			ti := m % len(s.soaker.Workload().Traces)
+			if fo.Corrupt {
+				f.profile = s.soaker.Deploy(fo.Ctrl, ti)
+			} else {
+				f.profile = s.soaker.Pristine(fo.Ctrl, ti)
+			}
+		}
+		return f, nil
+	})
+	return outs
+}
+
+// foldFlash folds one machine's install outcome into the ring and machine
+// control state. Serial, machine order.
+func (s *Service) foldFlash(rc *ringCtl, m int, f flashed) {
+	mc := &s.machines[m]
+	rc.flashAttempts += f.out.Attempts
+	rc.flashRetries += f.out.Retries
+	rc.crcRejects += f.out.CRCRejects
+	if f.out.CRCRejects > 0 {
+		rc.rejectedAttempts++
+	}
+	if !f.out.Installed {
+		rc.rejected++
+		mc.rejected = true
+		return
+	}
+	mc.flashed, mc.installed, mc.corrupt = true, true, f.out.Corrupt
+	mc.profile = f.profile
+	rc.installed++
+	// A decode crash is a transport-phase signal (the install agent sees
+	// it immediately, and the transport gate halts on it); a deploy crash
+	// is a soak-phase signal — the machine streams crashed telemetry and
+	// the health gate catches it, mirroring fleet.Run's phase split.
+	crashReason, phase := "", ""
+	if f.out.Crashed {
+		crashReason, phase = "installed payload failed to decode", "install"
+		rc.flashCrashes++
+	} else if f.profile != nil && f.profile.Health.Crashed {
+		crashReason, phase = f.profile.Health.CrashReason, "soak"
+	}
+	if crashReason != "" {
+		mc.crashed = true
+		mc.crashReason = crashReason
+		if obs.EventsActive() {
+			obs.Emit(s.scope, int64(s.tick), "ctrlplane.machine.crash", map[string]any{
+				"machine": m, "ring": rc.index, "phase": phase, "reason": crashReason,
+			})
+		}
+	}
+}
+
+// decideStep is the serial decider: evaluate transport gates and quorums
+// for rings that finished flashing, health gates for rings that soaked
+// long enough behind a promoted predecessor, and advance the pipeline. All
+// control-plane events are emitted here (or from the equally serial flash
+// fold), so the event log is a pure function of the campaign inputs.
+func (s *Service) decideStep() {
+	for _, rc := range s.rings {
+		switch rc.state {
+		case ringFlashing:
+			if rc.flashedUpTo == len(rc.machines) {
+				s.decideTransport(rc)
+			}
+		case ringSoaking:
+			prevPromoted := rc.index == 0 || s.rings[rc.index-1].state == ringPromoted
+			if prevPromoted && s.tick >= rc.soakStart+s.cfg.SoakTicks {
+				s.decideHealth(rc)
+			}
+		}
+		if s.halted {
+			return
+		}
+	}
+}
+
+// decideTransport gates a fully flashed ring on its transport telemetry,
+// checks the install quorum, re-flashes stragglers, and starts the ring's
+// soak — pipelining the next ring's flash phase behind it.
+func (s *Service) decideTransport(rc *ringCtl) {
+	s.gateEvals++
+	decisionsMade.Inc()
+	rep := &fleet.RingReport{
+		Index: rc.index, Size: len(rc.machines),
+		Installed: rc.installed, Rejected: rc.rejected, Crashes: rc.flashCrashes,
+		RejectedAttempts: rc.rejectedAttempts,
+		FlashRetries:     rc.flashRetries, CRCRejects: rc.crcRejects,
+	}
+	if f := s.cfg.Gate.TransportFailure(rep); f != "" {
+		s.haltAndRollback(rc, f)
+		return
+	}
+	rc.quorumNum, rc.quorumDen = rc.installed, len(rc.machines)
+	if float64(rc.installed) < s.cfg.Quorum*float64(len(rc.machines)) {
+		s.haltAndRollback(rc, fmt.Sprintf("install quorum %d/%d below %.2f",
+			rc.installed, len(rc.machines), s.cfg.Quorum))
+		return
+	}
+	// Quorum met: promote the ring to soaking and give stragglers one
+	// re-flash pass on a fresh transport schedule. Machines that fail
+	// again stay on the old image and are counted, not fatal.
+	var stragglers []int
+	for _, m := range rc.machines {
+		if s.machines[m].rejected {
+			stragglers = append(stragglers, m)
+		}
+	}
+	if len(stragglers) > 0 {
+		rc.reflashed = len(stragglers)
+		outs := s.flashWave(&s.reflash, stragglers, fleet.PhaseInstall)
+		for j, f := range outs {
+			m := stragglers[j]
+			// Undo the first pass's rejected bookkeeping, then fold the
+			// re-flash like any install — foldFlash restores the rejected
+			// state if the second pass exhausted its attempts too.
+			s.machines[m].rejected = false
+			rc.rejected--
+			s.foldFlash(rc, m, f)
+			if f.out.Installed {
+				rc.reflashRecovered++
+			}
+		}
+		if obs.EventsActive() {
+			obs.Emit(s.scope, int64(s.tick), "ctrlplane.ring.reflash", map[string]any{
+				"ring": rc.index, "stragglers": len(stragglers), "recovered": rc.reflashRecovered,
+			})
+		}
+	}
+	rc.state = ringSoaking
+	rc.soakStart = s.tick
+	if obs.EventsActive() {
+		obs.Emit(s.scope, int64(s.tick), "ctrlplane.ring.soak", map[string]any{
+			"ring": rc.index, "installed": rc.installed,
+			"quorum": fmt.Sprintf("%d/%d", rc.quorumNum, rc.quorumDen),
+		})
+	}
+	if rc.index+1 < len(s.rings) {
+		next := s.rings[rc.index+1]
+		next.state = ringFlashing
+		if obs.EventsActive() {
+			obs.Emit(s.scope, int64(s.tick), "ctrlplane.ring.flash", map[string]any{
+				"ring": next.index, "size": len(next.machines),
+			})
+		}
+	}
+}
+
+// decideHealth evaluates a soaked ring's health gate on the telemetry the
+// ingest layer accumulated for it.
+func (s *Service) decideHealth(rc *ringCtl) {
+	s.gateEvals++
+	decisionsMade.Inc()
+	rep := &fleet.RingReport{
+		Index: rc.index, Size: len(rc.machines),
+		Installed: rc.installed, Soaked: true,
+	}
+	for _, sh := range s.shards {
+		acc := &sh.rings[rc.index]
+		rep.Trips += acc.trips
+		rep.SLAWindows += acc.windows
+		rep.SLAViolations += acc.violations
+		rep.Misgated += acc.misgated
+		rep.Truth0 += acc.truth0
+		rep.Crashes += acc.crashes
+	}
+	if f := s.cfg.Gate.HealthFailure(rep); f != "" {
+		s.haltAndRollback(rc, f)
+		return
+	}
+	rc.state = ringPromoted
+	rc.promotedTick = s.tick
+	if obs.EventsActive() {
+		obs.Emit(s.scope, int64(s.tick), "ctrlplane.ring.promote", map[string]any{
+			"ring": rc.index, "installed": rc.installed,
+			"quorum": fmt.Sprintf("%d/%d", rc.quorumNum, rc.quorumDen),
+		})
+	}
+}
+
+// haltAndRollback stops the campaign at a failed gate and slot-switches
+// every machine currently on the new image — including any already flashed
+// by the pipelined next ring — back to the previous one.
+func (s *Service) haltAndRollback(rc *ringCtl, reason string) {
+	rc.gateFailure = reason
+	s.halted = true
+	s.haltRing = rc.index
+	s.haltReason = reason
+	var ids []int
+	for m := range s.machines {
+		if s.machines[m].installed {
+			ids = append(ids, m)
+		}
+	}
+	spec := fleet.FlashSpec{Seed: s.cfg.Seed, FailProb: s.cfg.FlashFailProb,
+		Retries: s.cfg.FlashRetries, Scope: s.scope}
+	outs, _ := parallel.Map(s.cfg.Workers, len(ids), func(j int) (fleet.FlashOutcome, error) {
+		return spec.Flash(ids[j], fleet.PhaseRollback), nil
+	})
+	for j, m := range ids {
+		mc := &s.machines[m]
+		mc.installed = false
+		mc.rolledBack = true
+		s.rollbackRetries += outs[j].Retries
+	}
+	s.rolledBack = true
+	s.rollbackFlashes = len(ids)
+	if obs.EventsActive() {
+		obs.Emit(s.scope, int64(s.tick), "ctrlplane.ring.halt", map[string]any{
+			"ring": rc.index, "reason": reason,
+		})
+		obs.Emit(s.scope, int64(s.tick), "ctrlplane.rollback", map[string]any{
+			"machines": len(ids),
+		})
+	}
+}
+
+// hashU64 is the repo's stateless splitmix64-style mix (mirroring
+// internal/fleet's transport hash) over (seed, op, draw).
+func hashU64(seed int64, op, draw int) uint64 {
+	x := uint64(seed)
+	x ^= uint64(op+1) * 0x9E3779B97F4A7C15
+	x ^= uint64(draw+1) * 0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

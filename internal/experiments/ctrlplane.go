@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"clustergate/internal/core"
+	"clustergate/internal/ctrlplane"
+	"clustergate/internal/fleet"
+	"clustergate/internal/obs"
+)
+
+// CtrlplaneResult is the exp/ctrlplane-soak report: one datacenter-scale
+// control-plane campaign shipping the trained controller under transport
+// pressure, paired with the bad-image counterfactual (the same control
+// plane shipping a miscalibrated controller over a clean transport, which
+// the canary's health gate must catch).
+type CtrlplaneResult struct {
+	Model    string
+	Machines int
+	Shards   int
+	// Traces is the SPEC subset size the soak profiles deploy on.
+	Traces int
+
+	// Good is the healthy-image campaign; Bad the miscalibrated one.
+	Good *ctrlplane.Report
+	Bad  *ctrlplane.Report
+
+	// Wall-clock throughput over both campaigns combined. These fields
+	// never reach stdout — only BENCH_ctrlplane.json — so the experiment
+	// stream stays byte-identical across machines.
+	WallSeconds     float64
+	MachinesPerSec  float64
+	DecisionsPerSec float64
+	// P95DecisionMS is the p95 ingest-fold latency from the
+	// ctrlplane.decision.latency histogram, cumulative over the process
+	// (in paperbench only this experiment observes it).
+	P95DecisionMS float64
+}
+
+// ctrlplaneConfig sizes one campaign for an n-machine datacenter: default
+// staged rings (1/9/30/60%), CRC verification under moderate transport
+// pressure, and flash waves sized so the broad rings take several ticks —
+// the pipelined-ring schedule the study exists to exercise.
+func ctrlplaneConfig(e *Env, n int) ctrlplane.Config {
+	return ctrlplane.Config{
+		Name:          "ctrlplane-soak",
+		Machines:      n,
+		Workers:       e.Scale.Workers,
+		Seed:          e.Seed,
+		FlashPerTick:  n / 8,
+		Gate:          *looseGate(),
+		Guardrail:     core.DefaultGuardrail(),
+		Verify:        true,
+		CorruptProb:   0.2,
+		FlashFailProb: 0.25,
+		FlashRetries:  3,
+	}
+}
+
+// CtrlplaneSoak runs the control-plane soak study: the sealed controller
+// image rolls out across a Scale.CtrlMachines-machine simulated datacenter
+// through internal/ctrlplane — pipelined rings, quorum promotion with
+// straggler re-flash, continuous telemetry ingest — and then the same
+// campaign re-runs with a miscalibrated image over a clean transport,
+// which must halt at the canary and roll back. Reports are deterministic;
+// throughput lands only in the wall-clock fields.
+func CtrlplaneSoak(e *Env, g *core.GatingController) (*CtrlplaneResult, error) {
+	defer obs.Start("ctrlplane.soak.study").End()
+	n := e.Scale.CtrlMachines
+	if n == 0 {
+		n = 10_000
+	}
+	traces, tel := sweepSubset(e)
+	wl := fleet.Workload{Traces: traces, Tel: tel, Cfg: e.Cfg, PM: e.PM, Oracle: e.SimOracle()}
+
+	var img bytes.Buffer
+	if err := core.SaveController(&img, g); err != nil {
+		return nil, err
+	}
+	// The bad image mirrors the fleet-rollout study: gating thresholds
+	// destroyed so every window gates — invisible to CRC, fatal to the
+	// canary's misgate-rate gate.
+	bad := *g
+	bad.Name = g.Name + "-miscalibrated"
+	bad.ThresholdHigh, bad.ThresholdLow = -1e9, -1e9
+	var badImg bytes.Buffer
+	if err := core.SaveController(&badImg, &bad); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	goodCfg := ctrlplaneConfig(e, n)
+	gs, err := ctrlplane.New(goodCfg, img.Bytes(), wl)
+	if err != nil {
+		return nil, err
+	}
+	goodRep, err := gs.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ctrlplane good campaign: %w", err)
+	}
+
+	badCfg := ctrlplaneConfig(e, n)
+	badCfg.Name = "ctrlplane-soak-bad"
+	badCfg.CorruptProb = 0 // clean transport isolates the semantic failure
+	bs, err := ctrlplane.New(badCfg, badImg.Bytes(), wl)
+	if err != nil {
+		return nil, err
+	}
+	badRep, err := bs.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ctrlplane bad campaign: %w", err)
+	}
+	wall := time.Since(start).Seconds()
+
+	res := &CtrlplaneResult{
+		Model:    g.Name,
+		Machines: n,
+		Shards:   goodRep.Shards,
+		Traces:   len(traces),
+		Good:     goodRep,
+		Bad:      badRep,
+
+		WallSeconds:   wall,
+		P95DecisionMS: obs.NewHistogram("ctrlplane.decision.latency").Snapshot().P95MS,
+	}
+	if wall > 0 {
+		res.MachinesPerSec = float64(goodRep.Flashed+badRep.Flashed) / wall
+		res.DecisionsPerSec = float64(goodRep.Decisions+badRep.Decisions) / wall
+	}
+	return res, nil
+}
+
+// PrintCtrlplane renders both campaigns' deterministic reports: logical
+// ticks and counts only, never wall-clock.
+func PrintCtrlplane(w io.Writer, r *CtrlplaneResult) {
+	fmt.Fprintf(w, "Control-plane soak (%s): %d machines, soaking %d traces\n",
+		r.Model, r.Machines, r.Traces)
+	fmt.Fprintf(w, "good image:\n")
+	ctrlplane.Print(w, r.Good)
+	fmt.Fprintf(w, "bad image (miscalibrated thresholds, clean transport):\n")
+	ctrlplane.Print(w, r.Bad)
+}

@@ -54,6 +54,12 @@ type Scale struct {
 	// schedule land on the same time-to-full-fleet. Zero selects 24.
 	FleetMachines int
 
+	// CtrlMachines is the simulated datacenter size of the control-plane
+	// soak study (exp ctrlplane-soak). Unlike FleetMachines it has no
+	// divisibility constraint — the control plane sizes its rings by
+	// fraction. Zero selects 10_000.
+	CtrlMachines int
+
 	// Workers bounds every worker pool the experiments fan out on —
 	// corpus generation, trace simulation, deployment, and
 	// cross-validation folds. Zero uses every core; 1 forces the serial
@@ -72,6 +78,7 @@ func QuickScale() Scale {
 		Fig5Counters:  []int{2, 4, 8, 12, 24},
 		SweepTraces:   8,
 		FleetMachines: 24,
+		CtrlMachines:  10_000,
 	}
 }
 
@@ -88,6 +95,7 @@ func DefaultScale() Scale {
 		Fig5Counters:  []int{2, 4, 8, 12, 16, 24, 32},
 		SweepTraces:   20,
 		FleetMachines: 48,
+		CtrlMachines:  50_000,
 	}
 }
 
@@ -102,6 +110,7 @@ func FullScale() Scale {
 	s.MLPEpochs = 25
 	s.SweepTraces = 40
 	s.FleetMachines = 96
+	s.CtrlMachines = 100_000
 	return s
 }
 

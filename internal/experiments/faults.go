@@ -10,6 +10,7 @@ import (
 	"clustergate/internal/dataset"
 	"clustergate/internal/fault"
 	"clustergate/internal/mcu"
+	"clustergate/internal/metrics"
 	"clustergate/internal/obs"
 	"clustergate/internal/parallel"
 	"clustergate/internal/trace"
@@ -255,38 +256,18 @@ func (c *corpusEffRSV) ppw() float64 {
 }
 
 // fold accumulates one deployment's effective SLA windows and power spans.
-// Window accounting mirrors core.BenchResult.fold, applied to the effective
-// (actually-applied) configurations: full windows with a majority of
-// false-positive gates are violations; partial tails are skipped unless the
-// whole trace is shorter than one window.
-func (c *corpusEffRSV) fold(bench string, w int, r *core.GuardedDeploymentResult) {
+// Window accounting is metrics.WindowTally applied to the effective
+// (actually-applied) configurations: every prediction lands in exactly one
+// window, and the trailing partial window of a long trace is judged on its
+// own length rather than dropped, so a blindspot confined to a trace's tail
+// still shows up in the corpus RSV.
+func (c *corpusEffRSV) fold(bench string, win int, r *core.GuardedDeploymentResult) {
 	c.trips += r.GuardrailTrips
 	c.injected += r.InjectedFaults
 	c.blackouts += int64(r.BlackoutOverrides)
-	for start := 0; start+w <= len(r.Eff); start += w {
-		fp := 0
-		for i := start; i < start+w; i++ {
-			if r.Eff[i] == 1 && r.Truth[i] == 0 {
-				fp++
-			}
-		}
-		c.windows++
-		if float64(fp)/float64(w) > 0.5 {
-			c.violations++
-		}
-	}
-	if len(r.Eff) > 0 && len(r.Eff) < w {
-		fp := 0
-		for i := range r.Eff {
-			if r.Eff[i] == 1 && r.Truth[i] == 0 {
-				fp++
-			}
-		}
-		c.windows++
-		if float64(fp)/float64(len(r.Eff)) > 0.5 {
-			c.violations++
-		}
-	}
+	wins, viols := metrics.WindowTally(r.Eff, r.Truth, win)
+	c.windows += wins
+	c.violations += viols
 	if c.byBench == nil {
 		c.byBench = map[string]*ppwAgg{}
 	}

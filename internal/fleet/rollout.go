@@ -1,13 +1,8 @@
 package fleet
 
 import (
-	"bytes"
 	"fmt"
-	"sync"
-	"time"
 
-	"clustergate/internal/core"
-	"clustergate/internal/fault"
 	"clustergate/internal/obs"
 	"clustergate/internal/parallel"
 )
@@ -20,51 +15,18 @@ const (
 	saltFlip    = 0x666c6970 // "flip": flip-position seeds
 )
 
-// Flash phases, mixed into the operation key so install and rollback
-// flashes of the same machine draw independent schedules.
-const (
-	phaseInstall  = 0
-	phaseRollback = 1
-)
-
-// opKey identifies one machine's flash operation in one phase.
-func opKey(machine, phase int) int { return machine*2 + phase }
-
-// flashBackoff is the sleep before a failed flash's first retry.
-const flashBackoff = 50 * time.Microsecond
-
-// rollout is one Run's working state.
+// rollout is one Run's working state: the flash transport spec, the soak
+// evaluator, and the event-log scope, composed from the step layer in
+// steps.go.
 type rollout struct {
-	cfg Config
-	img []byte
-	wl  Workload
+	cfg    Config
+	spec   FlashSpec
+	soaker *Soaker
 
 	// scope names this rollout in the event log; flight is the per-ring
 	// health flight recorder, nil unless an event log is installed.
 	scope  string
 	flight *obs.Flight
-
-	// Pristine-image soak results are memoised per trace index: every
-	// machine that installed an uncorrupted payload runs the identical
-	// controller, so one deployment per unique trace covers them all.
-	mu   sync.Mutex
-	memo map[int]soakHealth
-	sf   parallel.Group[soakHealth]
-}
-
-// flashOutcome is one machine's final install result.
-type flashOutcome struct {
-	installed bool
-	corrupt   bool // the installed payload was bit-corrupted in transport
-	crashed   bool // the installed payload failed to decode
-	ctrl      *core.GatingController
-}
-
-// soakHealth is one machine's soak-phase health contribution.
-type soakHealth struct {
-	trips, windows, violations int
-	misgated, truth0           int
-	crashed                    bool
 }
 
 // Run executes one rollout of img across the fleet and returns its
@@ -75,10 +37,16 @@ func Run(cfg Config, img []byte, wl Workload) (*Result, error) {
 	if err := cfg.validate(&wl); err != nil {
 		return nil, err
 	}
-	ro := &rollout{cfg: cfg, img: img, wl: wl, memo: map[int]soakHealth{}}
+	ro := &rollout{cfg: cfg, soaker: NewSoaker(wl, cfg.Guardrail)}
 	ro.scope = cfg.Name
 	if ro.scope == "" {
 		ro.scope = fmt.Sprintf("rollout-seed%d", cfg.Seed)
+	}
+	ro.spec = FlashSpec{
+		Seed: cfg.Seed, Img: img, Verify: cfg.Verify,
+		CorruptProb: cfg.CorruptProb, CorruptBits: cfg.CorruptBits,
+		FailProb: cfg.FlashFailProb, Retries: cfg.FlashRetries,
+		Scope: ro.scope,
 	}
 	if obs.EventsActive() {
 		ro.flight = obs.NewFlight(ro.scope, obs.DefaultFlightCap)
@@ -104,13 +72,13 @@ func Run(cfg Config, img []byte, wl Workload) (*Result, error) {
 		if cfg.Gate != nil {
 			// Transport gate first: a ring whose flash phase already
 			// failed (crashes, corruption pressure) is never soaked.
-			failure = cfg.Gate.transportFailure(&rep)
+			failure = cfg.Gate.TransportFailure(&rep)
 			if failure == "" {
 				if err := ro.soakRing(ring, outs, &rep, res); err != nil {
 					return nil, err
 				}
 				res.TimeSteps += cfg.SoakSteps
-				failure = cfg.Gate.healthFailure(&rep)
+				failure = cfg.Gate.HealthFailure(&rep)
 			}
 		}
 		rep.Promoted = failure == ""
@@ -163,97 +131,47 @@ func Run(cfg Config, img []byte, wl Workload) (*Result, error) {
 }
 
 // flashRing pushes the image to every machine in the ring through the
-// retrying fan-out and folds the outcomes — in machine order — into the
-// ring report and fleet state. Because each transport draw is a pure
-// function of (seed, machine, phase, attempt), and MapOpt re-runs a
-// failed index sequentially on the same goroutine, outcomes are identical
-// at any worker count.
-func (ro *rollout) flashRing(ring []int, rep *RingReport, res *Result) ([]flashOutcome, error) {
-	// Per-index counters: all attempts of one index run sequentially on
-	// one goroutine, so plain slices are race-free.
-	attempts := make([]int, len(ring))
-	retriesBy := make([]int, len(ring))
-	rejectsBy := make([]int, len(ring))
-	outs, err := parallel.MapOpt(len(ring),
-		parallel.Options{Workers: ro.cfg.Workers, Retries: ro.cfg.FlashRetries, Backoff: flashBackoff},
-		func(j int) (flashOutcome, error) {
-			m := ring[j]
-			a := attempts[j]
-			attempts[j]++
-			flashAttempts.Inc()
-			defer func(t0 time.Time) { flashLatency.Observe(time.Since(t0)) }(time.Now())
-			// Transient flash failure: scheduled to never hit a machine's
-			// final attempt, so retries always absorb it and only CRC
-			// rejections can exhaust a machine.
-			if a < ro.cfg.FlashRetries &&
-				hash01(ro.cfg.Seed^saltFlash, opKey(m, phaseInstall), a) < ro.cfg.FlashFailProb {
-				retriesBy[j]++
-				flashRetries.Inc()
-				return flashOutcome{}, fmt.Errorf("fleet: machine %d flash attempt %d failed transiently", m, a)
-			}
-			// The transfer itself: each attempt draws corruption afresh.
-			payload := ro.img
-			corrupt := ro.cfg.CorruptProb > 0 &&
-				hash01(ro.cfg.Seed^saltCorrupt, opKey(m, phaseInstall), a) < ro.cfg.CorruptProb
-			if corrupt {
-				payload = append([]byte(nil), ro.img...)
-				fault.FlipBits(payload,
-					int64(hashU64(ro.cfg.Seed^saltFlip, opKey(m, phaseInstall), a)),
-					ro.cfg.CorruptBits)
-			}
-			if ro.cfg.Verify {
-				g, err := core.LoadController(bytes.NewReader(payload))
-				if err != nil {
-					rejectsBy[j]++
-					crcRejections.Inc()
-					if obs.EventsActive() {
-						obs.Emit(ro.scope, int64(m), "fleet.crc.reject", map[string]any{"attempt": a})
-					}
-					if a >= ro.cfg.FlashRetries {
-						// Out of attempts: the machine keeps its old image.
-						return flashOutcome{}, nil
-					}
-					return flashOutcome{}, fmt.Errorf("fleet: machine %d rejected image: %w", m, err)
-				}
-				return flashOutcome{installed: true, corrupt: corrupt, ctrl: g}, nil
-			}
-			// Legacy unverified pipeline: install whatever arrived. A
-			// payload too damaged to decode bricks the machine until
-			// rollback; one that decodes deploys silently wrong.
-			g, err := core.LoadControllerUnverified(bytes.NewReader(payload))
-			if err != nil {
-				return flashOutcome{installed: true, corrupt: corrupt, crashed: true}, nil
-			}
-			return flashOutcome{installed: true, corrupt: corrupt, ctrl: g}, nil
+// Flash step and folds the outcomes — in machine order — into the ring
+// report and fleet state. Each Flash is a pure function of (seed, machine,
+// phase), so outcomes are identical at any worker count.
+func (ro *rollout) flashRing(ring []int, rep *RingReport, res *Result) ([]FlashOutcome, error) {
+	outs, err := parallel.Map(ro.cfg.Workers, len(ring),
+		func(j int) (FlashOutcome, error) {
+			return ro.spec.Flash(ring[j], PhaseInstall), nil
 		})
 	if err != nil {
 		return nil, err
 	}
-
 	for j, out := range outs {
 		st := &res.Machines[ring[j]]
-		st.FlashRetries = retriesBy[j]
-		st.CRCRejects = rejectsBy[j]
-		res.FlashAttempts += attempts[j]
-		rep.FlashRetries += retriesBy[j]
-		rep.CRCRejects += rejectsBy[j]
-		if rejectsBy[j] > 0 {
+		st.FlashRetries = out.Retries
+		st.CRCRejects = out.CRCRejects
+		res.FlashAttempts += out.Attempts
+		rep.FlashRetries += out.Retries
+		rep.CRCRejects += out.CRCRejects
+		if out.CRCRejects > 0 {
 			rep.RejectedAttempts++
 		}
-		if !out.installed {
+		if !out.Installed {
 			rep.Rejected++
 			continue
 		}
 		st.Flashed, st.Installed = true, true
 		rep.Installed++
-		if out.corrupt {
+		if out.Corrupt {
 			st.Exposed = true
 			rep.Exposed++
 			machinesExposed.Inc()
 		}
-		if out.crashed {
+		if out.Crashed {
 			st.Crashed = true
 			rep.Crashes++
+			if obs.EventsActive() {
+				obs.Emit(ro.scope, int64(ring[j]), "fleet.machine.crash", map[string]any{
+					"machine": ring[j], "ring": rep.Index,
+					"reason": "installed payload failed to decode",
+				})
+			}
 		}
 	}
 	return outs, nil
@@ -261,164 +179,58 @@ func (ro *rollout) flashRing(ring []int, rep *RingReport, res *Result) ([]flashO
 
 // soakRing runs every installed machine's guardrail-instrumented deploy
 // loop on its workload slice and folds the health telemetry in machine
-// order.
-func (ro *rollout) soakRing(ring []int, outs []flashOutcome, rep *RingReport, res *Result) error {
+// order. A machine whose deployment crashed gets a fleet.machine.crash
+// event carrying the deploy error that produced it; the Result bytes
+// depend only on the Crashed flag, so the event is purely observational.
+func (ro *rollout) soakRing(ring []int, outs []FlashOutcome, rep *RingReport, res *Result) error {
 	rep.Soaked = true
-	healths, err := parallel.MapOpt(len(ring),
-		parallel.Options{Workers: ro.cfg.Workers},
-		func(j int) (soakHealth, error) {
+	healths, err := parallel.Map(ro.cfg.Workers, len(ring),
+		func(j int) (SoakHealth, error) {
 			out := outs[j]
-			if !out.installed || out.crashed || out.ctrl == nil {
-				return soakHealth{}, nil // nothing to soak
+			if !out.Installed || out.Crashed || out.Ctrl == nil {
+				return SoakHealth{}, nil // nothing to soak
 			}
-			ti := ring[j] % len(ro.wl.Traces)
-			if out.corrupt {
+			ti := ring[j] % len(ro.soaker.wl.Traces)
+			if out.Corrupt {
 				// A corrupted-but-decodable controller is unique to this
 				// machine; soak it directly.
-				return ro.deployHealth(out.ctrl, ti), nil
+				return ro.soaker.Deploy(out.Ctrl, ti).Health, nil
 			}
-			return ro.pristineHealth(out.ctrl, ti), nil
+			return ro.soaker.Pristine(out.Ctrl, ti).Health, nil
 		})
 	if err != nil {
 		return err
 	}
 	for j, h := range healths {
 		st := &res.Machines[ring[j]]
-		st.Trips = h.trips
-		st.SLAWindows = h.windows
-		st.SLAViolations = h.violations
-		st.Misgated = h.misgated
-		st.Truth0 = h.truth0
-		rep.Trips += h.trips
-		rep.SLAWindows += h.windows
-		rep.SLAViolations += h.violations
-		rep.Misgated += h.misgated
-		rep.Truth0 += h.truth0
-		if h.crashed {
+		st.Trips = h.Trips
+		st.SLAWindows = h.Windows
+		st.SLAViolations = h.Violations
+		st.Misgated = h.Misgated
+		st.Truth0 = h.Truth0
+		rep.Trips += h.Trips
+		rep.SLAWindows += h.Windows
+		rep.SLAViolations += h.Violations
+		rep.Misgated += h.Misgated
+		rep.Truth0 += h.Truth0
+		if h.Crashed {
 			st.Crashed = true
 			rep.Crashes++
+			if obs.EventsActive() {
+				obs.Emit(ro.scope, int64(ring[j]), "fleet.machine.crash", map[string]any{
+					"machine": ring[j], "ring": rep.Index, "reason": h.CrashReason,
+				})
+			}
 		}
 	}
 	return nil
 }
 
-// deployHealth soaks one controller on one trace under the configured
-// guardrail and reduces the deployment to gate-relevant health. A
-// deployment error (a corrupted image that decoded into an undeployable
-// controller) counts as a crash, not a rollout error — a down machine is
-// exactly the health signal the gate exists to catch.
-func (ro *rollout) deployHealth(g *core.GatingController, ti int) soakHealth {
-	defer func(t0 time.Time) { soakDuration.Observe(time.Since(t0)) }(time.Now())
-	gr := ro.cfg.Guardrail
-	oracle := ro.wl.Oracle
-	if oracle == nil {
-		oracle = core.ExactOracle{}
-	}
-	r, err := oracle.Deploy(g, ro.wl.Traces[ti], ro.wl.Tel[ti],
-		ro.wl.Cfg, ro.wl.PM, core.DeployOptions{Guardrail: &gr})
-	if err != nil {
-		return soakHealth{crashed: true}
-	}
-	h := soakHealth{trips: r.GuardrailTrips}
-	h.windows, h.violations = slaWindows(r.Eff, r.Truth, g.Window().W)
-	for i := range r.Eff {
-		if r.Truth[i] == 0 {
-			h.truth0++
-			if r.Eff[i] == 1 {
-				h.misgated++
-			}
-		}
-	}
-	return h
-}
-
-// pristineHealth memoises deployHealth per trace index for machines
-// running the uncorrupted image (their controllers are byte-identical, so
-// the soak result is shared). The single-flight group only collapses
-// concurrent first computations; results are identical either way.
-func (ro *rollout) pristineHealth(g *core.GatingController, ti int) soakHealth {
-	ro.mu.Lock()
-	h, ok := ro.memo[ti]
-	ro.mu.Unlock()
-	if ok {
-		return h
-	}
-	h, _, _ = ro.sf.Do(fmt.Sprintf("trace-%d", ti), func() (soakHealth, error) {
-		return ro.deployHealth(g, ti), nil
-	})
-	ro.mu.Lock()
-	ro.memo[ti] = h
-	ro.mu.Unlock()
-	return h
-}
-
-// slaWindows folds effective-configuration SLA windows the same way the
-// experiment layer's corpus accounting does: full windows with a majority
-// of false-positive gates are violations; a trace shorter than one window
-// is judged on its partial tail.
-func slaWindows(eff, truth []int, w int) (windows, violations int) {
-	if w <= 0 {
-		w = 1
-	}
-	violated := func(lo, hi int) bool {
-		fp := 0
-		for i := lo; i < hi; i++ {
-			if eff[i] == 1 && truth[i] == 0 {
-				fp++
-			}
-		}
-		return float64(fp)/float64(hi-lo) > 0.5
-	}
-	for start := 0; start+w <= len(eff); start += w {
-		windows++
-		if violated(start, start+w) {
-			violations++
-		}
-	}
-	if len(eff) > 0 && len(eff) < w {
-		windows++
-		if violated(0, len(eff)) {
-			violations++
-		}
-	}
-	return windows, violations
-}
-
-// transportFailure evaluates the flash-phase gate.
-func (p *GatePolicy) transportFailure(rep *RingReport) string {
-	if rep.Crashes > 0 {
-		return fmt.Sprintf("%d machine(s) crashed on install", rep.Crashes)
-	}
-	if rate := float64(rep.RejectedAttempts) / float64(rep.Size); rate > p.MaxCRCRejectRate {
-		return fmt.Sprintf("CRC reject rate %.2f > %.2f", rate, p.MaxCRCRejectRate)
-	}
-	return ""
-}
-
-// healthFailure evaluates the soak-phase gate.
-func (p *GatePolicy) healthFailure(rep *RingReport) string {
-	if rep.Crashes > 0 {
-		return fmt.Sprintf("%d machine(s) crashed during soak", rep.Crashes)
-	}
-	if rep.Installed > 0 {
-		if trips := float64(rep.Trips) / float64(rep.Installed); trips > p.MaxTripsPerMachine {
-			return fmt.Sprintf("guardrail trips/machine %.2f > %.2f", trips, p.MaxTripsPerMachine)
-		}
-	}
-	if rate := rep.MisgateRate(); rate > p.MaxMisgateRate {
-		return fmt.Sprintf("misgate rate %.2f > %.2f", rate, p.MaxMisgateRate)
-	}
-	if rate := rep.SLARate(); rate > p.MaxSLARate {
-		return fmt.Sprintf("SLA violation rate %.2f > %.2f", rate, p.MaxSLARate)
-	}
-	return ""
-}
-
 // rollback reverts every machine currently running the new image to the
 // previous one. Rollback re-activates the resident previous image (an A/B
-// slot switch), so transport corruption does not apply — but each flash
-// can still transiently fail and is retried under the same failure model
-// and retry budget as the install phase.
+// slot switch, a nil-image FlashSpec), so transport corruption does not
+// apply — but each flash can still transiently fail and is retried under
+// the same failure model and retry budget as the install phase.
 func (ro *rollout) rollback(res *Result) {
 	rollbacks.Inc()
 	var ids []int
@@ -427,29 +239,19 @@ func (ro *rollout) rollback(res *Result) {
 			ids = append(ids, i)
 		}
 	}
-	attempts := make([]int, len(ids))
-	retriesBy := make([]int, len(ids))
-	// The fn only fails on non-final attempts, so the fan-out cannot
-	// return an error.
-	_ = parallel.ForEachOpt(len(ids),
-		parallel.Options{Workers: ro.cfg.Workers, Retries: ro.cfg.FlashRetries, Backoff: flashBackoff},
-		func(j int) error {
-			a := attempts[j]
-			attempts[j]++
-			flashAttempts.Inc()
-			if a < ro.cfg.FlashRetries &&
-				hash01(ro.cfg.Seed^saltFlash, opKey(ids[j], phaseRollback), a) < ro.cfg.FlashFailProb {
-				retriesBy[j]++
-				flashRetries.Inc()
-				return fmt.Errorf("fleet: machine %d rollback attempt %d failed transiently", ids[j], a)
-			}
-			return nil
+	spec := FlashSpec{Seed: ro.cfg.Seed, FailProb: ro.cfg.FlashFailProb,
+		Retries: ro.cfg.FlashRetries, Scope: ro.scope}
+	// A slot switch only fails transiently, never terminally, so the
+	// fan-out cannot return an error.
+	outs, _ := parallel.Map(ro.cfg.Workers, len(ids),
+		func(j int) (FlashOutcome, error) {
+			return spec.Flash(ids[j], PhaseRollback), nil
 		})
 	for j, m := range ids {
 		st := &res.Machines[m]
 		st.Installed = false
 		st.RolledBack = true
-		res.RollbackRetries += retriesBy[j]
+		res.RollbackRetries += outs[j].Retries
 	}
 	res.RollbackFlashes = len(ids)
 	rollbackFlashes.Add(int64(len(ids)))

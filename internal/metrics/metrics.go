@@ -89,24 +89,22 @@ func StandardWindow(peakIPS float64, tSLA float64, predInterval int) SLAWindow {
 	return SLAWindow{W: w}
 }
 
-// RSV computes the Rate of SLA Violations over a prediction trace. For
-// each sliding window of W predictions it computes the expected false-
-// positive indicator (Eq. 2) and flags a violation when it exceeds 0.5
-// (Eq. 3); RSV is the violating fraction of windows (Eq. 4). The window
-// slides by its own width so each sample contributes to one window, the
-// "complete set of samples spanning a trace" of Section 4.2.
-func RSV(pred, truth []int, win SLAWindow) float64 {
-	if len(pred) != len(truth) {
-		panic(fmt.Sprintf("metrics: RSV length mismatch %d vs %d", len(pred), len(truth)))
+// WindowTally folds a prediction/truth pair into fixed SLA windows of w
+// predictions and counts violations. Windows never straddle traces: the
+// trace is cut into consecutive windows of w predictions, every full
+// window is judged, and the trailing partial window (when len is not a
+// multiple of w) is judged on its own length, so every prediction
+// contributes to exactly one window. A window is violated when more than
+// half of its predictions are false-positive gates (Eqs. 2–3).
+//
+// This is the single accounting shared by RSV, the fleet soak health
+// fold, and the experiment layer's effective-configuration corpus
+// accounting; keeping them on one helper is what makes a fleet gate's
+// SLA rate comparable to the corpus RSV it is tuned against.
+func WindowTally(pred, truth []int, w int) (windows, violations int) {
+	if w <= 0 {
+		w = 1
 	}
-	if len(pred) == 0 {
-		return 0
-	}
-	w := win.W
-	if w > len(pred) {
-		w = len(pred)
-	}
-	windows, violations := 0, 0
 	for start := 0; start < len(pred); start += w {
 		end := start + w
 		if end > len(pred) {
@@ -123,6 +121,22 @@ func RSV(pred, truth []int, win SLAWindow) float64 {
 			violations++
 		}
 	}
+	return windows, violations
+}
+
+// RSV computes the Rate of SLA Violations over a prediction trace: the
+// violating fraction of the trace's fixed windows (Eq. 4), with window
+// judgment per WindowTally. The window slides by its own width so each
+// sample contributes to one window, the "complete set of samples spanning
+// a trace" of Section 4.2.
+func RSV(pred, truth []int, win SLAWindow) float64 {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("metrics: RSV length mismatch %d vs %d", len(pred), len(truth)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	windows, violations := WindowTally(pred, truth, win.W)
 	return float64(violations) / float64(windows)
 }
 

@@ -168,3 +168,55 @@ func TestMeanStd(t *testing.T) {
 		t.Error("empty MeanStd should be zeros")
 	}
 }
+
+// TestWindowTally is the shared-helper table test: the one window
+// accounting used by RSV, the fleet soak fold, and the experiment corpus
+// fold must judge whole short traces, exact multiples of the window, and
+// — the historical bug — the trailing partial window of longer traces.
+func TestWindowTally(t *testing.T) {
+	// fp(n) builds n all-false-positive predictions (pred 1, truth 0);
+	// ok(n) builds n all-correct predictions (pred 0, truth 0).
+	build := func(fps, oks int) (pred, truth []int) {
+		pred = make([]int, fps+oks)
+		truth = make([]int, fps+oks)
+		for i := 0; i < fps; i++ {
+			pred[i] = 1
+		}
+		return pred, truth
+	}
+	type tc struct {
+		name           string
+		pred, truth    []int
+		w              int
+		wantWindows    int
+		wantViolations int
+	}
+	mk := func(name string, fps, oks, w, wins, viols int) tc {
+		p, tr := build(fps, oks)
+		return tc{name, p, tr, w, wins, viols}
+	}
+	table := []tc{
+		mk("empty", 0, 0, 4, 0, 0),
+		// len(eff) < w: the whole trace is one partial window.
+		mk("short violated", 3, 0, 4, 1, 1),
+		mk("short clean", 1, 2, 4, 1, 0),
+		// len(eff) == k*w: exactly k full windows, no phantom tail.
+		mk("exact multiple", 4, 4, 4, 2, 1),
+		mk("exact single", 4, 0, 4, 1, 1),
+		// len(eff) == k*w + r: k full windows plus a judged partial tail.
+		mk("tail violated", 11, 0, 4, 3, 3),
+		mk("tail clean", 8, 3, 4, 3, 2),
+		// Tail majority is judged over r, not w: 2 fp of 3 > 0.5 violates
+		// even though 2 fp of a full 4-window would not.
+		{"tail own-length majority",
+			[]int{0, 0, 0, 0, 1, 1, 0}, []int{0, 0, 0, 0, 0, 0, 0}, 4, 2, 1},
+		mk("zero window defaults to 1", 2, 1, 0, 3, 2),
+	}
+	for _, c := range table {
+		wins, viols := WindowTally(c.pred, c.truth, c.w)
+		if wins != c.wantWindows || viols != c.wantViolations {
+			t.Errorf("%s: WindowTally = (%d, %d), want (%d, %d)",
+				c.name, wins, viols, c.wantWindows, c.wantViolations)
+		}
+	}
+}

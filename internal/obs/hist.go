@@ -170,6 +170,15 @@ func (c histCounts) snapshot() HistogramSnapshot {
 	return s
 }
 
+// Snapshot reduces the histogram's lifetime samples to the manifest form.
+// Callers that need per-run deltas should snapshot through run manifests
+// instead; Snapshot is for services that own a histogram for exactly one
+// run (the control plane's decision latency) and want its quantiles
+// directly. Nil-safe: a nil histogram yields a zero snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return h.counts().snapshot()
+}
+
 // NewHistogram returns the process-wide histogram with the given name,
 // creating it on first use. Keep the pointer in a package var: lookups
 // take a lock, Observe does not.

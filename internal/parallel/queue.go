@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"clustergate/internal/obs"
+)
+
+// Queue is a bounded, closable FIFO connecting producers to workers — the
+// ingest feed of the control plane's telemetry pipeline. Push blocks while
+// the queue is full, which is the backpressure contract: a producer can
+// never run further ahead of its consumer than the queue's capacity, so
+// ingest memory stays bounded no matter how large the simulated fleet is.
+// PopBatch drains up to a batch of items in one call, amortising per-item
+// wakeups on the consumer side.
+//
+// Observability: the queue's instantaneous depth is tracked on an obs
+// gauge named "<name>.depth" (its high-water mark lands in run manifests)
+// and producer stalls on a counter named "<name>.blocked". Like the rest
+// of the package, the queue itself imposes no ordering beyond FIFO per
+// producer; deterministic aggregation is the consumer's job (fold
+// commutatively, or fold per-producer state and reduce in a fixed order).
+type Queue[T any] struct {
+	ch      chan T
+	depth   *obs.Gauge
+	blocked *obs.Counter
+}
+
+// NewQueue returns a bounded queue with the given instrumentation name
+// and capacity (minimum 1).
+func NewQueue[T any](name string, capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue[T]{
+		ch:      make(chan T, capacity),
+		depth:   obs.NewGauge(name + ".depth"),
+		blocked: obs.NewCounter(name + ".blocked"),
+	}
+}
+
+// Push enqueues one item, blocking while the queue is full. Push after
+// Close panics, matching channel semantics.
+func (q *Queue[T]) Push(v T) {
+	select {
+	case q.ch <- v:
+	default:
+		q.blocked.Inc()
+		q.ch <- v
+	}
+	q.depth.Inc()
+}
+
+// PopBatch receives into dst, blocking until at least one item is
+// available, then draining without blocking up to len(dst) items. It
+// returns the number of items received: 0 means the queue is closed and
+// fully drained.
+func (q *Queue[T]) PopBatch(dst []T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	v, ok := <-q.ch
+	if !ok {
+		return 0
+	}
+	q.depth.Dec()
+	dst[0] = v
+	n := 1
+	for n < len(dst) {
+		select {
+		case v, ok := <-q.ch:
+			if !ok {
+				return n
+			}
+			q.depth.Dec()
+			dst[n] = v
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
+// Close marks the queue complete: consumers drain the remaining items and
+// then see PopBatch return 0.
+func (q *Queue[T]) Close() { close(q.ch) }
+
+// Len reports the number of items currently queued (racy by nature; for
+// tests and debugging, not for control flow).
+func (q *Queue[T]) Len() int { return len(q.ch) }

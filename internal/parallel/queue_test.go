@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQueueFIFO checks single-producer order is preserved through Push
+// and batched pops.
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int]("test.queue", 8)
+	go func() {
+		for i := 0; i < 100; i++ {
+			q.Push(i)
+		}
+		q.Close()
+	}()
+	var got []int
+	buf := make([]int, 7)
+	for {
+		n := q.PopBatch(buf)
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != 100 {
+		t.Fatalf("drained %d items, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d; FIFO order broken", i, v)
+		}
+	}
+}
+
+// TestQueueBackpressure proves Push blocks at capacity: with no consumer,
+// a producer must stall on the capacity+1'th item until a pop frees a
+// slot.
+func TestQueueBackpressure(t *testing.T) {
+	q := NewQueue[int]("test.queue.bp", 2)
+	q.Push(1)
+	q.Push(2)
+	done := make(chan struct{})
+	go func() {
+		q.Push(3) // must block until the consumer below pops
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Push beyond capacity did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	buf := make([]int, 1)
+	if n := q.PopBatch(buf); n != 1 || buf[0] != 1 {
+		t.Fatalf("PopBatch = (%d, %v), want first item", n, buf[0])
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Push did not unblock after a pop freed capacity")
+	}
+}
+
+// TestQueueConcurrentProducers checks conservation under many producers:
+// every pushed item is popped exactly once.
+func TestQueueConcurrentProducers(t *testing.T) {
+	q := NewQueue[int]("test.queue.mp", 4)
+	const producers, perProducer = 8, 250
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(p*perProducer + i)
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		q.Close()
+	}()
+	seen := make(map[int]bool, producers*perProducer)
+	buf := make([]int, 32)
+	for {
+		n := q.PopBatch(buf)
+		if n == 0 {
+			break
+		}
+		for _, v := range buf[:n] {
+			if seen[v] {
+				t.Fatalf("item %d popped twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("popped %d distinct items, want %d", len(seen), producers*perProducer)
+	}
+}
+
+// TestQueuePopAfterClose checks the drain contract: items pushed before
+// Close remain poppable, then PopBatch returns 0 forever.
+func TestQueuePopAfterClose(t *testing.T) {
+	q := NewQueue[string]("test.queue.close", 4)
+	q.Push("a")
+	q.Push("b")
+	q.Close()
+	buf := make([]string, 8)
+	if n := q.PopBatch(buf); n != 2 {
+		t.Fatalf("PopBatch after close = %d items, want 2", n)
+	}
+	if n := q.PopBatch(buf); n != 0 {
+		t.Fatalf("PopBatch on drained closed queue = %d, want 0", n)
+	}
+}

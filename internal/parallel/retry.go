@@ -3,6 +3,7 @@ package parallel
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"clustergate/internal/obs"
@@ -28,7 +29,8 @@ type Options struct {
 	// Retries is the number of additional attempts after a failed one.
 	Retries int
 	// Backoff is the sleep before the first retry, doubling per further
-	// retry. Zero retries immediately.
+	// retry up to maxBackoffFactor times the base. Zero retries
+	// immediately.
 	Backoff time.Duration
 	// Timeout bounds each attempt's wall clock; an expired attempt fails
 	// with an error wrapping ErrTimeout (and is retried like any other
@@ -73,10 +75,22 @@ func MapOpt[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) 
 	return out, nil
 }
 
-// runAttempts executes one task with retry-with-backoff and per-attempt
-// timeout.
+// maxBackoffFactor caps the exponential backoff at this multiple of the
+// base Backoff. Unbounded doubling turns a high Retries setting into
+// effectively infinite sleeps (and, past 63 doublings, a negative
+// duration that permanently disables backoff); 64× keeps the usual
+// transient-absorbing ramp while bounding a full retry budget's total
+// sleep to Retries × 64 × Backoff.
+const maxBackoffFactor = 64
+
+// runAttempts executes one task with capped retry-with-backoff and
+// per-attempt timeout.
 func runAttempts(i int, opts Options, fn func(i int) error) error {
 	backoff := opts.Backoff
+	maxBackoff := opts.Backoff
+	if maxBackoff > 0 && maxBackoff < math.MaxInt64/maxBackoffFactor {
+		maxBackoff *= maxBackoffFactor
+	}
 	var err error
 	for attempt := 0; ; attempt++ {
 		err = runOne(i, opts.Timeout, fn)
@@ -86,7 +100,11 @@ func runAttempts(i int, opts Options, fn func(i int) error) error {
 		tasksRetried.Inc()
 		if backoff > 0 {
 			time.Sleep(backoff)
-			backoff *= 2
+			if backoff < maxBackoff/2 {
+				backoff *= 2
+			} else {
+				backoff = maxBackoff
+			}
 		}
 	}
 }

@@ -116,3 +116,36 @@ func TestForEachOptTimeout(t *testing.T) {
 		t.Fatalf("want ErrTimeout, got %v", err)
 	}
 }
+
+// TestBackoffCapped locks the backoff bound: a task that fails many times
+// with a nonzero base backoff must complete promptly, because doubling is
+// capped at maxBackoffFactor× the base. Uncapped, 40 doublings of 1µs
+// would sleep ~18 minutes; capped, the whole run sleeps well under a
+// second.
+func TestBackoffCapped(t *testing.T) {
+	const retries = 40
+	var mu sync.Mutex
+	attempts := 0
+	start := time.Now()
+	err := ForEachOpt(1, Options{Workers: 1, Retries: retries, Backoff: time.Microsecond}, func(i int) error {
+		mu.Lock()
+		attempts++
+		a := attempts
+		mu.Unlock()
+		if a <= retries {
+			return fmt.Errorf("transient attempt %d", a)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retries should absorb every transient failure: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("capped backoff run took %v; doubling is not bounded", elapsed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != retries+1 {
+		t.Fatalf("attempts = %d, want %d", attempts, retries+1)
+	}
+}

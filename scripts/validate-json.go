@@ -63,6 +63,9 @@ func validate(path string) error {
 		if s, ok := v["schema"].(string); ok && strings.HasPrefix(s, "surrogate-bench/") {
 			return validateSurrogateBench(path, v)
 		}
+		if s, ok := v["schema"].(string); ok && strings.HasPrefix(s, "ctrlplane-bench/") {
+			return validateCtrlplaneBench(path, v)
+		}
 		fmt.Printf("%s: valid JSON object, %d top-level keys\n", path, len(v))
 	case []any:
 		fmt.Printf("%s: valid JSON array, %d elements\n", path, len(v))
@@ -139,6 +142,35 @@ func validateSurrogateBench(path string, v map[string]any) error {
 	}
 	fmt.Printf("%s: valid surrogate bench, %.0fx speedup, p95 err %.4f\n",
 		path, v["speedup"].(float64), v["err_p95"].(float64))
+	return nil
+}
+
+// validateCtrlplaneBench checks the BENCH_ctrlplane.json artifact: every
+// numeric field the obsdiff gate reads must be present and finite, and
+// the campaign verdicts must be bools.
+func validateCtrlplaneBench(path string, v map[string]any) error {
+	numeric := []string{
+		"machines", "shards", "ticks", "intervals", "decisions",
+		"wall_seconds", "machines_per_sec", "decisions_per_sec",
+		"p95_decision_ms",
+	}
+	for _, k := range numeric {
+		n, ok := v[k].(float64)
+		if !ok {
+			return fmt.Errorf("missing or non-numeric field %q", k)
+		}
+		if n != n || n < 0 {
+			return fmt.Errorf("field %q is negative or NaN: %v", k, n)
+		}
+	}
+	for _, k := range []string{"completed", "bad_caught"} {
+		if _, ok := v[k].(bool); !ok {
+			return fmt.Errorf("missing or non-bool %s", k)
+		}
+	}
+	fmt.Printf("%s: valid ctrlplane bench, %.0f machines/s, %.0f decisions/s, p95 %.3fms\n",
+		path, v["machines_per_sec"].(float64), v["decisions_per_sec"].(float64),
+		v["p95_decision_ms"].(float64))
 	return nil
 }
 
