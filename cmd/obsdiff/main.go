@@ -9,9 +9,9 @@
 //	obsdiff [-tol F] [-ctol F] [-mtol F] [-skip GLOBS] BASELINE CURRENT
 //
 // The two files must be the same schema; obsdiff detects it from the
-// content (uarch-bench/v1, surrogate-bench/v1, ctrlplane-bench/v1, a
-// results file's "results" array, or a run manifest's "counters"). Three
-// tolerances, one per value class:
+// content (uarch-bench/v1, surrogate-bench/v1, ctrlplane-bench/v1,
+// ctrlplane-churn-bench/v1, a results file's "results" array, or a run
+// manifest's "counters"). Three tolerances, one per value class:
 //
 //   - Timing (ns_per_op, histogram percentiles, wall_seconds): noisy,
 //     gated at -tol relative slowdown (default 0.5 = flag a >1.5×
@@ -98,6 +98,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		d.diffSurrogate(base, cur)
 	case "ctrlplane-bench":
 		d.diffCtrlplane(base, cur)
+	case "ctrlplane-churn-bench":
+		d.diffCtrlplaneChurn(base, cur)
 	case "results":
 		d.diffResults(base, cur)
 	case "manifest":
@@ -133,6 +135,9 @@ func schema(doc map[string]any) string {
 	}
 	if s, _ := doc["schema"].(string); strings.HasPrefix(s, "surrogate-bench/") {
 		return "surrogate-bench"
+	}
+	if s, _ := doc["schema"].(string); strings.HasPrefix(s, "ctrlplane-churn-bench/") {
+		return "ctrlplane-churn-bench"
 	}
 	if s, _ := doc["schema"].(string); strings.HasPrefix(s, "ctrlplane-bench/") {
 		return "ctrlplane-bench"
@@ -328,6 +333,74 @@ func (d *differ) diffCtrlplane(base, cur map[string]any) {
 		}
 	}
 	for _, k := range []string{"completed", "bad_caught"} {
+		if bw, ok := base[k].(bool); ok {
+			if cw, ok := cur[k].(bool); ok && bw && !cw {
+				d.fail(k, 1, 0, "campaign verdict flipped to false")
+			}
+		}
+	}
+	if bv, ok := num(base, "wall_seconds"); ok {
+		if cv, ok := num(cur, "wall_seconds"); ok {
+			if r := relDelta(bv, cv); r > d.tol.timing {
+				d.warn("wall_seconds %.1fs -> %.1fs (%.0f%% slower; warn-only)", bv, cv, 100*r)
+			}
+		}
+	}
+}
+
+// diffCtrlplaneChurn compares ctrlplane-churn-bench/v1 files: per-arm
+// completion rates as one-sided gates at the metric tolerance — they are
+// deterministic campaign outcomes, not wall-clock, so a drop beyond -mtol
+// is a regression however coarse -tol is set, while gains never flag —
+// per-arm liveness
+// counts (leaves, joins, catch-up flashes, stale quarantines, gate
+// deferrals) deterministic at the counter tolerance, the p95 decision
+// latency one-sided upward, campaign verdicts (good_completed,
+// bad_caught) that flipped to false always regressions, wall clock
+// warn-only.
+func (d *differ) diffCtrlplaneChurn(base, cur map[string]any) {
+	index := func(doc map[string]any) map[string]any {
+		out := map[string]any{}
+		arr, _ := doc["arms"].([]any)
+		for _, e := range arr {
+			if m, ok := e.(map[string]any); ok {
+				if key, ok := m["key"].(string); ok {
+					out[key] = m
+				}
+			}
+		}
+		return out
+	}
+	bi, ci := index(base), index(cur)
+	for _, key := range d.bothAndOnly("arm", bi, ci) {
+		bm, cm := submap(bi, key), submap(ci, key)
+		if bv, ok := num(bm, "completion_rate"); ok {
+			if cv, ok := num(cm, "completion_rate"); ok {
+				if r := relDelta(bv, cv); r < -d.tol.metric {
+					d.fail(key+".completion_rate", bv, cv,
+						fmt.Sprintf("%.4g%% lower > %.4g%% tolerance", -100*r, 100*d.tol.metric))
+				}
+			}
+		}
+		for _, k := range []string{"leaves", "joins", "catch_up_flashes", "stale_quarantines", "gate_deferrals"} {
+			if bv, ok := num(bm, k); ok {
+				if cv, ok := num(cm, k); ok {
+					d.drifted(key+"."+k, bv, cv, d.tol.counter)
+				}
+			}
+		}
+	}
+	if bv, ok := num(base, "machines"); ok {
+		if cv, ok := num(cur, "machines"); ok {
+			d.drifted("machines", bv, cv, d.tol.counter)
+		}
+	}
+	if bv, ok := num(base, "p95_decision_ms"); ok {
+		if cv, ok := num(cur, "p95_decision_ms"); ok {
+			d.slower("p95_decision_ms", bv, cv)
+		}
+	}
+	for _, k := range []string{"good_completed", "bad_caught"} {
 		if bw, ok := base[k].(bool); ok {
 			if cw, ok := cur[k].(bool); ok && bw && !cw {
 				d.fail(k, 1, 0, "campaign verdict flipped to false")

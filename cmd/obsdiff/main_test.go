@@ -188,6 +188,59 @@ func TestCtrlplaneVerdictFlipFails(t *testing.T) {
 	}
 }
 
+const churnBase = `{"schema":"ctrlplane-churn-bench/v1","machines":2000,
+	"arms":[
+		{"key":"churn05-lease2","churn_rate":0.05,"lease_ticks":2,"completed":true,
+		 "completion_rate":0.97,"leaves":40,"joins":60,"catch_up_flashes":35,
+		 "stale_quarantines":12,"gate_deferrals":2},
+		{"key":"churn10-lease4","churn_rate":0.10,"lease_ticks":4,"completed":true,
+		 "completion_rate":0.95,"leaves":80,"joins":120,"catch_up_flashes":70,
+		 "stale_quarantines":5,"gate_deferrals":1}],
+	"good_completed":true,"bad_caught":true,"wall_seconds":8,"p95_decision_ms":0.4}`
+
+func TestCtrlplaneChurnCompletionDropFails(t *testing.T) {
+	base := writeDoc(t, "base.json", churnBase)
+	cur := writeDoc(t, "cur.json", strings.Replace(churnBase, `"completion_rate":0.97`, `"completion_rate":0.40`, 1))
+	code, out := diff(t, "-tol", "0.5", base, cur)
+	if code != 1 || !strings.Contains(out, "churn05-lease2.completion_rate") {
+		t.Fatalf("completion-rate drop must regress: exit %d:\n%s", code, out)
+	}
+	// Completion is a deterministic outcome gated at -mtol, not -tol: even
+	// a small drop regresses however coarse the timing tolerance.
+	cur3 := writeDoc(t, "cur3.json", strings.Replace(churnBase, `"completion_rate":0.97`, `"completion_rate":0.95`, 1))
+	if code, out := diff(t, "-tol", "1.0", base, cur3); code != 1 || !strings.Contains(out, "completion_rate") {
+		t.Fatalf("small completion drop must regress at coarse -tol: exit %d:\n%s", code, out)
+	}
+	// A higher completion rate never flags.
+	cur2 := writeDoc(t, "cur2.json", strings.Replace(churnBase, `"completion_rate":0.95`, `"completion_rate":0.99`, 1))
+	if code, out := diff(t, "-tol", "0.5", base, cur2); code != 0 {
+		t.Fatalf("completion gain flagged: exit %d:\n%s", code, out)
+	}
+}
+
+func TestCtrlplaneChurnCounterDriftFails(t *testing.T) {
+	base := writeDoc(t, "base.json", churnBase)
+	cur := writeDoc(t, "cur.json", strings.Replace(churnBase, `"stale_quarantines":12`, `"stale_quarantines":13`, 1))
+	code, out := diff(t, base, cur)
+	if code != 1 || !strings.Contains(out, "churn05-lease2.stale_quarantines") {
+		t.Fatalf("liveness-count drift must regress at ctol 0: exit %d:\n%s", code, out)
+	}
+}
+
+func TestCtrlplaneChurnVerdictFlipFails(t *testing.T) {
+	base := writeDoc(t, "base.json", churnBase)
+	cur := writeDoc(t, "cur.json", strings.Replace(churnBase, `"bad_caught":true`, `"bad_caught":false`, 1))
+	code, out := diff(t, base, cur)
+	if code != 1 || !strings.Contains(out, "bad_caught") {
+		t.Fatalf("bad_caught flip must regress: exit %d:\n%s", code, out)
+	}
+	// Latency growth past tolerance fails one-sided.
+	cur2 := writeDoc(t, "cur2.json", strings.Replace(churnBase, `"p95_decision_ms":0.4`, `"p95_decision_ms":4`, 1))
+	if code, out := diff(t, "-tol", "0.5", base, cur2); code != 1 || !strings.Contains(out, "p95_decision_ms") {
+		t.Fatalf("latency growth must regress: exit %d:\n%s", code, out)
+	}
+}
+
 const resultsBase = `{"tool":"paperbench","results":[
 	{"name":"table3","seconds":5,"metrics":{"pgos.00":0.95,"ops.00":6051}},
 	{"name":"fig7","seconds":1,"metrics":{"mean_residency":0.48}}]}`
@@ -223,7 +276,7 @@ func TestSchemaMismatch(t *testing.T) {
 }
 
 func TestIdenticalFilesClean(t *testing.T) {
-	for _, doc := range []string{uarchBase, manifestBase, resultsBase, ctrlplaneBase} {
+	for _, doc := range []string{uarchBase, manifestBase, resultsBase, ctrlplaneBase, churnBase} {
 		base := writeDoc(t, "base.json", doc)
 		cur := writeDoc(t, "cur.json", doc)
 		if code, out := diff(t, base, cur); code != 0 {

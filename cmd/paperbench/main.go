@@ -11,7 +11,8 @@
 //
 // Experiments: corpus, table3, table4, fig4, fig5, fig6, fig7, fig8, fig9,
 // fig10, table5, table6, granularity, guardrail, guardrail-sweep, faults,
-// fleet-rollout, ctrlplane-soak, uarch, dvfs, ablations, all. The guardrail-sweep study
+// fleet-rollout, ctrlplane-soak, ctrlplane-churn, uarch, dvfs, ablations,
+// all. The guardrail-sweep study
 // deploys a guarded-budget controller under every fault class across a
 // grid of guardrail configurations and prints the exposure/PPW tuning
 // frontier; -sweepjson additionally writes the frontier as JSON. The
@@ -27,6 +28,15 @@
 // the bad-image counterfactual the canary must catch; -ctrlplanejson
 // writes its throughput figures (machines/sec, decisions/sec, p95
 // decision latency) as JSON, which is the only place wall-clock appears.
+// The ctrlplane-churn study re-runs the control plane over an unreliable
+// fleet — machines leave, reboot, and join late, telemetry lags, ingest
+// shards stall — across a churn-rate × lease-policy sweep, plus a
+// bad-image campaign under a third of the fleet flapping that the canary
+// must still catch; -churnjson writes the sweep (per-arm completion
+// rates, liveness counts, p95 decision latency) as JSON. With
+// -checkpoint, both control-plane studies additionally checkpoint each
+// campaign's control state under the same directory, resuming
+// mid-campaign after a kill.
 //
 // Simulation oracle (see docs/SURROGATE.md): -sim selects how deployments
 // are simulated. "exact" (the default) runs the cycle model and is
@@ -84,6 +94,7 @@ func main() {
 	flag.StringVar(&opts.sweepJSONPath, "sweepjson", "", "write the guardrail-sweep frontier as JSON to this file")
 	flag.StringVar(&opts.rolloutJSONPath, "rolloutjson", "", "write the fleet-rollout frontier as JSON to this file")
 	flag.StringVar(&opts.ctrlplaneJSONPath, "ctrlplanejson", "", "write the ctrlplane-soak throughput figures as JSON to this file")
+	flag.StringVar(&opts.churnJSONPath, "churnjson", "", "write the ctrlplane-churn tolerance sweep as JSON to this file")
 	flag.StringVar(&opts.eventsPath, "events", "", "write the structured event log (guardrail trips, fault injections, ring promotions) as JSONL to this file")
 	flag.StringVar(&opts.tracePath, "trace", "", "write the span tree as Chrome trace-event JSON (Perfetto-loadable) to this file")
 	flag.StringVar(&opts.debugAddr, "debug-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address while running (e.g. localhost:6060)")

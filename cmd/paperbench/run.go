@@ -40,6 +40,7 @@ type benchOpts struct {
 	sweepJSONPath     string
 	rolloutJSONPath   string
 	ctrlplaneJSONPath string
+	churnJSONPath     string
 	eventsPath        string
 	tracePath         string
 	debugAddr         string
@@ -603,7 +604,7 @@ func run(opts benchOpts, stdout, stderr io.Writer) error {
 			if err != nil {
 				return nil, err
 			}
-			r, err := experiments.CtrlplaneSoak(env, g)
+			r, err := experiments.CtrlplaneSoak(env, g, opts.checkpointDir)
 			if err != nil {
 				return nil, err
 			}
@@ -626,6 +627,41 @@ func run(opts benchOpts, stdout, stderr io.Writer) error {
 				m["good.completed"] = 1
 			}
 			if r.Bad.RolledBack {
+				m["bad.caught"] = 1
+			}
+			return m, nil
+		})
+	}
+	if sel("ctrlplane-churn") {
+		runExp("ctrlplane-churn", false, func(w io.Writer) (map[string]float64, error) {
+			g, err := experiments.BuildGeneralBestRF(env)
+			if err != nil {
+				return nil, err
+			}
+			r, err := experiments.CtrlplaneChurn(env, g, opts.checkpointDir)
+			if err != nil {
+				return nil, err
+			}
+			experiments.PrintCtrlplaneChurn(w, r)
+			fmt.Fprintln(w)
+			if opts.churnJSONPath != "" {
+				if err := writeCtrlplaneChurnJSON(opts.churnJSONPath, r); err != nil {
+					return nil, err
+				}
+			}
+			m := map[string]float64{"machines": float64(r.Machines)}
+			goodCompleted := 1.0
+			for i := range r.Arms {
+				a := &r.Arms[i]
+				m["completion."+a.Key] = a.CompletionRate()
+				m["stale."+a.Key] = float64(a.Report.StaleQuarantines)
+				m["catchup."+a.Key] = float64(a.Report.CatchUpFlashes)
+				if !a.Report.Completed {
+					goodCompleted = 0
+				}
+			}
+			m["good.completed"] = goodCompleted
+			if r.Bad.RolledBack && r.Bad.HaltedRing == 0 {
 				m["bad.caught"] = 1
 			}
 			return m, nil
@@ -836,6 +872,47 @@ func writeCtrlplaneJSON(path string, r *experiments.CtrlplaneResult) error {
 		"p95_decision_ms":   r.P95DecisionMS,
 		"completed":         r.Good.Completed,
 		"bad_caught":        r.Bad.RolledBack,
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// writeCtrlplaneChurnJSON persists the churn-tolerance sweep (per-arm
+// completion rates and liveness counts, bad-image catch, p95 decision
+// latency) as machine-readable JSON for CI gating; timings live here and
+// never on stdout.
+func writeCtrlplaneChurnJSON(path string, r *experiments.CtrlplaneChurnResult) error {
+	arms := make([]map[string]any, 0, len(r.Arms))
+	goodCompleted := true
+	for i := range r.Arms {
+		a := &r.Arms[i]
+		if !a.Report.Completed {
+			goodCompleted = false
+		}
+		arms = append(arms, map[string]any{
+			"key":               a.Key,
+			"churn_rate":        a.ChurnRate,
+			"lease_ticks":       a.LeaseTicks,
+			"completed":         a.Report.Completed,
+			"completion_rate":   a.CompletionRate(),
+			"leaves":            a.Report.Leaves,
+			"joins":             a.Report.Joins,
+			"catch_up_flashes":  a.Report.CatchUpFlashes,
+			"stale_quarantines": a.Report.StaleQuarantines,
+			"gate_deferrals":    a.Report.GateDeferrals,
+		})
+	}
+	out := map[string]any{
+		"schema":          "ctrlplane-churn-bench/v1",
+		"machines":        r.Machines,
+		"arms":            arms,
+		"good_completed":  goodCompleted,
+		"bad_caught":      r.Bad.RolledBack && r.Bad.HaltedRing == 0,
+		"wall_seconds":    r.WallSeconds,
+		"p95_decision_ms": r.P95DecisionMS,
 	}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

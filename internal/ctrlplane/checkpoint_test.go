@@ -1,0 +1,161 @@
+package ctrlplane
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"clustergate/internal/fleet"
+	"clustergate/internal/obs"
+)
+
+// interruptResume runs the campaign for kill ticks, abandons the service
+// (Close, as a crash would), then builds a fresh Service from resumeCfg —
+// same checkpoint path — and drives it to completion, returning the
+// resumed run's report and event log. The partial run gets no event log
+// on purpose: a resume must reconstruct history from the checkpoint's
+// durable backlog alone.
+func interruptResume(t *testing.T, cfg, resumeCfg Config, img []byte, wl fleet.Workload, kill int) (*Report, []byte) {
+	t.Helper()
+	s, err := New(cfg, img, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < kill && !s.Done(); i++ {
+		s.Tick()
+	}
+	killedAt := s.tick
+	s.Close()
+	if s.ckptErr != nil {
+		t.Fatal(s.ckptErr)
+	}
+	if _, err := os.Stat(cfg.CheckpointPath); err != nil {
+		t.Fatalf("no checkpoint after %d ticks: %v", killedAt, err)
+	}
+
+	log := obs.NewEventLog()
+	obs.SetEventLog(log)
+	defer obs.SetEventLog(nil)
+	s2, err := New(resumeCfg, img, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.tick != killedAt {
+		t.Fatalf("resume started at tick %d, checkpoint was at tick %d", s2.tick, killedAt)
+	}
+	rep, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := log.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return rep, buf.Bytes()
+}
+
+// TestCheckpointResumeByteIdentical locks the durability contract on a
+// reliable fleet: kill the campaign at several tick epochs, resume from
+// the checkpoint, and the final Report and event log are byte-identical
+// to an uninterrupted run.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	wl := testWorkload(t)
+	img := testController(t, wl.Cfg, -4, "cp-good")
+	base := testConfig(400)
+	repU, evU := runCampaign(t, base, img, wl)
+
+	for _, kill := range []int{1, 4, 8} {
+		cfg := base
+		cfg.CheckpointPath = filepath.Join(t.TempDir(), "campaign.ckpt")
+		rep, ev := interruptResume(t, cfg, cfg, img, wl, kill)
+		if !reflect.DeepEqual(repU, rep) {
+			t.Errorf("kill@%d: resumed report diverges:\n%+v\nvs\n%+v", kill, repU, rep)
+		}
+		if !bytes.Equal(evU, ev) {
+			t.Errorf("kill@%d: resumed event log diverges from the uninterrupted run", kill)
+		}
+	}
+}
+
+// TestCheckpointResumeUnderChurn is the same contract with the fault plan
+// active — leases, catch-up worklists, and in-flight delayed telemetry
+// must all survive the crash. The final resume also changes the ingest
+// shard count: snapshots are shard-shape-free and restore re-partitions.
+func TestCheckpointResumeUnderChurn(t *testing.T) {
+	wl := testWorkload(t)
+	img := testController(t, wl.Cfg, -4, "cp-good")
+	base := churnConfig(400)
+	repU, evU := runCampaign(t, base, img, wl)
+
+	for _, kill := range []int{3, 7} {
+		cfg := base
+		cfg.CheckpointPath = filepath.Join(t.TempDir(), "campaign.ckpt")
+		rep, ev := interruptResume(t, cfg, cfg, img, wl, kill)
+		if !reflect.DeepEqual(repU, rep) {
+			t.Errorf("kill@%d: resumed report diverges under churn:\n%+v\nvs\n%+v", kill, repU, rep)
+		}
+		if !bytes.Equal(evU, ev) {
+			t.Errorf("kill@%d: resumed event log diverges under churn", kill)
+		}
+	}
+
+	cfg := base
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "campaign.ckpt")
+	resume := cfg
+	resume.Shards = 2
+	rep, ev := interruptResume(t, cfg, resume, img, wl, 5)
+	if !bytes.Equal(evU, ev) {
+		t.Error("resume at a different shard count diverged the event log")
+	}
+	nu, nr := *repU, *rep
+	nu.Shards, nr.Shards, nu.Batches, nr.Batches = 0, 0, 0, 0
+	if !reflect.DeepEqual(&nu, &nr) {
+		t.Errorf("resume at a different shard count diverged the report:\n%+v\nvs\n%+v", &nu, &nr)
+	}
+}
+
+// TestCheckpointMismatchStartsFresh: a checkpoint from different campaign
+// inputs (or a corrupt file) is ignored — the campaign starts fresh
+// instead of resuming someone else's state or failing.
+func TestCheckpointMismatchStartsFresh(t *testing.T) {
+	wl := testWorkload(t)
+	img := testController(t, wl.Cfg, -4, "cp-good")
+	cfg := testConfig(200)
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "campaign.ckpt")
+
+	s, err := New(cfg, img, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tick()
+	s.Tick()
+	s.Close()
+	if s.ckptErr != nil {
+		t.Fatal(s.ckptErr)
+	}
+
+	other := cfg
+	other.Seed = 12
+	s2, err := New(other, img, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.tick != 0 {
+		t.Errorf("checkpoint with a mismatched fingerprint resumed at tick %d", s2.tick)
+	}
+	s2.Close()
+
+	if err := os.WriteFile(cfg.CheckpointPath, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := New(cfg, img, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.tick != 0 {
+		t.Errorf("corrupt checkpoint resumed at tick %d", s3.tick)
+	}
+	s3.Close()
+}

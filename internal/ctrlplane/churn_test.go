@@ -1,0 +1,189 @@
+package ctrlplane
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"clustergate/internal/fault"
+	"clustergate/internal/fleet"
+)
+
+// churnPlan is the default unreliable-fleet plan the churn tests run
+// under: 10% of machines churn (leave/reboot/late-join), telemetry is
+// occasionally delayed, and ingest shards stall for short windows.
+func churnPlan(seed int64) fault.Plan {
+	return fault.Plan{
+		Seed: seed,
+		Rules: []fault.Rule{
+			{Class: fault.MachineChurn, Rate: 0.10, Burst: 3, Span: 12},
+			{Class: fault.TelemetryDelay, Rate: 0.05, Burst: 2},
+			{Class: fault.ShardStall, Rate: 0.06, Burst: 3, Shards: 8},
+		},
+	}
+}
+
+// churnConfig is testConfig hardened for an unreliable fleet: a quorum
+// that tolerates flapping and a tight lease so stalls actually expire
+// some.
+func churnConfig(machines int) Config {
+	cfg := testConfig(machines)
+	cfg.Name = "cp-churn-test"
+	cfg.Quorum = 0.7
+	cfg.LeaseTicks = 1
+	cfg.Faults = churnPlan(29)
+	return cfg
+}
+
+// TestChurnCampaignInvariance locks the tentpole contract under faults:
+// with churn, delays, and stalls active, the Report and event log are
+// byte-identical at any worker, shard, and queue-depth setting — and the
+// good image still reaches the fleet, exercising every liveness path.
+func TestChurnCampaignInvariance(t *testing.T) {
+	wl := testWorkload(t)
+	img := testController(t, wl.Cfg, -4, "cp-good")
+	base := churnConfig(600)
+
+	c1 := base
+	c1.Workers = 1
+	r1, ev1 := runCampaign(t, c1, img, wl)
+
+	c4 := base
+	c4.Workers = 4
+	r4, ev4 := runCampaign(t, c4, img, wl)
+	if !reflect.DeepEqual(r1, r4) {
+		t.Errorf("reports diverge across worker counts:\n%+v\nvs\n%+v", r1, r4)
+	}
+	if !bytes.Equal(ev1, ev4) {
+		t.Error("event logs diverge across worker counts")
+	}
+
+	cs := base
+	cs.Workers = 4
+	cs.Shards = 2
+	cs.QueueDepth = 1
+	cs.BatchSize = 16
+	rs, evs := runCampaign(t, cs, img, wl)
+	if !bytes.Equal(ev1, evs) {
+		t.Error("event logs diverge across shard/queue-depth settings")
+	}
+	// Shards and Batches echo ingest knobs; everything simulation-derived
+	// must agree.
+	n1, ns := *r1, *rs
+	n1.Shards, ns.Shards, n1.Batches, ns.Batches = 0, 0, 0, 0
+	if !reflect.DeepEqual(&n1, &ns) {
+		t.Errorf("reports diverge across shard/queue-depth settings:\n%+v\nvs\n%+v", &n1, &ns)
+	}
+
+	if !r1.Completed {
+		t.Fatalf("good image did not complete under churn: halted at ring %d (%s)",
+			r1.HaltedRing, r1.HaltReason)
+	}
+	if r1.Leaves == 0 || r1.Joins == 0 {
+		t.Errorf("churn plan produced %d leaves, %d joins — want both nonzero", r1.Leaves, r1.Joins)
+	}
+	if r1.CatchUpFlashes == 0 {
+		t.Error("no catch-up flashes: machines that missed their wave never caught up")
+	}
+	if r1.StaleQuarantines == 0 {
+		t.Error("no stale quarantines: stalls/delays never expired a lease")
+	}
+	log := string(ev1)
+	for _, kind := range []string{
+		"fleet.machine.leave", "fleet.machine.join",
+		"ctrlplane.lease.expire", "ctrlplane.machine.catchup",
+	} {
+		if !strings.Contains(log, kind) {
+			t.Errorf("event log missing %s events", kind)
+		}
+	}
+}
+
+// TestChurnBadImageHaltsAtCanary: with a third of the fleet flapping, a
+// miscalibrated image must still be caught by the canary's health gate —
+// churn does not open a hole in the safety path.
+func TestChurnBadImageHaltsAtCanary(t *testing.T) {
+	wl := testWorkload(t)
+	img := testController(t, wl.Cfg, 4, "cp-bad")
+	cfg := churnConfig(600)
+	cfg.CorruptProb = 0
+	cfg.Faults.Rules[0].Rate = 0.33
+	cfg.Gate = fleet.GatePolicy{MaxCRCRejectRate: 1, MaxTripsPerMachine: 1e9, MaxSLARate: 1, MaxMisgateRate: 0.35}
+
+	rep, ev := runCampaign(t, cfg, img, wl)
+	if rep.Completed {
+		t.Fatal("bad image completed the campaign under churn")
+	}
+	if rep.HaltedRing != 0 {
+		t.Errorf("halted at ring %d, want the canary (ring 0)", rep.HaltedRing)
+	}
+	if !strings.Contains(rep.HaltReason, "misgate") {
+		t.Errorf("halt reason %q, want a misgate-rate failure", rep.HaltReason)
+	}
+	if !rep.RolledBack || rep.Installed != 0 {
+		t.Errorf("rollback incomplete: rolledBack=%v installed=%d", rep.RolledBack, rep.Installed)
+	}
+	if !strings.Contains(string(ev), "ctrlplane.ring.halt") {
+		t.Error("event log missing the halt event")
+	}
+}
+
+// TestChurnFreePlanIsIdentical: a campaign whose fault plan carries no
+// fleet rules is byte-identical to one with no plan at all — the liveness
+// layer must be inert for a reliable fleet.
+func TestChurnFreePlanIsIdentical(t *testing.T) {
+	wl := testWorkload(t)
+	img := testController(t, wl.Cfg, -4, "cp-good")
+
+	plain := testConfig(300)
+	rp, evp := runCampaign(t, plain, img, wl)
+
+	if rp.Leaves+rp.Joins+rp.StaleQuarantines+rp.CatchUpFlashes+rp.GateDeferrals+rp.QuorumReevals != 0 {
+		t.Errorf("reliable fleet produced liveness accounting: %+v", rp)
+	}
+	empty := testConfig(300)
+	empty.Faults = fault.Plan{Seed: 99}
+	re, eve := runCampaign(t, empty, img, wl)
+	if !reflect.DeepEqual(rp, re) {
+		t.Errorf("empty fault plan perturbed the report:\n%+v\nvs\n%+v", rp, re)
+	}
+	if !bytes.Equal(evp, eve) {
+		t.Error("empty fault plan perturbed the event log")
+	}
+}
+
+// TestServiceCloseIdempotent locks the Close satellite: double Close,
+// Close after Run (which closes internally), and concurrent Close are all
+// safe.
+func TestServiceCloseIdempotent(t *testing.T) {
+	wl := testWorkload(t)
+	img := testController(t, wl.Cfg, -4, "cp-good")
+
+	s, err := New(testConfig(120), img, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // after Run already closed
+	s.Close() // and again
+
+	s2, err := New(testConfig(120), img, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Tick()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s2.Close()
+		}()
+	}
+	wg.Wait()
+	s2.Close()
+}

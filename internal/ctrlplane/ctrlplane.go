@@ -14,13 +14,27 @@
 //     with a straggler re-flash pass, halt and roll the whole fleet back
 //     on a gate failure.
 //
-// Determinism matches the rest of the repo: every transport draw and every
-// telemetry interval is a pure hash of (seed, machine, tick), ingest folds
-// commute, and all control decisions happen in the serial decider at the
-// tick barrier — so the Report and the event log are byte-identical at any
-// Workers/Shards setting. Wall-clock throughput (machines/sec,
-// decisions/sec) is reported separately by the experiment layer and never
-// enters the Report.
+// The service also survives an unreliable fleet and its own crashes:
+//
+//   - liveness: a fault.Plan with fleet classes (machine-churn,
+//     telemetry-delay, shard-stall) drives per-machine presence and
+//     delivery schedules; machines silent for LeaseTicks are marked stale
+//     and quarantined out of gate denominators, late joiners catch up via
+//     the straggler re-flash path, and a health gate facing too few live
+//     leases defers instead of deciding blind (degraded mode);
+//   - durability: with CheckpointPath set, the full campaign state —
+//     rings, machines, leases, in-flight delayed telemetry, and the event
+//     backlog — is snapshotted atomically at every tick epoch, and a new
+//     Service over the same inputs resumes mid-campaign with a Report and
+//     event log byte-identical to the uninterrupted run.
+//
+// Determinism matches the rest of the repo: every transport draw, churn
+// transition, and telemetry interval is a pure hash of (seed, machine,
+// tick), ingest folds commute, and all control decisions happen in the
+// serial decider at the tick barrier — so the Report and the event log are
+// byte-identical at any Workers/Shards setting. Wall-clock throughput
+// (machines/sec, decisions/sec) is reported separately by the experiment
+// layer and never enters the Report.
 package ctrlplane
 
 import (
@@ -28,6 +42,7 @@ import (
 	"sync"
 
 	"clustergate/internal/core"
+	"clustergate/internal/fault"
 	"clustergate/internal/fleet"
 	"clustergate/internal/obs"
 	"clustergate/internal/parallel"
@@ -82,8 +97,30 @@ type Config struct {
 	// consumer. Zero selects 4.
 	QueueDepth int
 	// MaxTicks bounds the campaign; zero derives a bound from the ring
-	// layout with slack. Run returns an error if the bound is hit.
+	// layout (plus the fault plan's horizon when one is set) with slack.
+	// Run returns an error if the bound is hit.
 	MaxTicks int
+	// LeaseTicks is the liveness lease: a soaking machine whose telemetry
+	// has not arrived for more than LeaseTicks is marked stale and
+	// quarantined out of gate denominators until it reports again. Zero
+	// selects 2. Only consulted when Faults carries fleet rules.
+	LeaseTicks int
+	// Faults is the campaign's fleet fault plan. Rules of the fleet
+	// classes (machine-churn, telemetry-delay, shard-stall) drive
+	// per-machine presence and telemetry delivery; an empty plan is the
+	// fully reliable fleet and leaves every decision byte-identical to a
+	// plan-free campaign.
+	Faults fault.Plan
+	// CheckpointPath, when set, makes the campaign crash-safe: the full
+	// control state is snapshotted atomically to this file at every tick
+	// epoch, and New resumes from it when it already exists (stale or
+	// mismatched checkpoints are ignored and the campaign starts fresh).
+	CheckpointPath string
+	// LatencyScope names the decision-latency histogram this campaign
+	// observes into; empty selects "ctrlplane.decision.latency".
+	// Experiments that must not drift each other's manifest counters use
+	// distinct scopes.
+	LatencyScope string
 	// Gate is the ring-promotion policy, evaluated on ingested telemetry.
 	Gate fleet.GatePolicy
 	// Guardrail instruments every soak deployment.
@@ -148,6 +185,17 @@ func (c *Config) validate(wl *fleet.Workload) error {
 	}
 	if c.CorruptBits == 0 {
 		c.CorruptBits = 4
+	}
+	if c.LeaseTicks <= 0 {
+		c.LeaseTicks = 2
+	}
+	if c.LatencyScope == "" {
+		c.LatencyScope = "ctrlplane.decision.latency"
+	}
+	if len(c.Faults.Rules) > 0 {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("ctrlplane: fault plan: %w", err)
+		}
 	}
 	return nil
 }
@@ -234,15 +282,18 @@ type ringCtl struct {
 	rejectedAttempts, flashRetries, crcRejects int
 	flashAttempts                              int
 	reflashed, reflashRecovered                int
-	// Quorum is recorded at the transport decision for the report.
+	// Quorum is recorded at the transport decision for the report;
+	// quarantined at the health decision (installed machines held out of
+	// the gate as absent or lease-expired).
 	quorumNum, quorumDen int
+	quarantined          int
 	gateFailure          string
 	flashDoneTick        int
 	promotedTick         int
 }
 
 // machineCtl is one machine's base state: written by the flash step's
-// serial fold, read by telemetry producers.
+// serial fold and the serial liveness steps, read by telemetry producers.
 type machineCtl struct {
 	ring       int
 	flashed    bool // ever installed the new image
@@ -251,6 +302,18 @@ type machineCtl struct {
 	crashed    bool
 	rejected   bool
 	rolledBack bool
+	// Liveness state, owned by the serial churn/lease steps. present
+	// tracks the churn schedule; missedFlash marks a machine whose flash
+	// wave passed while it was absent (the catch-up step's worklist);
+	// stale marks an expired lease; leaseBase is the tick lease counting
+	// restarts from (soak start, join, or catch-up install); viaReflash
+	// records which transport schedule installed the machine, so a
+	// checkpoint restore replays the right one.
+	present     bool
+	missedFlash bool
+	stale       bool
+	leaseBase   int
+	viaReflash  bool
 	// profile is the machine's memoised soak behaviour, the source its
 	// synthesized telemetry streams from; nil until installed with a
 	// decodable controller.
@@ -258,13 +321,14 @@ type machineCtl struct {
 	crashReason string
 }
 
-// Ingest observability: interval and batch volume, decision throughput,
-// and the per-batch fold latency behind the bench's p95.
+// Ingest observability: interval and batch volume and decision
+// throughput. The per-batch fold latency histogram behind the bench's p95
+// is per-service (Config.LatencyScope), so concurrent experiments don't
+// drift each other's manifests.
 var (
 	intervalsIngested = obs.NewCounter("ctrlplane.intervals.ingested")
 	batchesIngested   = obs.NewCounter("ctrlplane.batches")
 	decisionsMade     = obs.NewCounter("ctrlplane.decisions")
-	decisionLatency   = obs.NewHistogram("ctrlplane.decision.latency")
 )
 
 // Service is one control-plane campaign: construct with New, drive with
@@ -278,6 +342,11 @@ type Service struct {
 	spec, reflash fleet.FlashSpec
 	soaker        *fleet.Soaker
 
+	// flt is the fault plan's fleet view (nil for a reliable fleet); lat
+	// the per-service decision-latency histogram.
+	flt *fault.FleetInjector
+	lat *obs.Histogram
+
 	machines []machineCtl
 	rings    []*ringCtl
 	shards   []*shard
@@ -290,12 +359,50 @@ type Service struct {
 	rollbackFlashes, rollbackRetries int
 	gateEvals                        int64
 
+	// Liveness accounting, owned by the serial steps.
+	leaves, joins                    int
+	catchUpFlashes, catchUpInstalled int
+	staleQuarantines, leaseRenewals  int
+	gateDeferrals, quorumReevals     int
+
+	// events is the durable event backlog, mirrored into every snapshot
+	// so a resumed campaign re-emits the exact events the interrupted one
+	// produced. Only maintained when CheckpointPath is set. The mutex
+	// covers appends from flash workers (fleet.crc.reject via the Emitter
+	// hook); all other emitters are serial.
+	eventsMu sync.Mutex
+	events   []obs.Event
+	// ckptErr latches the first snapshot failure; Run surfaces it.
+	ckptErr error
+
 	// pending counts pushed-but-unfolded ingest batches; Wait is the tick
 	// barrier between the telemetry step and the decider.
 	pending sync.WaitGroup
 	// consumers joins the per-shard consumer goroutines on Close.
 	consumers sync.WaitGroup
+	closeOnce sync.Once
 	closed    bool
+}
+
+// record routes one control-plane event: into the durable backlog when
+// checkpointing (so a resume can replay it) and into the process event log
+// when one is installed. Safe for concurrent use — flash workers emit CRC
+// rejections through it.
+func (s *Service) record(t int64, kind string, attrs map[string]any) {
+	if s.cfg.CheckpointPath != "" {
+		s.eventsMu.Lock()
+		s.events = append(s.events, obs.Event{Scope: s.scope, T: t, Kind: kind, Attrs: attrs})
+		s.eventsMu.Unlock()
+	}
+	if obs.EventsActive() {
+		obs.Emit(s.scope, t, kind, attrs)
+	}
+}
+
+// recording reports whether record has anywhere to deliver — emission
+// sites check it before building attribute maps.
+func (s *Service) recording() bool {
+	return obs.EventsActive() || s.cfg.CheckpointPath != ""
 }
 
 // New builds a Service over the workload (machine m soaks trace
@@ -321,9 +428,24 @@ func New(cfg Config, img []byte, wl fleet.Workload) (*Service, error) {
 	// exact CRC rejections that exhausted the machine.
 	s.reflash = s.spec
 	s.reflash.Seed = cfg.Seed ^ saltReflash
+	// CRC-reject events go through the durable recorder so checkpoint
+	// resumes replay them instead of re-emitting duplicates.
+	s.spec.Emitter = s.record
+	s.reflash.Emitter = s.record
 	s.soaker = fleet.NewSoaker(wl, cfg.Guardrail)
+	s.lat = obs.NewHistogram(cfg.LatencyScope)
+	if len(cfg.Faults.Rules) > 0 {
+		inj, err := fault.NewInjector(cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		s.flt = inj.ForFleet()
+	}
 
 	s.machines = make([]machineCtl, cfg.Machines)
+	for m := range s.machines {
+		s.machines[m].present = s.flt.Present(m, 0)
+	}
 	for i, ring := range cfg.ringLayout() {
 		rc := &ringCtl{index: i, machines: ring, flashDoneTick: -1, promotedTick: -1}
 		s.rings = append(s.rings, rc)
@@ -336,6 +458,11 @@ func New(cfg Config, img []byte, wl fleet.Workload) (*Service, error) {
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
 		s.shards[i] = newShard(cfg, len(s.rings))
+	}
+	if err := s.restore(); err != nil {
+		return nil, err
+	}
+	for i := range s.shards {
 		s.consumers.Add(1)
 		go s.consume(s.shards[i])
 	}
@@ -361,10 +488,19 @@ func (s *Service) Done() bool {
 // bound without reaching a terminal state.
 func (s *Service) Run() (*Report, error) {
 	max := s.cfg.maxTicks(s.ringMachineLists())
+	if s.cfg.MaxTicks == 0 && s.flt != nil {
+		// An unreliable fleet legitimately takes longer: churn transitions
+		// keep landing through the plan's horizon, and deferred gates
+		// re-evaluate until enough leases renew.
+		max += s.flt.Horizon() + 48
+	}
 	for !s.Done() && s.tick < max {
 		s.Tick()
 	}
 	s.Close()
+	if s.ckptErr != nil {
+		return nil, s.ckptErr
+	}
 	if !s.Done() {
 		return nil, fmt.Errorf("ctrlplane: campaign did not terminate within %d ticks", max)
 	}
@@ -381,30 +517,165 @@ func (s *Service) ringMachineLists() [][]int {
 	return out
 }
 
-// Tick advances the control loop one logical interval: flash the active
-// ring's next wave, stream soaking machines' telemetry through ingest,
-// wait for the ingest barrier, then run the serial decider.
+// Tick advances the control loop one logical interval: apply churn
+// transitions, flash the active ring's next wave, catch up rejoined
+// machines, stream soaking machines' telemetry through ingest, wait for
+// the ingest barrier, re-evaluate leases, run the serial decider, then
+// snapshot the epoch when checkpointing.
 func (s *Service) Tick() {
 	if s.Done() || s.closed {
 		return
 	}
+	s.churnStep()
 	s.flashStep()
+	s.catchUpStep()
 	s.telemetryStep()
 	s.pending.Wait()
+	s.leaseStep()
 	s.decideStep()
 	s.tick++
+	s.snapshot()
 }
 
-// Close shuts the ingest queues and joins the consumers. Idempotent.
+// Close shuts the ingest queues and joins the consumers. Idempotent and
+// safe to call concurrently or after Run (which closes the service
+// itself).
 func (s *Service) Close() {
-	if s.closed {
+	s.closeOnce.Do(func() {
+		s.closed = true
+		for _, sh := range s.shards {
+			sh.q.Close()
+		}
+		s.consumers.Wait()
+	})
+}
+
+// churnStep applies this tick's membership transitions from the fault
+// plan: leavers drop out of gate denominators, joiners restart their
+// lease and (if their flash wave passed while they were away) land on the
+// catch-up worklist. Serial, machine order.
+func (s *Service) churnStep() {
+	if s.flt == nil || !s.flt.Churns() {
 		return
 	}
-	s.closed = true
-	for _, sh := range s.shards {
-		sh.q.Close()
+	reeval := 0
+	lastRing := -1
+	for m := range s.machines {
+		mc := &s.machines[m]
+		p := s.flt.Present(m, s.tick)
+		if p == mc.present {
+			continue
+		}
+		mc.present = p
+		mc.stale = false
+		if p {
+			s.joins++
+			mc.leaseBase = s.tick
+			if s.recording() {
+				s.record(int64(s.tick), "fleet.machine.join", map[string]any{
+					"machine": m, "ring": mc.ring,
+				})
+			}
+		} else {
+			s.leaves++
+			if s.recording() {
+				s.record(int64(s.tick), "fleet.machine.leave", map[string]any{
+					"machine": m, "ring": mc.ring,
+				})
+			}
+		}
+		// A membership change in a soaking ring re-evaluates that ring's
+		// quorum denominator (machines are ring-contiguous, so counting
+		// distinct rings is a last-seen check).
+		if s.rings[mc.ring].state == ringSoaking && mc.ring != lastRing {
+			reeval++
+			lastRing = mc.ring
+		}
 	}
-	s.consumers.Wait()
+	s.quorumReevals += reeval
+}
+
+// catchUpStep flashes machines whose install wave passed while they were
+// absent, via the straggler re-flash schedule — the late-joiner path into
+// an already-soaking or promoted ring. Serial fold, machine order.
+func (s *Service) catchUpStep() {
+	if s.flt == nil || s.halted {
+		return
+	}
+	var targets []int
+	for m := range s.machines {
+		mc := &s.machines[m]
+		if mc.present && mc.missedFlash && !mc.flashed && !mc.rejected &&
+			s.rings[mc.ring].state != ringPending {
+			targets = append(targets, m)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	outs := s.flashWave(&s.reflash, targets, fleet.PhaseInstall)
+	for j, f := range outs {
+		m := targets[j]
+		mc := &s.machines[m]
+		mc.missedFlash = false
+		s.catchUpFlashes++
+		s.foldFlash(s.rings[mc.ring], m, f)
+		if f.out.Installed {
+			s.catchUpInstalled++
+			mc.viaReflash = true
+			mc.leaseBase = s.tick
+		}
+		if s.recording() {
+			s.record(int64(s.tick), "ctrlplane.machine.catchup", map[string]any{
+				"machine": m, "ring": mc.ring, "installed": f.out.Installed,
+			})
+		}
+	}
+}
+
+// leaseStep re-evaluates every soaking machine's telemetry lease behind
+// the ingest barrier: a present machine silent past LeaseTicks goes stale
+// (quarantined out of gate denominators — the degraded mode that keeps a
+// stalled shard from blocking decisions), and a stale machine whose
+// telemetry resumed renews. Serial, ring then machine order.
+func (s *Service) leaseStep() {
+	if s.flt == nil {
+		return
+	}
+	for _, rc := range s.rings {
+		if rc.state != ringSoaking {
+			continue
+		}
+		for _, m := range rc.machines {
+			mc := &s.machines[m]
+			if !mc.installed || mc.rolledBack || !mc.present {
+				continue
+			}
+			last := mc.leaseBase
+			if mh := s.shards[m%len(s.shards)].health[m]; mh != nil && mh.lastTick > last {
+				last = mh.lastTick
+			}
+			if s.tick-last > s.cfg.LeaseTicks {
+				if !mc.stale {
+					mc.stale = true
+					s.staleQuarantines++
+					if s.recording() {
+						s.record(int64(s.tick), "ctrlplane.lease.expire", map[string]any{
+							"machine": m, "ring": rc.index, "silent": s.tick - last,
+						})
+					}
+				}
+			} else if mc.stale {
+				mc.stale = false
+				s.leaseRenewals++
+				if s.recording() {
+					s.record(int64(s.tick), "ctrlplane.lease.renew", map[string]any{
+						"machine": m, "ring": rc.index,
+					})
+				}
+			}
+		}
+	}
 }
 
 // flashStep flashes the next wave of the flashing ring (at most one ring
@@ -425,9 +696,22 @@ func (s *Service) flashStep() {
 		wave = wave[:s.cfg.FlashPerTick]
 	}
 	rc.flashedUpTo += len(wave)
-	outs := s.flashWave(&s.spec, wave, fleet.PhaseInstall)
+	// Absent machines can't be flashed; they join the catch-up worklist
+	// and get the straggler schedule when they reappear.
+	present := wave
+	if s.flt != nil {
+		present = make([]int, 0, len(wave))
+		for _, m := range wave {
+			if s.machines[m].present {
+				present = append(present, m)
+			} else {
+				s.machines[m].missedFlash = true
+			}
+		}
+	}
+	outs := s.flashWave(&s.spec, present, fleet.PhaseInstall)
 	for j, fo := range outs {
-		s.foldFlash(rc, wave[j], fo)
+		s.foldFlash(rc, present[j], fo)
 	}
 	if rc.flashedUpTo == len(rc.machines) {
 		rc.flashDoneTick = s.tick
@@ -495,8 +779,8 @@ func (s *Service) foldFlash(rc *ringCtl, m int, f flashed) {
 	if crashReason != "" {
 		mc.crashed = true
 		mc.crashReason = crashReason
-		if obs.EventsActive() {
-			obs.Emit(s.scope, int64(s.tick), "ctrlplane.machine.crash", map[string]any{
+		if s.recording() {
+			s.record(int64(s.tick), "ctrlplane.machine.crash", map[string]any{
 				"machine": m, "ring": rc.index, "phase": phase, "reason": crashReason,
 			})
 		}
@@ -543,18 +827,33 @@ func (s *Service) decideTransport(rc *ringCtl) {
 		s.haltAndRollback(rc, f)
 		return
 	}
-	rc.quorumNum, rc.quorumDen = rc.installed, len(rc.machines)
-	if float64(rc.installed) < s.cfg.Quorum*float64(len(rc.machines)) {
+	// Quorum counts the present population only: machines that churned
+	// away are neither installable nor evidence against the image. For a
+	// reliable fleet every machine is present and this reduces to the
+	// installed / ring-size ratio.
+	num, den := 0, 0
+	for _, m := range rc.machines {
+		mc := &s.machines[m]
+		if !mc.present {
+			continue
+		}
+		den++
+		if mc.installed {
+			num++
+		}
+	}
+	rc.quorumNum, rc.quorumDen = num, den
+	if float64(num) < s.cfg.Quorum*float64(den) {
 		s.haltAndRollback(rc, fmt.Sprintf("install quorum %d/%d below %.2f",
-			rc.installed, len(rc.machines), s.cfg.Quorum))
+			num, den, s.cfg.Quorum))
 		return
 	}
-	// Quorum met: promote the ring to soaking and give stragglers one
-	// re-flash pass on a fresh transport schedule. Machines that fail
+	// Quorum met: promote the ring to soaking and give present stragglers
+	// one re-flash pass on a fresh transport schedule. Machines that fail
 	// again stay on the old image and are counted, not fatal.
 	var stragglers []int
 	for _, m := range rc.machines {
-		if s.machines[m].rejected {
+		if s.machines[m].rejected && s.machines[m].present {
 			stragglers = append(stragglers, m)
 		}
 	}
@@ -571,18 +870,26 @@ func (s *Service) decideTransport(rc *ringCtl) {
 			s.foldFlash(rc, m, f)
 			if f.out.Installed {
 				rc.reflashRecovered++
+				s.machines[m].viaReflash = true
 			}
 		}
-		if obs.EventsActive() {
-			obs.Emit(s.scope, int64(s.tick), "ctrlplane.ring.reflash", map[string]any{
+		if s.recording() {
+			s.record(int64(s.tick), "ctrlplane.ring.reflash", map[string]any{
 				"ring": rc.index, "stragglers": len(stragglers), "recovered": rc.reflashRecovered,
 			})
 		}
 	}
 	rc.state = ringSoaking
 	rc.soakStart = s.tick
-	if obs.EventsActive() {
-		obs.Emit(s.scope, int64(s.tick), "ctrlplane.ring.soak", map[string]any{
+	// Lease counting starts at soak start; telemetry earlier than that
+	// doesn't exist.
+	for _, m := range rc.machines {
+		if s.machines[m].leaseBase < s.tick {
+			s.machines[m].leaseBase = s.tick
+		}
+	}
+	if s.recording() {
+		s.record(int64(s.tick), "ctrlplane.ring.soak", map[string]any{
 			"ring": rc.index, "installed": rc.installed,
 			"quorum": fmt.Sprintf("%d/%d", rc.quorumNum, rc.quorumDen),
 		})
@@ -590,8 +897,8 @@ func (s *Service) decideTransport(rc *ringCtl) {
 	if rc.index+1 < len(s.rings) {
 		next := s.rings[rc.index+1]
 		next.state = ringFlashing
-		if obs.EventsActive() {
-			obs.Emit(s.scope, int64(s.tick), "ctrlplane.ring.flash", map[string]any{
+		if s.recording() {
+			s.record(int64(s.tick), "ctrlplane.ring.flash", map[string]any{
 				"ring": next.index, "size": len(next.machines),
 			})
 		}
@@ -599,13 +906,43 @@ func (s *Service) decideTransport(rc *ringCtl) {
 }
 
 // decideHealth evaluates a soaked ring's health gate on the telemetry the
-// ingest layer accumulated for it.
+// ingest layer accumulated for it. Under a fault plan the gate first
+// checks it isn't deciding blind: if quarantined machines (absent or
+// lease-expired) leave fewer than a quorum of the installed population
+// live, the decision defers to a later tick instead of judging the image
+// on missing evidence. Deferral is bounded by a couple of lease windows
+// past the soak — transient stalls and delays clear within it, and
+// machines that never come back must not block the ring forever — after
+// which the gate decides on the live population alone.
 func (s *Service) decideHealth(rc *ringCtl) {
+	live, quarantined := 0, 0
+	for _, m := range rc.machines {
+		mc := &s.machines[m]
+		if !mc.installed || mc.rolledBack {
+			continue
+		}
+		if mc.present && !mc.stale {
+			live++
+		} else {
+			quarantined++
+		}
+	}
+	if s.flt != nil && float64(live) < s.cfg.Quorum*float64(live+quarantined) &&
+		s.tick < rc.soakStart+s.cfg.SoakTicks+2*(s.cfg.LeaseTicks+1) {
+		s.gateDeferrals++
+		if s.recording() {
+			s.record(int64(s.tick), "ctrlplane.gate.defer", map[string]any{
+				"ring": rc.index, "live": live, "quarantined": quarantined,
+			})
+		}
+		return
+	}
+	rc.quarantined = quarantined
 	s.gateEvals++
 	decisionsMade.Inc()
 	rep := &fleet.RingReport{
 		Index: rc.index, Size: len(rc.machines),
-		Installed: rc.installed, Soaked: true,
+		Installed: rc.installed, Quarantined: quarantined, Soaked: true,
 	}
 	for _, sh := range s.shards {
 		acc := &sh.rings[rc.index]
@@ -622,8 +959,8 @@ func (s *Service) decideHealth(rc *ringCtl) {
 	}
 	rc.state = ringPromoted
 	rc.promotedTick = s.tick
-	if obs.EventsActive() {
-		obs.Emit(s.scope, int64(s.tick), "ctrlplane.ring.promote", map[string]any{
+	if s.recording() {
+		s.record(int64(s.tick), "ctrlplane.ring.promote", map[string]any{
 			"ring": rc.index, "installed": rc.installed,
 			"quorum": fmt.Sprintf("%d/%d", rc.quorumNum, rc.quorumDen),
 		})
@@ -657,11 +994,11 @@ func (s *Service) haltAndRollback(rc *ringCtl, reason string) {
 	}
 	s.rolledBack = true
 	s.rollbackFlashes = len(ids)
-	if obs.EventsActive() {
-		obs.Emit(s.scope, int64(s.tick), "ctrlplane.ring.halt", map[string]any{
+	if s.recording() {
+		s.record(int64(s.tick), "ctrlplane.ring.halt", map[string]any{
 			"ring": rc.index, "reason": reason,
 		})
-		obs.Emit(s.scope, int64(s.tick), "ctrlplane.rollback", map[string]any{
+		s.record(int64(s.tick), "ctrlplane.rollback", map[string]any{
 			"machines": len(ids),
 		})
 	}

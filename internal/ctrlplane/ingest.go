@@ -9,10 +9,14 @@ import (
 
 // interval is one machine's telemetry report for one soak window: the
 // unit the ingest layer batches, queues, and folds. A crashed machine
-// reports crashed intervals instead of window stats.
+// reports crashed intervals instead of window stats. tick is the
+// interval's delivery tick — equal to its production tick on a reliable
+// fleet, later under telemetry-delay or shard-stall faults — and feeds
+// the lease layer's last-heard-from tracking.
 type interval struct {
 	machine, ring int
 	crashed       bool
+	tick          int
 	stat          fleet.WindowStat
 }
 
@@ -27,11 +31,13 @@ type ringAccum struct {
 }
 
 // machineHealth is the per-machine health record a shard maintains from
-// ingested telemetry.
+// ingested telemetry. lastTick is the newest delivery tick folded for the
+// machine — the heartbeat the lease layer reads.
 type machineHealth struct {
 	trips, windows, violations int
 	misgated, truth0           int
 	crashed                    bool
+	lastTick                   int
 }
 
 // shard is one ingest partition: a bounded queue fed by producers and a
@@ -43,6 +49,11 @@ type shard struct {
 	rings   []ringAccum
 	health  map[int]*machineHealth
 	batches int64
+	// future holds intervals produced but not yet delivered (delayed or
+	// behind a stalled window), keyed by delivery tick. Owned by the
+	// shard's producer slot in telemetryStep — written and drained there,
+	// never touched by the consumer.
+	future map[int][]interval
 }
 
 // newShard builds one ingest partition. All shard queues share the
@@ -54,6 +65,7 @@ func newShard(cfg Config, nrings int) *shard {
 		q:      parallel.NewQueue[[]interval]("ctrlplane.ingest", cfg.QueueDepth),
 		rings:  make([]ringAccum, nrings),
 		health: map[int]*machineHealth{},
+		future: map[int][]interval{},
 	}
 }
 
@@ -72,7 +84,7 @@ func (s *Service) consume(sh *shard) {
 		for _, b := range buf[:n] {
 			t0 := time.Now()
 			sh.fold(b)
-			decisionLatency.Observe(time.Since(t0))
+			s.lat.Observe(time.Since(t0))
 			batchesIngested.Inc()
 			intervalsIngested.Add(int64(len(b)))
 			decisionsMade.Add(int64(len(b)))
@@ -91,6 +103,9 @@ func (sh *shard) fold(b []interval) {
 		if mh == nil {
 			mh = &machineHealth{}
 			sh.health[iv.machine] = mh
+		}
+		if iv.tick > mh.lastTick {
+			mh.lastTick = iv.tick
 		}
 		if iv.crashed {
 			if !mh.crashed {
@@ -117,9 +132,12 @@ func (sh *shard) fold(b []interval) {
 // telemetryStep streams every soaking machine's intervals for this tick
 // into the ingest queues: producers fan out per shard through the worker
 // pool, batching intervals in machine order and blocking on the bounded
-// queues when consumers fall behind (the backpressure contract). The
-// pending group counts every pushed batch; Tick waits on it before
-// deciding, so the decider always sees this tick's telemetry fully folded.
+// queues when consumers fall behind (the backpressure contract). Under a
+// fault plan each interval first resolves its delivery tick — delayed or
+// stall-deferred intervals park in the shard's future stash and ship when
+// their tick arrives. The pending group counts every pushed batch; Tick
+// waits on it before deciding, so the decider always sees this tick's
+// deliveries fully folded.
 func (s *Service) telemetryStep() {
 	nshards := len(s.shards)
 	_ = parallel.ForEach(s.cfg.Workers, nshards, func(si int) error {
@@ -130,16 +148,39 @@ func (s *Service) telemetryStep() {
 				return
 			}
 			s.pending.Add(1)
-			sh.q.Push(batch)
+			if !sh.q.PushOpen(batch) {
+				// Shutdown race: the queue closed under us; the batch is
+				// dropped, so release its barrier slot.
+				s.pending.Done()
+			}
 			batch = make([]interval, 0, s.cfg.BatchSize)
+		}
+		// Deliveries that came due this tick ship first, in stash order.
+		if due := sh.future[s.tick]; len(due) > 0 {
+			delete(sh.future, s.tick)
+			for _, iv := range due {
+				batch = append(batch, iv)
+				if len(batch) == s.cfg.BatchSize {
+					flush()
+				}
+			}
 		}
 		for m := si; m < s.cfg.Machines; m += nshards {
 			mc := &s.machines[m]
-			if !mc.installed || mc.rolledBack || s.rings[mc.ring].state != ringSoaking {
+			if !mc.installed || mc.rolledBack || !mc.present ||
+				s.rings[mc.ring].state != ringSoaking {
 				continue
 			}
 			for k := 0; k < s.cfg.IntervalsPerTick; k++ {
-				batch = append(batch, s.synthesize(m, mc, k))
+				iv := s.synthesize(m, mc, k)
+				if s.flt != nil {
+					if due := s.flt.DeliveryTick(m, s.tick, k); due > s.tick {
+						iv.tick = due
+						sh.future[due] = append(sh.future[due], iv)
+						continue
+					}
+				}
+				batch = append(batch, iv)
 				if len(batch) == s.cfg.BatchSize {
 					flush()
 				}
@@ -157,9 +198,9 @@ func (s *Service) telemetryStep() {
 // image reports the same window population.
 func (s *Service) synthesize(m int, mc *machineCtl, k int) interval {
 	if mc.crashed || mc.profile == nil || mc.profile.Health.Crashed || len(mc.profile.Windows) == 0 {
-		return interval{machine: m, ring: mc.ring, crashed: true}
+		return interval{machine: m, ring: mc.ring, crashed: true, tick: s.tick}
 	}
 	draw := s.tick*s.cfg.IntervalsPerTick + k
 	wi := int(hashU64(s.cfg.Seed^saltTel, m, draw) % uint64(len(mc.profile.Windows)))
-	return interval{machine: m, ring: mc.ring, stat: mc.profile.Windows[wi]}
+	return interval{machine: m, ring: mc.ring, tick: s.tick, stat: mc.profile.Windows[wi]}
 }

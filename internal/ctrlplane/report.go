@@ -22,6 +22,9 @@ type RingStatus struct {
 	// FlashRetries and CRCRejects total the ring's transport events
 	// across both passes.
 	FlashRetries, CRCRejects int
+	// Quarantined counts installed machines held out of the health gate
+	// (absent or lease-expired) at the decision that settled the ring.
+	Quarantined int
 	// Promoted reports the ring passed its health gate; GateFailure names
 	// the violated threshold when the campaign halted at this ring.
 	Promoted    bool
@@ -70,6 +73,16 @@ type Report struct {
 	// FlashAttempts, FlashRetries, and CRCRejects total the campaign's
 	// transport events across all rings and passes.
 	FlashAttempts, FlashRetries, CRCRejects int
+	// Liveness accounting, all zero for a reliable fleet: membership
+	// transitions observed (Leaves/Joins), catch-up flashes issued for
+	// machines that missed their wave and how many installed, lease
+	// expiries (StaleQuarantines) and renewals, health-gate deferrals
+	// taken in degraded mode, and quorum re-evaluations forced by
+	// membership changes in soaking rings.
+	Leaves, Joins                    int
+	CatchUpFlashes, CatchUpInstalled int
+	StaleQuarantines, LeaseRenewals  int
+	GateDeferrals, QuorumReevals     int
 }
 
 // report assembles the Report from the terminal control state. Call only
@@ -82,6 +95,10 @@ func (s *Service) report() *Report {
 		RolledBack:      s.rolledBack,
 		RollbackFlashes: s.rollbackFlashes,
 		RollbackRetries: s.rollbackRetries,
+		Leaves:          s.leaves, Joins: s.joins,
+		CatchUpFlashes: s.catchUpFlashes, CatchUpInstalled: s.catchUpInstalled,
+		StaleQuarantines: s.staleQuarantines, LeaseRenewals: s.leaseRenewals,
+		GateDeferrals: s.gateDeferrals, QuorumReevals: s.quorumReevals,
 	}
 	for _, mc := range s.machines {
 		if mc.flashed {
@@ -109,7 +126,7 @@ func (s *Service) report() *Report {
 			FlashRetries: rc.flashRetries, CRCRejects: rc.crcRejects,
 			Promoted: rc.state == ringPromoted, GateFailure: rc.gateFailure,
 			FlashDoneTick: rc.flashDoneTick, PromotedTick: rc.promotedTick,
-			Crashes: rc.flashCrashes,
+			Crashes: rc.flashCrashes, Quarantined: rc.quarantined,
 		}
 		for _, sh := range s.shards {
 			acc := &sh.rings[rc.index]
@@ -164,6 +181,11 @@ func Print(w io.Writer, r *Report) {
 	if r.RolledBack {
 		fmt.Fprintf(w, "  rollback: %d machines slot-switched, %d retried flashes\n",
 			r.RollbackFlashes, r.RollbackRetries)
+	}
+	if r.Leaves+r.Joins+r.StaleQuarantines+r.CatchUpFlashes+r.GateDeferrals > 0 {
+		fmt.Fprintf(w, "  churn: %d leaves, %d joins, %d catch-up flashes (%d installed), %d stale leases (%d renewed), %d gate deferrals, %d quorum re-evals\n",
+			r.Leaves, r.Joins, r.CatchUpFlashes, r.CatchUpInstalled,
+			r.StaleQuarantines, r.LeaseRenewals, r.GateDeferrals, r.QuorumReevals)
 	}
 	fmt.Fprintf(w, "  %-5s %8s %10s %8s %9s %7s %6s %7s  %s\n",
 		"ring", "size", "quorum", "reflash", "intervals", "slaviol", "trips", "misgate", "state")

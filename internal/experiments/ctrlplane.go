@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"path/filepath"
 	"time"
 
 	"clustergate/internal/core"
@@ -36,7 +37,8 @@ type CtrlplaneResult struct {
 	DecisionsPerSec float64
 	// P95DecisionMS is the p95 ingest-fold latency from the
 	// ctrlplane.decision.latency histogram, cumulative over the process
-	// (in paperbench only this experiment observes it).
+	// (in paperbench only this experiment observes it — the churn study
+	// scopes its campaigns to a separate histogram).
 	P95DecisionMS float64
 }
 
@@ -65,9 +67,11 @@ func ctrlplaneConfig(e *Env, n int) ctrlplane.Config {
 // through internal/ctrlplane — pipelined rings, quorum promotion with
 // straggler re-flash, continuous telemetry ingest — and then the same
 // campaign re-runs with a miscalibrated image over a clean transport,
-// which must halt at the canary and roll back. Reports are deterministic;
-// throughput lands only in the wall-clock fields.
-func CtrlplaneSoak(e *Env, g *core.GatingController) (*CtrlplaneResult, error) {
+// which must halt at the canary and roll back. When ckptDir is set both
+// campaigns checkpoint their control state there, so a killed run resumes
+// mid-campaign. Reports are deterministic; throughput lands only in the
+// wall-clock fields.
+func CtrlplaneSoak(e *Env, g *core.GatingController, ckptDir string) (*CtrlplaneResult, error) {
 	defer obs.Start("ctrlplane.soak.study").End()
 	n := e.Scale.CtrlMachines
 	if n == 0 {
@@ -93,6 +97,9 @@ func CtrlplaneSoak(e *Env, g *core.GatingController) (*CtrlplaneResult, error) {
 
 	start := time.Now()
 	goodCfg := ctrlplaneConfig(e, n)
+	if ckptDir != "" {
+		goodCfg.CheckpointPath = filepath.Join(ckptDir, "ctrlplane-soak-good.ckpt")
+	}
 	gs, err := ctrlplane.New(goodCfg, img.Bytes(), wl)
 	if err != nil {
 		return nil, err
@@ -105,6 +112,9 @@ func CtrlplaneSoak(e *Env, g *core.GatingController) (*CtrlplaneResult, error) {
 	badCfg := ctrlplaneConfig(e, n)
 	badCfg.Name = "ctrlplane-soak-bad"
 	badCfg.CorruptProb = 0 // clean transport isolates the semantic failure
+	if ckptDir != "" {
+		badCfg.CheckpointPath = filepath.Join(ckptDir, "ctrlplane-soak-bad.ckpt")
+	}
 	bs, err := ctrlplane.New(badCfg, badImg.Bytes(), wl)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,199 @@
+package fault
+
+import "testing"
+
+func fleetPlan() Plan {
+	return Plan{
+		Seed: 77,
+		Rules: []Rule{
+			{Class: MachineChurn, Rate: 0.3, Burst: 3, Span: 12},
+			{Class: TelemetryDelay, Rate: 0.1, Burst: 2},
+			{Class: ShardStall, Rate: 0.05, Burst: 2, Shards: 8},
+		},
+	}
+}
+
+func fleetInjector(t *testing.T, p Plan) *FleetInjector {
+	t.Helper()
+	inj, err := NewInjector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj.ForFleet()
+}
+
+func TestFleetPlanValidates(t *testing.T) {
+	if err := fleetPlan().Validate(); err != nil {
+		t.Fatalf("valid fleet plan rejected: %v", err)
+	}
+	bad := []Plan{
+		{Rules: []Rule{{Class: MachineChurn, Rate: 0.1, Span: -1}}},
+		{Rules: []Rule{{Class: ShardStall, Rate: 0.1, Shards: -2}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d: invalid fleet plan validated", i)
+		}
+	}
+}
+
+// TestFleetScheduleDeterminism is the fleet contract: every Present /
+// Delay / Stalled / DeliveryTick answer is a pure function of (plan
+// seed, machine, tick), independent of query order and of any other
+// queries in between.
+func TestFleetScheduleDeterminism(t *testing.T) {
+	a := fleetInjector(t, fleetPlan())
+	b := fleetInjector(t, fleetPlan())
+	// Warm b with scrambled extra queries first.
+	for m := 500; m >= 0; m -= 7 {
+		b.Present(m, 3)
+		b.DeliveryTick(m, 5, 1)
+	}
+	for m := 0; m < 300; m++ {
+		for tick := 0; tick < 24; tick++ {
+			if a.Present(m, tick) != b.Present(m, tick) {
+				t.Fatalf("Present(%d,%d) order-dependent", m, tick)
+			}
+			if a.Stalled(m, tick) != b.Stalled(m, tick) {
+				t.Fatalf("Stalled(%d,%d) order-dependent", m, tick)
+			}
+			for k := 0; k < 2; k++ {
+				if a.DeliveryTick(m, tick, k) != b.DeliveryTick(m, tick, k) {
+					t.Fatalf("DeliveryTick(%d,%d,%d) order-dependent", m, tick, k)
+				}
+			}
+		}
+	}
+}
+
+// TestChurnLifecycles checks each churning machine follows exactly one
+// of the three legal shapes: leave (up then permanently down), reboot
+// (up, down for a bounded window, up again), or late join (down then
+// permanently up) — and that enough machines churn at Rate 0.3.
+func TestChurnLifecycles(t *testing.T) {
+	f := fleetInjector(t, fleetPlan())
+	const machines, horizon = 2000, 40
+	churned := 0
+	for m := 0; m < machines; m++ {
+		// Capture the presence trajectory and count transitions.
+		prev := f.Present(m, 0)
+		transitions := 0
+		first := prev
+		for tick := 1; tick < horizon; tick++ {
+			cur := f.Present(m, tick)
+			if cur != prev {
+				transitions++
+				prev = cur
+			}
+		}
+		last := prev
+		switch transitions {
+		case 0:
+			if !first {
+				t.Fatalf("machine %d never present", m)
+			}
+		case 1:
+			churned++
+			if first == last {
+				t.Fatalf("machine %d: one transition but same endpoints", m)
+			}
+		case 2:
+			churned++
+			if !first || !last {
+				t.Fatalf("machine %d: reboot must start and end present", m)
+			}
+		default:
+			t.Fatalf("machine %d: %d presence transitions", m, transitions)
+		}
+	}
+	if churned < machines/10 || churned > machines/2 {
+		t.Fatalf("churned %d of %d machines at rate 0.3", churned, machines)
+	}
+}
+
+// TestDelayBounds: delays are 0 when no rule fires, otherwise within
+// [1, Burst], and some intervals are delayed at Rate 0.1.
+func TestDelayBounds(t *testing.T) {
+	f := fleetInjector(t, fleetPlan())
+	delayed := 0
+	total := 0
+	for m := 0; m < 200; m++ {
+		for tick := 0; tick < 10; tick++ {
+			for k := 0; k < 2; k++ {
+				total++
+				d := f.Delay(m, tick, k)
+				if d < 0 || d > 2 {
+					t.Fatalf("Delay(%d,%d,%d) = %d outside [0,2]", m, tick, k, d)
+				}
+				if d > 0 {
+					delayed++
+				}
+				if due := f.DeliveryTick(m, tick, k); due < tick {
+					t.Fatalf("DeliveryTick(%d,%d,%d) = %d before production", m, tick, k, due)
+				}
+			}
+		}
+	}
+	if delayed == 0 || delayed > total/4 {
+		t.Fatalf("delayed %d of %d at rate 0.1", delayed, total)
+	}
+}
+
+// TestStallVirtualShards: the stall schedule is drawn over the rule's
+// virtual shard partition, so machines on the same virtual shard agree
+// tick-for-tick regardless of how the ingest layer shards them.
+func TestStallVirtualShards(t *testing.T) {
+	f := fleetInjector(t, fleetPlan())
+	const vshards = 8
+	stalls := 0
+	for m := 0; m < 64; m++ {
+		peer := m + vshards // same virtual shard by construction
+		for tick := 0; tick < 30; tick++ {
+			a, b := f.Stalled(m, tick), f.Stalled(peer, tick)
+			if a != b {
+				t.Fatalf("machines %d and %d on virtual shard %d disagree at tick %d",
+					m, peer, m%vshards, tick)
+			}
+			if a {
+				stalls++
+			}
+		}
+	}
+	if stalls == 0 {
+		t.Fatal("no stall windows fired at rate 0.05 over 64 machines x 30 ticks")
+	}
+}
+
+// TestFleetNilSafe: a nil FleetInjector is the identity — always
+// present, never delayed, never stalled, zero horizon.
+func TestFleetNilSafe(t *testing.T) {
+	var f *FleetInjector
+	if f := (*Injector)(nil).ForFleet(); f != nil {
+		t.Fatal("nil Injector must yield nil FleetInjector")
+	}
+	if !f.Present(3, 9) || f.Stalled(3, 9) || f.Delay(3, 9, 0) != 0 {
+		t.Fatal("nil FleetInjector must be transparent")
+	}
+	if f.DeliveryTick(3, 9, 0) != 9 {
+		t.Fatal("nil FleetInjector must deliver at production tick")
+	}
+	if f.Churns() || f.Horizon() != 0 {
+		t.Fatal("nil FleetInjector must report no churn and zero horizon")
+	}
+}
+
+func TestFleetHorizon(t *testing.T) {
+	f := fleetInjector(t, fleetPlan())
+	if h := f.Horizon(); h != 15 { // churn span 12 + reboot burst 3
+		t.Fatalf("Horizon() = %d, want 15", h)
+	}
+	if !f.Churns() {
+		t.Fatal("plan with machine-churn rule must report Churns")
+	}
+	// Every churn transition must land inside the horizon.
+	for m := 0; m < 2000; m++ {
+		if f.Present(m, 15) != f.Present(m, 40) {
+			t.Fatalf("machine %d still transitioning past the horizon", m)
+		}
+	}
+}

@@ -3,8 +3,10 @@
 // exists to survive — telemetry dropouts, frozen or glitched counters,
 // stuck or stale controller predictions, transient worker-pool task
 // failures, correlated multi-trace telemetry outages, DRAM-bandwidth
-// degradation, and firmware-image bit flips (FlipBits) — on a seed-derived
-// schedule that is reproducible down to the interval.
+// degradation, firmware-image bit flips (FlipBits), and the control-plane
+// fleet classes — machine churn, telemetry delay, and ingest-shard stalls
+// (FleetInjector) — on a seed-derived schedule that is reproducible down
+// to the interval.
 //
 // Determinism is the package's contract, matching internal/parallel: every
 // injection decision is a pure function of (plan seed, trace seed, rule
@@ -71,12 +73,31 @@ const (
 	// fault perturbs real execution — IPC, cycles, and every derived
 	// counter — rather than just the reported telemetry values.
 	DRAMDerate Class = "dram-derate"
+	// MachineChurn gives a seed-chosen fraction (Rate) of a fleet's
+	// machines an individual lifecycle: leave permanently, reboot for a
+	// window, or join the fleet late. The affected set, each machine's
+	// mode, and its transition ticks are pure functions of (plan seed,
+	// rule index, machine ID) — see FleetInjector.Present.
+	MachineChurn Class = "machine-churn"
+	// TelemetryDelay delays a machine's telemetry intervals by a seeded
+	// number of ticks: the interval is produced on time but delivered
+	// late (and therefore reordered against the shard's fresher
+	// intervals) — see FleetInjector.Delay.
+	TelemetryDelay Class = "telemetry-delay"
+	// ShardStall stops one virtual ingest shard from draining for a
+	// window: every machine mapping to the stalled shard has its
+	// intervals held until the stall clears. The shard partition is the
+	// rule's own Shards count (virtual), never the service's physical
+	// shard knob, so schedules are byte-identical at any concurrency
+	// setting — see FleetInjector.Stalled.
+	ShardStall Class = "shard-stall"
 )
 
 // Classes lists every supported class in a stable order.
 func Classes() []Class {
 	return []Class{TelemetryDrop, CounterFreeze, CounterGlitch,
-		PredictionPin, PredictionStale, TaskFail, TraceOutage, DRAMDerate}
+		PredictionPin, PredictionStale, TaskFail, TraceOutage, DRAMDerate,
+		MachineChurn, TelemetryDelay, ShardStall}
 }
 
 // Rule schedules one fault class. A burst of Burst consecutive indices
@@ -97,6 +118,14 @@ type Rule struct {
 	// Start is the TraceOutage shared window's first interval index; the
 	// outage covers [Start, Start+Burst) on every affected trace.
 	Start int `json:"start,omitempty"`
+	// Span is the MachineChurn scheduling horizon in ticks: every churn
+	// transition (leave, reboot start, late join) lands in [1, Span].
+	// Zero selects 16.
+	Span int `json:"span,omitempty"`
+	// Shards is the ShardStall virtual shard count — the partition the
+	// stall schedule is drawn over, independent of the ingest layer's
+	// physical shard count. Zero selects 8.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Plan is a complete, JSON-serialisable fault schedule: a seed and the
@@ -131,6 +160,12 @@ func (p Plan) Validate() error {
 		}
 		if r.Class == DRAMDerate && r.Factor != 0 && r.Factor < 1 {
 			return fmt.Errorf("fault: rule %d (%s) factor %v below 1", i, r.Class, r.Factor)
+		}
+		if r.Span < 0 {
+			return fmt.Errorf("fault: rule %d (%s) negative span %d", i, r.Class, r.Span)
+		}
+		if r.Shards < 0 {
+			return fmt.Errorf("fault: rule %d (%s) negative shards %d", i, r.Class, r.Shards)
 		}
 	}
 	return nil

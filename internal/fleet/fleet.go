@@ -177,6 +177,11 @@ type RingReport struct {
 	// CRCRejects total the ring's transient failures and rejected
 	// attempts.
 	RejectedAttempts, FlashRetries, CRCRejects int
+	// Quarantined counts installed machines held out of the health gate —
+	// absent (churned away) or lease-expired at evaluation time — so gate
+	// rates normalise over the live population only. Always zero for
+	// batch rollouts, which have no liveness layer.
+	Quarantined int
 	// Soaked reports the ring ran its soak phase; the health fields below
 	// are zero otherwise.
 	Soaked                    bool

@@ -69,6 +69,12 @@ type FlashSpec struct {
 	Retries int
 	// Scope names the event-log scope for fleet.crc.reject events.
 	Scope string
+	// Emitter, when set, receives fleet.crc.reject events instead of the
+	// process-wide obs event log. Callers that must replay a flash after a
+	// checkpoint restore route events here so they can record them
+	// durably (or drop the duplicates a replay would otherwise emit). It
+	// must be safe for concurrent calls: Flash runs on worker goroutines.
+	Emitter func(t int64, kind string, attrs map[string]any)
 }
 
 // FlashOutcome is one machine's final flash result plus its attempt
@@ -136,7 +142,9 @@ func (s *FlashSpec) attempt(machine, phase, a int, out *FlashOutcome) bool {
 		if err != nil {
 			out.CRCRejects++
 			crcRejections.Inc()
-			if obs.EventsActive() {
+			if s.Emitter != nil {
+				s.Emitter(int64(machine), "fleet.crc.reject", map[string]any{"attempt": a})
+			} else if obs.EventsActive() {
 				obs.Emit(s.Scope, int64(machine), "fleet.crc.reject", map[string]any{"attempt": a})
 			}
 			// Out of attempts: the machine keeps its old image.
@@ -333,8 +341,11 @@ func (p *GatePolicy) HealthFailure(rep *RingReport) string {
 	if rep.Crashes > 0 {
 		return fmt.Sprintf("%d machine(s) crashed during soak", rep.Crashes)
 	}
-	if rep.Installed > 0 {
-		if trips := float64(rep.Trips) / float64(rep.Installed); trips > p.MaxTripsPerMachine {
+	// Quarantined machines (absent or lease-expired) contribute no
+	// telemetry, so the per-machine normaliser counts only the live
+	// installed population.
+	if live := rep.Installed - rep.Quarantined; live > 0 {
+		if trips := float64(rep.Trips) / float64(live); trips > p.MaxTripsPerMachine {
 			return fmt.Sprintf("guardrail trips/machine %.2f > %.2f", trips, p.MaxTripsPerMachine)
 		}
 	}

@@ -11,7 +11,10 @@ import (
 )
 
 // Event is one structured, sim-time event: a guardrail trip, a fault
-// injection, a CRC rejection, a ring promotion or rollback. Events carry
+// injection, a CRC rejection, a ring promotion or rollback, a fleet
+// membership change (fleet.machine.leave/join), or a control-plane
+// liveness transition (ctrlplane.lease.expire/renew,
+// ctrlplane.machine.catchup). Events carry
 // no wall-clock state — Scope names the deterministic context that
 // produced them (a trace deployment, a rollout arm), T is that context's
 // own logical clock (interval index, ring index), and Attrs hold only

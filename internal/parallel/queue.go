@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"sync"
+
 	"clustergate/internal/obs"
 )
 
@@ -22,6 +24,13 @@ type Queue[T any] struct {
 	ch      chan T
 	depth   *obs.Gauge
 	blocked *obs.Counter
+
+	// mu guards closed and excludes Close from the close-safe push
+	// variants: PushOpen/TryPush hold the read side across their send, so
+	// a concurrent Close (write side) cannot close the channel under a
+	// racing producer. Push and PopBatch stay lock-free.
+	mu     sync.RWMutex
+	closed bool
 }
 
 // NewQueue returns a bounded queue with the given instrumentation name
@@ -47,6 +56,44 @@ func (q *Queue[T]) Push(v T) {
 		q.ch <- v
 	}
 	q.depth.Inc()
+}
+
+// PushOpen enqueues one item like Push — blocking while the queue is
+// full — but is safe against a concurrent or prior Close: it returns
+// false (dropping the item) instead of panicking once the queue is
+// closed. This is the producer-side contract for shutdown races: a
+// producer that loses the race with Close gets a clean refusal.
+func (q *Queue[T]) PushOpen(v T) bool {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.ch <- v:
+	default:
+		q.blocked.Inc()
+		q.ch <- v
+	}
+	q.depth.Inc()
+	return true
+}
+
+// TryPush enqueues one item without blocking. It returns false — never
+// panicking and never stalling — when the queue is full or closed.
+func (q *Queue[T]) TryPush(v T) bool {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.ch <- v:
+		q.depth.Inc()
+		return true
+	default:
+		return false
+	}
 }
 
 // PopBatch receives into dst, blocking until at least one item is
@@ -81,8 +128,18 @@ func (q *Queue[T]) PopBatch(dst []T) int {
 }
 
 // Close marks the queue complete: consumers drain the remaining items and
-// then see PopBatch return 0.
-func (q *Queue[T]) Close() { close(q.ch) }
+// then see PopBatch return 0. Close is idempotent, and any PushOpen or
+// TryPush concurrent with it either lands before the close or returns
+// false — never a panic.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	close(q.ch)
+}
 
 // Len reports the number of items currently queued (racy by nature; for
 // tests and debugging, not for control flow).

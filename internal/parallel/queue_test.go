@@ -116,3 +116,114 @@ func TestQueuePopAfterClose(t *testing.T) {
 		t.Fatalf("PopBatch on drained closed queue = %d, want 0", n)
 	}
 }
+
+// TestQueueTryPush checks the non-blocking variant: false at capacity,
+// false (not panic) after close, true otherwise.
+func TestQueueTryPush(t *testing.T) {
+	q := NewQueue[int]("test.queue.try", 2)
+	if !q.TryPush(1) || !q.TryPush(2) {
+		t.Fatal("TryPush refused with capacity available")
+	}
+	if q.TryPush(3) {
+		t.Fatal("TryPush succeeded on a full queue")
+	}
+	buf := make([]int, 1)
+	q.PopBatch(buf)
+	if !q.TryPush(3) {
+		t.Fatal("TryPush refused after a pop freed capacity")
+	}
+	q.Close()
+	if q.TryPush(4) {
+		t.Fatal("TryPush succeeded on a closed queue")
+	}
+}
+
+// TestQueuePushOpenAfterClose checks PushOpen's shutdown contract: clean
+// false instead of the channel close-panic.
+func TestQueuePushOpenAfterClose(t *testing.T) {
+	q := NewQueue[int]("test.queue.pushopen", 4)
+	if !q.PushOpen(1) {
+		t.Fatal("PushOpen refused on an open queue")
+	}
+	q.Close()
+	if q.PushOpen(2) {
+		t.Fatal("PushOpen succeeded on a closed queue")
+	}
+	buf := make([]int, 4)
+	if n := q.PopBatch(buf); n != 1 || buf[0] != 1 {
+		t.Fatalf("PopBatch = (%d, %v), want the pre-close item only", n, buf[:n])
+	}
+}
+
+// TestQueuePushOpenRacingClose is the satellite contract: many producers
+// racing a shard shutdown all exit cleanly — items either land before
+// the close or are refused with false, and nothing panics.
+func TestQueuePushOpenRacingClose(t *testing.T) {
+	q := NewQueue[int]("test.queue.race", 2)
+	const producers, perProducer = 8, 200
+	var wg sync.WaitGroup
+	var accepted, refused int64
+	var mu sync.Mutex
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var acc, ref int64
+			for i := 0; i < perProducer; i++ {
+				if q.PushOpen(p*perProducer + i) {
+					acc++
+				} else {
+					ref++
+				}
+			}
+			mu.Lock()
+			accepted += acc
+			refused += ref
+			mu.Unlock()
+		}(p)
+	}
+	// Consumer drains until close so blocked producers always progress.
+	drained := make(chan int64)
+	go func() {
+		var n int64
+		buf := make([]int, 16)
+		for {
+			got := q.PopBatch(buf)
+			if got == 0 {
+				drained <- n
+				return
+			}
+			n += int64(got)
+		}
+	}()
+	time.Sleep(2 * time.Millisecond)
+	q.Close()
+	wg.Wait()
+	got := <-drained
+	if accepted+refused != producers*perProducer {
+		t.Fatalf("accounted %d pushes, want %d", accepted+refused, producers*perProducer)
+	}
+	if got != accepted {
+		t.Fatalf("drained %d items but producers report %d accepted", got, accepted)
+	}
+}
+
+// TestQueueCloseIdempotent: double Close and concurrent Close are safe.
+func TestQueueCloseIdempotent(t *testing.T) {
+	q := NewQueue[int]("test.queue.close2", 2)
+	q.Push(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q.Close()
+		}()
+	}
+	wg.Wait()
+	q.Close() // and once more, serially
+	buf := make([]int, 2)
+	if n := q.PopBatch(buf); n != 1 {
+		t.Fatalf("PopBatch after idempotent closes = %d, want 1", n)
+	}
+}

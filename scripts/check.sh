@@ -35,7 +35,7 @@ go test -race -timeout 25m ./internal/parallel/... ./internal/dataset/... ./inte
 # BENCH files in place; obsdiff compares fresh against stashed at the end.
 baseline_dir=$(mktemp -d)
 trap 'rm -rf "$baseline_dir"' EXIT
-for f in BENCH_uarch.json BENCH_paperbench.json BENCH_paperbench_results.json BENCH_surrogate.json BENCH_ctrlplane.json; do
+for f in BENCH_uarch.json BENCH_paperbench.json BENCH_paperbench_results.json BENCH_surrogate.json BENCH_ctrlplane.json BENCH_ctrlplane_churn.json; do
     [ -f "$f" ] && cp "$f" "$baseline_dir/$f"
 done
 
@@ -52,6 +52,7 @@ go run ./cmd/paperbench -scale quick -exp all -seed 1 -q \
     -sweepjson BENCH_guardrail_sweep.json \
     -rolloutjson BENCH_fleet_rollout.json \
     -ctrlplanejson BENCH_ctrlplane.json \
+    -churnjson BENCH_ctrlplane_churn.json \
     -events BENCH_events.jsonl \
     -trace BENCH_trace.json \
     > /dev/null
@@ -68,7 +69,8 @@ go run ./cmd/paperbench -scale quick -exp surrogate-bench -seed 1 -q \
 echo "== validate emitted JSON"
 go run scripts/validate-json.go BENCH_paperbench.json BENCH_paperbench_results.json \
     BENCH_guardrail_sweep.json BENCH_fleet_rollout.json BENCH_uarch.json \
-    BENCH_surrogate.json BENCH_ctrlplane.json BENCH_events.jsonl BENCH_trace.json
+    BENCH_surrogate.json BENCH_ctrlplane.json BENCH_ctrlplane_churn.json \
+    BENCH_events.jsonl BENCH_trace.json
 
 echo "== obsdiff perf gate (fresh run vs checked-in baselines)"
 # -tol 1.0 allows timing to double before failing: the quick run shares a
@@ -76,7 +78,7 @@ echo "== obsdiff perf gate (fresh run vs checked-in baselines)"
 # catastrophic regressions, not a microbenchmark. Counters and experiment
 # metrics are held (near-)exact — see cmd/obsdiff for the tolerances and
 # the default skip globs (cache-state and core-count dependent keys).
-for f in BENCH_uarch.json BENCH_paperbench.json BENCH_paperbench_results.json BENCH_surrogate.json BENCH_ctrlplane.json; do
+for f in BENCH_uarch.json BENCH_paperbench.json BENCH_paperbench_results.json BENCH_surrogate.json BENCH_ctrlplane.json BENCH_ctrlplane_churn.json; do
     if [ -f "$baseline_dir/$f" ]; then
         go run ./cmd/obsdiff -tol 1.0 "$baseline_dir/$f" "$f"
     else

@@ -63,6 +63,9 @@ func validate(path string) error {
 		if s, ok := v["schema"].(string); ok && strings.HasPrefix(s, "surrogate-bench/") {
 			return validateSurrogateBench(path, v)
 		}
+		if s, ok := v["schema"].(string); ok && strings.HasPrefix(s, "ctrlplane-churn-bench/") {
+			return validateCtrlplaneChurnBench(path, v)
+		}
 		if s, ok := v["schema"].(string); ok && strings.HasPrefix(s, "ctrlplane-bench/") {
 			return validateCtrlplaneBench(path, v)
 		}
@@ -171,6 +174,61 @@ func validateCtrlplaneBench(path string, v map[string]any) error {
 	fmt.Printf("%s: valid ctrlplane bench, %.0f machines/s, %.0f decisions/s, p95 %.3fms\n",
 		path, v["machines_per_sec"].(float64), v["decisions_per_sec"].(float64),
 		v["p95_decision_ms"].(float64))
+	return nil
+}
+
+// validateCtrlplaneChurnBench checks the BENCH_ctrlplane_churn.json
+// artifact: every arm must carry the fields the obsdiff gate reads, with
+// completion rates in [0, 1], and the campaign verdicts must be bools.
+func validateCtrlplaneChurnBench(path string, v map[string]any) error {
+	for _, k := range []string{"machines", "wall_seconds", "p95_decision_ms"} {
+		n, ok := v[k].(float64)
+		if !ok {
+			return fmt.Errorf("missing or non-numeric field %q", k)
+		}
+		if n != n || n < 0 {
+			return fmt.Errorf("field %q is negative or NaN: %v", k, n)
+		}
+	}
+	for _, k := range []string{"good_completed", "bad_caught"} {
+		if _, ok := v[k].(bool); !ok {
+			return fmt.Errorf("missing or non-bool %s", k)
+		}
+	}
+	arms, ok := v["arms"].([]any)
+	if !ok || len(arms) == 0 {
+		return fmt.Errorf("missing or empty arms array")
+	}
+	for i, a := range arms {
+		arm, ok := a.(map[string]any)
+		if !ok {
+			return fmt.Errorf("arms[%d]: not an object", i)
+		}
+		if _, ok := arm["key"].(string); !ok {
+			return fmt.Errorf("arms[%d]: missing key", i)
+		}
+		if _, ok := arm["completed"].(bool); !ok {
+			return fmt.Errorf("arms[%d]: missing or non-bool completed", i)
+		}
+		numeric := []string{
+			"churn_rate", "lease_ticks", "completion_rate",
+			"leaves", "joins", "catch_up_flashes", "stale_quarantines", "gate_deferrals",
+		}
+		for _, k := range numeric {
+			n, ok := arm[k].(float64)
+			if !ok {
+				return fmt.Errorf("arms[%d]: missing or non-numeric field %q", i, k)
+			}
+			if n != n || n < 0 {
+				return fmt.Errorf("arms[%d]: field %q is negative or NaN: %v", i, k, n)
+			}
+		}
+		if cr := arm["completion_rate"].(float64); cr > 1 {
+			return fmt.Errorf("arms[%d]: completion_rate %v > 1", i, cr)
+		}
+	}
+	fmt.Printf("%s: valid ctrlplane churn bench, %d arms, p95 %.3fms\n",
+		path, len(arms), v["p95_decision_ms"].(float64))
 	return nil
 }
 
